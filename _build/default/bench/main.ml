@@ -1,0 +1,93 @@
+(* Benchmark harness: regenerates every table and figure of the
+   reproduction (see DESIGN.md §3 and EXPERIMENTS.md).
+
+   Default mode prints the experiment tables T1-T9 and figures F1-F2 with
+   simulated local-step counts — the paper's complexity measure.
+
+   --bechamel additionally runs one Bechamel wall-clock benchmark per
+   table/figure (the full experiment as the measured unit) and prints the
+   OLS estimate of its execution time.
+
+   --only <ID> restricts either mode to a single experiment. *)
+
+module E = Exsel_harness.Experiments
+module Table = Exsel_harness.Table
+
+let experiments : (string * (unit -> Table.t)) list =
+  [
+    ("T1", E.t1_comparison);
+    ("T2", E.t2_polylog);
+    ("T3", E.t3_efficient);
+    ("T4", E.t4_almost_adaptive);
+    ("T5", E.t5_adaptive);
+    ("T6", E.t6_store_collect);
+    ("T7", E.t7_lower_bound);
+    ("T8", E.t8_repositories);
+    ("T9", E.t9_unbounded_naming);
+    ("F1", E.f1_majority_progress);
+    ("F2", E.f2_crossover);
+    ("A1", E.a1_expander_constants);
+    ("A2", E.a2_certification);
+    ("A3", E.a3_reserve_lane);
+    ("X1", E.x1_long_lived);
+    ("X2", E.x2_message_passing);
+    ("X3", E.x3_randomized);
+  ]
+
+let selected only =
+  match only with
+  | None -> experiments
+  | Some id -> List.filter (fun (i, _) -> String.uppercase_ascii id = i) experiments
+
+let print_tables only =
+  List.iter
+    (fun (_, f) ->
+      let t = f () in
+      Table.print t;
+      flush stdout)
+    (selected only)
+
+let run_bechamel only =
+  let open Bechamel in
+  let tests =
+    List.map
+      (fun (id, f) -> Test.make ~name:id (Staged.stage (fun () -> ignore (f ()))))
+      (selected only)
+  in
+  let grouped = Test.make_grouped ~name:"exsel" tests in
+  let cfg = Benchmark.cfg ~limit:10 ~quota:(Time.second 2.0) ~kde:None () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| "run" |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Printf.printf "== Bechamel wall-clock (one benchmark per table/figure) ==\n";
+  Printf.printf "%-12s  %14s  %8s\n" "experiment" "time/run" "r^2";
+  let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
+  List.iter
+    (fun (name, v) ->
+      let est =
+        match Analyze.OLS.estimates v with Some (e :: _) -> e | Some [] | None -> nan
+      in
+      let r2 = match Analyze.OLS.r_square v with Some r -> r | None -> nan in
+      let human =
+        if est > 1e9 then Printf.sprintf "%.2f s" (est /. 1e9)
+        else if est > 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
+        else Printf.sprintf "%.0f ns" est
+      in
+      Printf.printf "%-12s  %14s  %8.4f\n" name human r2)
+    (List.sort compare rows)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec parse bech only = function
+    | [] -> (bech, only)
+    | "--bechamel" :: rest -> parse true only rest
+    | "--only" :: id :: rest -> parse bech (Some id) rest
+    | arg :: _ ->
+        Printf.eprintf "usage: %s [--bechamel] [--only <T1..T9|F1|F2|A1..A3|X1..X3>] (got %s)\n"
+          Sys.argv.(0) arg;
+        exit 2
+  in
+  let bech, only = parse false None args in
+  if bech then run_bechamel only else print_tables only

@@ -1,0 +1,478 @@
+(* exsel — command-line driver for the asynchronous-exclusive-selection
+   library: run any renaming algorithm, repository, or experiment from the
+   shell with explicit seeds and crash schedules. *)
+
+open Exsel_sim
+module R = Exsel_renaming
+module SD = Exsel_repository.Selfish_deposit
+module AD = Exsel_repository.Altruistic_deposit
+module UN = Exsel_repository.Unbounded_naming
+module Adversary = Exsel_lowerbound.Adversary
+module E = Exsel_harness.Experiments
+module Table = Exsel_harness.Table
+
+let spread ~count ~bound = List.init count (fun i -> i * (max 1 (bound / count)) mod bound)
+
+(* ------------------------------------------------------------------ *)
+(* rename subcommand                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type algo =
+  | Moir_anderson
+  | Snapshot_renaming
+  | Majority
+  | Basic
+  | Polylog
+  | Efficient
+  | Almost_adaptive
+  | Adaptive
+  | Chain
+
+let algo_conv =
+  let parse = function
+    | "ma" | "moir-anderson" -> Ok Moir_anderson
+    | "snapshot" | "attiya" -> Ok Snapshot_renaming
+    | "majority" -> Ok Majority
+    | "basic" -> Ok Basic
+    | "polylog" -> Ok Polylog
+    | "efficient" -> Ok Efficient
+    | "almost-adaptive" -> Ok Almost_adaptive
+    | "adaptive" -> Ok Adaptive
+    | "chain" -> Ok Chain
+    | s -> Error (`Msg (Printf.sprintf "unknown algorithm %S" s))
+  in
+  let print ppf a =
+    Format.pp_print_string ppf
+      (match a with
+      | Moir_anderson -> "ma"
+      | Snapshot_renaming -> "snapshot"
+      | Majority -> "majority"
+      | Basic -> "basic"
+      | Polylog -> "polylog"
+      | Efficient -> "efficient"
+      | Almost_adaptive -> "almost-adaptive"
+      | Adaptive -> "adaptive"
+      | Chain -> "chain")
+  in
+  Cmdliner.Arg.conv (parse, print)
+
+(* Returns the rename function together with the instance's name bound M
+   (used by the adversary's stage-budget formula). *)
+let build_renamer algo mem ~k ~n ~n_names ~seed =
+  let rng = Rng.create ~seed in
+  match algo with
+  | Moir_anderson ->
+      let ma = R.Moir_anderson.create mem ~name:"ma" ~side:k in
+      ((fun ~me -> R.Moir_anderson.rename ma ~me), R.Moir_anderson.capacity ma)
+  | Snapshot_renaming ->
+      let a = R.Attiya_renaming.create mem ~name:"at" ~slots:n_names () in
+      ((fun ~me -> R.Attiya_renaming.rename a ~slot:me), (2 * k) - 1)
+  | Majority ->
+      let m = R.Majority.create ~rng mem ~name:"maj" ~l:k ~inputs:n_names in
+      ((fun ~me -> R.Majority.rename m ~me), R.Majority.names m)
+  | Basic ->
+      let b = R.Basic_rename.create ~rng mem ~name:"bas" ~k ~inputs:n_names in
+      ((fun ~me -> R.Basic_rename.rename b ~me), R.Basic_rename.names b)
+  | Polylog ->
+      let p = R.Polylog_rename.create ~rng mem ~name:"pl" ~k ~inputs:n_names in
+      ((fun ~me -> R.Polylog_rename.rename p ~me), R.Polylog_rename.names p)
+  | Efficient ->
+      let e = R.Efficient_rename.create ~rng mem ~name:"ef" ~k in
+      ((fun ~me -> R.Efficient_rename.rename e ~me), R.Efficient_rename.names e)
+  | Almost_adaptive ->
+      let a = R.Almost_adaptive.create ~rng mem ~name:"aa" ~n ~inputs:n_names in
+      ( (fun ~me -> Some (R.Almost_adaptive.rename a ~me)),
+        R.Almost_adaptive.name_bound_for_contention a ~k )
+  | Adaptive ->
+      let a = R.Adaptive_rename.create ~rng mem ~name:"ad" ~n in
+      ( (fun ~me -> Some (R.Adaptive_rename.rename a ~me)),
+        R.Adaptive_rename.name_bound_for_contention ~k )
+  | Chain ->
+      let c = R.Chain_rename.create mem ~name:"ch" ~m:((2 * k) - 1) in
+      ((fun ~me -> R.Chain_rename.rename c ~me), R.Chain_rename.names c)
+
+let run_rename algo k n n_names procs seed crashes =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let rename, _m = build_renamer algo mem ~k ~n ~n_names ~seed in
+  let ids = spread ~count:procs ~bound:n_names in
+  let results = Array.make procs None in
+  List.iteri
+    (fun i me ->
+      ignore
+        (Runtime.spawn rt ~name:(Printf.sprintf "p%d" i) (fun () ->
+             results.(i) <- rename ~me)))
+    ids;
+  let policy = Scheduler.random (Rng.create ~seed:(seed + 1)) in
+  let policy =
+    if crashes = [] then policy else Scheduler.with_crashes ~crash_at:crashes policy
+  in
+  Scheduler.run ~max_commits:500_000_000 rt policy;
+  Printf.printf "process  original  new-name  steps  status\n";
+  List.iteri
+    (fun i (p, me) ->
+      Printf.printf "p%-6d  %-8d  %-8s  %-5d  %s\n" i me
+        (match results.(i) with Some nm -> string_of_int nm | None -> "-")
+        (Runtime.steps p)
+        (match Runtime.status p with
+        | Runtime.Done -> "done"
+        | Runtime.Crashed -> "crashed"
+        | Runtime.Runnable -> "runnable"))
+    (List.combine (Runtime.procs rt) ids);
+  let names = Array.to_list results |> List.filter_map Fun.id in
+  let distinct = List.length (List.sort_uniq compare names) = List.length names in
+  Format.printf "%a@." Metrics.pp (Metrics.of_runtime rt);
+  Printf.printf "exclusive: %s  max-name: %d\n"
+    (if distinct then "yes" else "NO (BUG)")
+    (List.fold_left max (-1) names);
+  if not distinct then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* deposit subcommand                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let run_deposit altruistic n per crashed seed =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  if altruistic then begin
+    let ad = AD.create mem ~name:"ad" ~n in
+    let acked = ref [] in
+    AD.spawn_all rt ad
+      ~values:(fun me -> List.init per (fun v -> (100 * me) + v))
+      ~on_deposit:(fun ~me ~index ~value -> acked := (me, index, value) :: !acked);
+    let rng = Rng.create ~seed in
+    Scheduler.run_for rt ~commits:(200 * n) (Scheduler.random rng);
+    List.iter
+      (fun p ->
+        let nm = Runtime.proc_name p in
+        if
+          List.exists
+            (fun i ->
+              nm = Printf.sprintf "depositor%d" i || nm = Printf.sprintf "provider%d" i)
+            (List.init crashed Fun.id)
+        then Runtime.crash rt p)
+      (Runtime.procs rt);
+    Scheduler.run ~max_commits:500_000_000 rt (Scheduler.random rng);
+    Printf.printf "altruistic repository: n=%d per=%d crashed=%d\n" n per crashed;
+    Printf.printf "acknowledged deposits: %d\n" (List.length !acked);
+    Printf.printf "registers deposited:   %d\n" (List.length (AD.deposits ad));
+    let stranded =
+      Exsel_repository.Help_board.stranded (AD.board ad) ~alive:(fun q -> q >= crashed)
+    in
+    Printf.printf "names stranded:        %d (bound n(n-1) = %d)\n"
+      (List.length stranded)
+      (n * (n - 1))
+  end
+  else begin
+    let sd = SD.create mem ~name:"sd" ~n in
+    let procs =
+      Array.init n (fun i ->
+          Runtime.spawn rt ~name:(Printf.sprintf "p%d" i) (fun () ->
+              for v = 1 to per do
+                ignore (SD.deposit sd ~me:i ((100 * i) + v))
+              done))
+    in
+    let rng = Rng.create ~seed in
+    Scheduler.run_for rt ~commits:(100 * n) (Scheduler.random rng);
+    for i = 0 to crashed - 1 do
+      Runtime.crash rt procs.(i)
+    done;
+    Scheduler.run ~max_commits:500_000_000 rt (Scheduler.random rng);
+    let pinned = SD.pinned sd ~alive:(fun q -> q >= crashed) in
+    Printf.printf "selfish repository: n=%d per=%d crashed=%d\n" n per crashed;
+    Printf.printf "registers deposited: %d\n" (List.length (SD.deposits sd));
+    Printf.printf "registers pinned:    %d (bound n-1 = %d)\n" (List.length pinned) (n - 1)
+  end;
+  Format.printf "%a@." Metrics.pp (Metrics.of_runtime rt)
+
+(* ------------------------------------------------------------------ *)
+(* naming subcommand                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let run_naming n per seed =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let un = UN.create mem ~name:"un" ~n in
+  for i = 0 to n - 1 do
+    ignore
+      (Runtime.spawn rt ~name:(Printf.sprintf "p%d" i) (fun () ->
+           for _ = 1 to per do
+             ignore (UN.acquire un ~me:i)
+           done))
+  done;
+  Scheduler.run ~max_commits:500_000_000 rt (Scheduler.random (Rng.create ~seed));
+  let names = UN.committed_names un in
+  let distinct = List.length (List.sort_uniq compare names) = List.length names in
+  Printf.printf "unbounded naming: n=%d per-process=%d\n" n per;
+  Printf.printf "committed: %d  exclusive: %s  high-water: %d\n" (List.length names)
+    (if distinct then "yes" else "NO (BUG)")
+    (List.fold_left max 0 names);
+  List.iter
+    (fun (name, owner) -> Printf.printf "  name %-4d -> p%d\n" name owner)
+    (UN.committed un);
+  if not distinct then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* adversary subcommand                                                *)
+(* ------------------------------------------------------------------ *)
+
+let run_adversary algo k n_names seed =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let rename, m = build_renamer algo mem ~k ~n:k ~n_names ~seed in
+  let spawn v =
+    Runtime.spawn rt ~name:(Printf.sprintf "p%d" v) (fun () -> ignore (rename ~me:v))
+  in
+  let r = Memory.registers mem in
+  let res = Adversary.force rt ~spawn ~n_names ~k ~m ~r in
+  Printf.printf "adversary vs %s: N=%d k=%d r=%d\n"
+    (Format.asprintf "%a" (Cmdliner.Arg.conv_printer algo_conv) algo)
+    n_names k r;
+  List.iter
+    (fun s ->
+      Printf.printf "  stage %d: pool %d -> %d via %s on register %d\n"
+        s.Adversary.index s.Adversary.pool_before s.Adversary.pool_after
+        (match s.Adversary.op_class with `Read -> "reads" | `Write -> "writes")
+        s.Adversary.register)
+    res.Adversary.stages;
+  Printf.printf "forced %d stages (theory %d); bound %d; measured max steps %d\n"
+    res.Adversary.forced_stages res.Adversary.theoretical_stages res.Adversary.bound
+    res.Adversary.max_steps
+
+(* ------------------------------------------------------------------ *)
+(* lease subcommand (long-lived renaming)                              *)
+(* ------------------------------------------------------------------ *)
+
+let run_lease n rounds seed =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let ll = R.Long_lived.create mem ~name:"ll" ~n in
+  let max_seen = ref 0 in
+  let acquires = ref 0 in
+  for i = 0 to n - 1 do
+    ignore
+      (Runtime.spawn rt ~name:(Printf.sprintf "p%d" i) (fun () ->
+           for _ = 1 to rounds do
+             let x = R.Long_lived.acquire ll ~me:i in
+             incr acquires;
+             if x > !max_seen then max_seen := x;
+             R.Long_lived.release ll ~me:i
+           done))
+  done;
+  Scheduler.run ~max_commits:500_000_000 rt (Scheduler.random (Rng.create ~seed));
+  Printf.printf "long-lived renaming: n=%d rounds=%d\n" n rounds;
+  Printf.printf "acquires: %d  max name: %d  (2n-1 = %d)\n" !acquires !max_seen
+    ((2 * n) - 1);
+  Format.printf "%a@." Metrics.pp (Metrics.of_runtime rt)
+
+(* ------------------------------------------------------------------ *)
+(* msgrename subcommand (ABDPR, message passing)                       *)
+(* ------------------------------------------------------------------ *)
+
+let run_msgrename n f crashed seed =
+  let module Mnet = Exsel_msgnet.Mnet in
+  let module Abdpr = Exsel_msgnet.Abdpr_renaming in
+  let net = Abdpr.make_net ~n in
+  let originals = List.init n (fun i -> (i, 1000 + (13 * i))) in
+  let crash_after = List.init crashed (fun i -> (i, 20 + (15 * i))) in
+  let decided =
+    Abdpr.run ~net ~f ~originals ~rng:(Rng.create ~seed) ~crash_after ()
+  in
+  Printf.printf "ABDPR renaming (message passing): n=%d f=%d crashed=%d\n" n f crashed;
+  Printf.printf "original  new-name\n";
+  List.iter (fun (o, nm) -> Printf.printf "%8d  %d\n" o nm) decided;
+  Printf.printf "decided: %d/%d  bound M=(f+1)n=%d  max msgs/proc=%d\n"
+    (List.length decided) n
+    (Abdpr.name_bound ~n ~f)
+    (List.fold_left (fun a p -> max a (Mnet.sent p)) 0 (Mnet.procs net))
+
+(* ------------------------------------------------------------------ *)
+(* explore subcommand (model checking)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_explore target contenders crashes reduce =
+  let open Exsel_sim in
+  let init_compete () =
+    let mem = Memory.create () in
+    let rt = Runtime.create mem in
+    let c = R.Compete.create mem ~name:"c" in
+    let wins = Array.make contenders false in
+    for i = 0 to contenders - 1 do
+      ignore
+        (Runtime.spawn rt ~name:(string_of_int i) (fun () ->
+             wins.(i) <- R.Compete.compete c ~me:i))
+    done;
+    (wins, rt)
+  in
+  let check_compete wins _rt =
+    if (Array.to_list wins |> List.filter Fun.id |> List.length) > 1 then
+      Error "two winners"
+    else Ok ()
+  in
+  let init_splitter () =
+    let mem = Memory.create () in
+    let rt = Runtime.create mem in
+    let s = R.Splitter.create mem ~name:"s" in
+    let outs = Array.make contenders None in
+    for i = 0 to contenders - 1 do
+      ignore
+        (Runtime.spawn rt ~name:(string_of_int i) (fun () ->
+             outs.(i) <- Some (R.Splitter.enter s ~me:i)))
+    done;
+    (outs, rt)
+  in
+  let check_splitter outs _rt =
+    let stops =
+      Array.to_list outs
+      |> List.filter (fun o -> o = Some R.Splitter.Stop)
+      |> List.length
+    in
+    if stops > 1 then Error "two stops" else Ok ()
+  in
+  let reduction = if reduce then `Sleep_sets else `None in
+  let outcome =
+    match target with
+    | "compete" ->
+        Explore.run ~max_crashes:crashes ~reduction ~init:init_compete
+          ~check:check_compete ()
+    | "splitter" ->
+        Explore.run ~max_crashes:crashes ~reduction ~init:init_splitter
+          ~check:check_splitter ()
+    | other ->
+        Printf.eprintf "unknown target %S (compete|splitter)\n" other;
+        exit 2
+  in
+  Printf.printf "model-checked %s with %d contenders (crashes<=%d, reduction=%b)\n"
+    target contenders crashes reduce;
+  Printf.printf "paths: %d  decisions: %d  truncated: %b\n" outcome.Explore.paths
+    outcome.Explore.states outcome.Explore.truncated;
+  match outcome.Explore.failure with
+  | None -> Printf.printf "invariant holds on every explored schedule\n"
+  | Some (msg, sched) ->
+      Printf.printf "VIOLATION: %s via [%s]\n" msg
+        (String.concat "; " (List.map (Format.asprintf "%a" Explore.pp_choice) sched));
+      exit 1
+
+(* ------------------------------------------------------------------ *)
+(* experiments subcommand                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run_experiments only =
+  let tables = E.all () in
+  let tables =
+    match only with
+    | None -> tables
+    | Some id ->
+        List.filter (fun t -> String.uppercase_ascii id = t.Table.id) tables
+  in
+  List.iter Table.print tables
+
+(* ------------------------------------------------------------------ *)
+(* cmdliner wiring                                                     *)
+(* ------------------------------------------------------------------ *)
+
+open Cmdliner
+
+let seed_t =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed (runs are reproducible).")
+
+let k_t = Arg.(value & opt int 8 & info [ "k"; "contention" ] ~docv:"K" ~doc:"Contention bound known to the code.")
+let n_t = Arg.(value & opt int 16 & info [ "n"; "total" ] ~docv:"N" ~doc:"Total number of processes.")
+
+let n_names_t =
+  Arg.(value & opt int 1024 & info [ "names" ] ~docv:"NAMES" ~doc:"Size of the original name space.")
+
+let procs_t =
+  Arg.(value & opt int 8 & info [ "procs" ] ~docv:"P" ~doc:"Number of contending processes to run.")
+
+let crash_t =
+  let crash_conv =
+    let parse s =
+      match String.split_on_char '@' s with
+      | [ pid; commit ] -> (
+          match (int_of_string_opt pid, int_of_string_opt commit) with
+          | Some p, Some c -> Ok (c, p)
+          | _ -> Error (`Msg "expected PID@COMMIT"))
+      | _ -> Error (`Msg "expected PID@COMMIT")
+    in
+    Arg.conv (parse, fun ppf (c, p) -> Format.fprintf ppf "%d@%d" p c)
+  in
+  Arg.(value & opt_all crash_conv [] & info [ "crash" ] ~docv:"PID@COMMIT" ~doc:"Crash process PID just before global commit COMMIT (repeatable).")
+
+let algo_t =
+  Arg.(
+    value
+    & opt algo_conv Adaptive
+    & info [ "algo" ] ~docv:"ALGO"
+        ~doc:
+          "Algorithm: ma, snapshot, majority, basic, polylog, efficient, almost-adaptive, adaptive, chain.")
+
+let rename_cmd =
+  let doc = "run a renaming algorithm and print the assignment" in
+  Cmd.v (Cmd.info "rename" ~doc)
+    Term.(const run_rename $ algo_t $ k_t $ n_t $ n_names_t $ procs_t $ seed_t $ crash_t)
+
+let deposit_cmd =
+  let doc = "run a repository (Selfish- or Altruistic-Deposit) with crashes" in
+  let altruistic =
+    Arg.(value & flag & info [ "altruistic" ] ~doc:"Use the wait-free Altruistic-Deposit.")
+  in
+  let per = Arg.(value & opt int 5 & info [ "per" ] ~docv:"D" ~doc:"Deposits per process.") in
+  let crashed =
+    Arg.(value & opt int 1 & info [ "crashed" ] ~docv:"C" ~doc:"Processes to crash mid-run.")
+  in
+  Cmd.v (Cmd.info "deposit" ~doc)
+    Term.(const run_deposit $ altruistic $ n_t $ per $ crashed $ seed_t)
+
+let naming_cmd =
+  let doc = "acquire unbounded names exclusively (Theorem 10)" in
+  let per = Arg.(value & opt int 5 & info [ "per" ] ~docv:"D" ~doc:"Names per process.") in
+  Cmd.v (Cmd.info "naming" ~doc) Term.(const run_naming $ n_t $ per $ seed_t)
+
+let adversary_cmd =
+  let doc = "drive the lower-bound adversary (Theorem 6) against an algorithm" in
+  Cmd.v (Cmd.info "adversary" ~doc)
+    Term.(const run_adversary $ algo_t $ k_t $ n_names_t $ seed_t)
+
+let lease_cmd =
+  let doc = "run long-lived renaming (acquire/release churn)" in
+  let rounds = Arg.(value & opt int 5 & info [ "rounds" ] ~docv:"R" ~doc:"Acquire/release rounds per process.") in
+  Cmd.v (Cmd.info "lease" ~doc) Term.(const run_lease $ n_t $ rounds $ seed_t)
+
+let msgrename_cmd =
+  let doc = "run the ABDPR message-passing renaming (reference [14])" in
+  let f_t = Arg.(value & opt int 1 & info [ "f"; "faults" ] ~docv:"F" ~doc:"Crash bound, 2f < n.") in
+  let crashed = Arg.(value & opt int 0 & info [ "crashed" ] ~docv:"C" ~doc:"Processes to crash mid-run.") in
+  Cmd.v (Cmd.info "msgrename" ~doc) Term.(const run_msgrename $ n_t $ f_t $ crashed $ seed_t)
+
+let explore_cmd =
+  let doc = "model-check a primitive over every schedule of a small instance" in
+  let target = Arg.(value & pos 0 string "compete" & info [] ~docv:"TARGET" ~doc:"compete or splitter.") in
+  let contenders = Arg.(value & opt int 2 & info [ "contenders" ] ~docv:"K" ~doc:"Concurrent contenders.") in
+  let crashes = Arg.(value & opt int 0 & info [ "crashes" ] ~docv:"C" ~doc:"Crash decisions allowed per schedule.") in
+  let reduce = Arg.(value & flag & info [ "reduce" ] ~doc:"Enable sleep-set partial-order reduction.") in
+  Cmd.v (Cmd.info "explore" ~doc) Term.(const run_explore $ target $ contenders $ crashes $ reduce)
+
+let experiments_cmd =
+  let doc = "regenerate the paper-reproduction tables and figures" in
+  let only =
+    Arg.(value & opt (some string) None & info [ "only" ] ~docv:"ID" ~doc:"Run a single experiment (T1..T9, F1, F2).")
+  in
+  Cmd.v (Cmd.info "experiments" ~doc) Term.(const run_experiments $ only)
+
+let () =
+  let doc = "asynchronous exclusive selection (Chlebus & Kowalski, PODC 2008)" in
+  let info = Cmd.info "exsel" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            rename_cmd;
+            deposit_cmd;
+            naming_cmd;
+            adversary_cmd;
+            lease_cmd;
+            msgrename_cmd;
+            explore_cmd;
+            experiments_cmd;
+          ]))

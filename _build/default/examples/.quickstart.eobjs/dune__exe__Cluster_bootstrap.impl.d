@@ -1,0 +1,1 @@
+examples/cluster_bootstrap.ml: Exsel_msgnet Exsel_sim List Printf

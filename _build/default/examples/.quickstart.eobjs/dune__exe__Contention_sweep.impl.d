@@ -1,0 +1,1 @@
+examples/contention_sweep.ml: Array Exsel_renaming Exsel_sim List Memory Printf Rng Runtime Scheduler

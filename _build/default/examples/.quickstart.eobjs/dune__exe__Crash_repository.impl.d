@@ -1,0 +1,1 @@
+examples/crash_repository.ml: Array Exsel_repository Exsel_sim List Memory Printf Rng Runtime Scheduler

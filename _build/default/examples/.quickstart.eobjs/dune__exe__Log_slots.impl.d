@@ -1,0 +1,1 @@
+examples/log_slots.ml: Exsel_collect Exsel_sim List Memory Printf Rng Runtime Scheduler

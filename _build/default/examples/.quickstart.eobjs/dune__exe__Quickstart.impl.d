@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Exsel_renaming Exsel_sim List Memory Printf Rng Runtime Scheduler

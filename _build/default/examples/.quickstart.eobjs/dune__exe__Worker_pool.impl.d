@@ -1,0 +1,1 @@
+examples/worker_pool.ml: Exsel_renaming Exsel_sim List Memory Printf Rng Runtime Scheduler

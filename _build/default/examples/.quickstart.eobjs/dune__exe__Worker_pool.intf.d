@@ -1,0 +1,1 @@
+examples/worker_pool.mli:

@@ -1,0 +1,37 @@
+(* Cluster bootstrap over a real (simulated) network: nodes with opaque
+   hardware ids join a cluster and must self-assign dense ranks without
+   any coordinator, tolerating node crashes — the original renaming
+   problem of Attiya et al. [14], in the model it was born in.
+
+   Run with:  dune exec examples/cluster_bootstrap.exe *)
+
+module Mnet = Exsel_msgnet.Mnet
+module Abdpr = Exsel_msgnet.Abdpr_renaming
+module Rng = Exsel_sim.Rng
+
+let () =
+  let n = 5 in
+  let f = 2 in
+  (* hardware ids: opaque, sparse, unordered *)
+  let nodes = [ (0, 0xDEAD); (1, 0x0042); (2, 0xBEEF); (3, 0x1234); (4, 0xCAFE) ] in
+  let net = Abdpr.make_net ~n in
+
+  (* node 4 dies during the gossip *)
+  let ranks =
+    Abdpr.run ~net ~f ~originals:nodes ~rng:(Rng.create ~seed:7)
+      ~crash_after:[ (4, 40) ] ()
+  in
+
+  Printf.printf "cluster bootstrap: %d nodes, tolerating f=%d crashes\n\n" n f;
+  Printf.printf "hardware id  ->  rank\n";
+  List.iter
+    (fun (hw, rank) -> Printf.printf "   0x%04X    ->  %d\n" hw rank)
+    (List.sort compare ranks);
+  let crashed = n - List.length ranks in
+  Printf.printf
+    "\n%d node(s) crashed mid-gossip; every survivor self-assigned a rank\n\
+     below (f+1)n = %d using only unordered, unbounded-delay messages —\n\
+     message complexity per node: at most %d sends.\n"
+    crashed
+    (Abdpr.name_bound ~n ~f)
+    (List.fold_left (fun a p -> max a (Mnet.sent p)) 0 (Mnet.procs net))

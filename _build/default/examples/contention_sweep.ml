@@ -1,0 +1,41 @@
+(* Contention sweep: adaptivity in action.
+
+   The same Adaptive-Rename code path is exercised at k = 1, 2, 4, ..., 32
+   contenders.  Neither k nor the identifier range appears in the code;
+   the measured name range and step counts track k, not the system bound
+   n — the substance of Theorem 4.
+
+   Run with:  dune exec examples/contention_sweep.exe *)
+
+open Exsel_sim
+module R = Exsel_renaming
+
+let n = 32
+
+let run_at_contention k =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let a = R.Adaptive_rename.create ~rng:(Rng.create ~seed:(100 + k)) mem ~name:"ad" ~n in
+  let names = Array.make k 0 in
+  for i = 0 to k - 1 do
+    ignore
+      (Runtime.spawn rt ~name:(Printf.sprintf "p%d" i) (fun () ->
+           names.(i) <- R.Adaptive_rename.rename a ~me:(123_456 + (7919 * i))))
+  done;
+  Scheduler.run ~max_commits:100_000_000 rt (Scheduler.random (Rng.create ~seed:k));
+  let max_name = Array.fold_left max 0 names in
+  let max_steps = Runtime.max_steps rt in
+  (max_name, max_steps, R.Adaptive_rename.name_bound_for_contention ~k)
+
+let () =
+  Printf.printf "contention  max name  bound 8k-lgk-1  max steps\n";
+  Printf.printf "-------------------------------------------------\n";
+  List.iter
+    (fun k ->
+      let max_name, max_steps, bound = run_at_contention k in
+      Printf.printf "%10d  %8d  %14d  %9d\n" k max_name bound max_steps)
+    [ 1; 2; 4; 8; 16; 32 ];
+  Printf.printf
+    "\nNames track the *realised* contention k, not the system size n=%d —\n\
+     the code never learns k; that is Theorem 4's adaptivity.\n"
+    n

@@ -1,0 +1,44 @@
+(* Worker pool with leased shard ids: the long-lived renaming extension.
+
+   A dynamic pool of workers processes jobs; each worker leases a dense
+   shard id while busy and releases it when done, so shard ids stay small
+   (proportional to the number of *concurrently* busy workers) no matter
+   how many workers come and go over time.
+
+   Run with:  dune exec examples/worker_pool.exe *)
+
+open Exsel_sim
+module LL = Exsel_renaming.Long_lived
+
+let n = 6 (* max workers ever alive at once *)
+
+let () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let leases = LL.create mem ~name:"shards" ~n in
+  let log = ref [] in
+  let jobs_per_worker = 3 in
+
+  for w = 0 to n - 1 do
+    ignore
+      (Runtime.spawn rt ~name:(Printf.sprintf "worker%d" w) (fun () ->
+           for job = 1 to jobs_per_worker do
+             let shard = LL.acquire leases ~me:w in
+             (* process the job against the leased shard; in a real system
+                this is where the shard-local work happens *)
+             log := (w, job, shard) :: !log;
+             LL.release leases ~me:w
+           done))
+  done;
+  Scheduler.run rt (Scheduler.random (Rng.create ~seed:17));
+
+  let entries = List.rev !log in
+  Printf.printf "worker  job  leased shard\n";
+  List.iter (fun (w, j, s) -> Printf.printf "  w%-4d  #%d   shard %d\n" w j s) entries;
+  let max_shard = List.fold_left (fun a (_, _, s) -> max a s) 0 entries in
+  Printf.printf
+    "\n%d lease operations total, yet every shard id stayed below 2n-1 = %d\n\
+     (max seen: %d) — ids track concurrent holders, not lease history.\n"
+    (List.length entries)
+    ((2 * n) - 1)
+    max_shard

@@ -1,0 +1,1 @@
+lib/collect/store_collect.ml: Array Exsel_renaming Exsel_sim Hashtbl List Printf

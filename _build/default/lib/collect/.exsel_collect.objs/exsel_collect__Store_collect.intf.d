@@ -1,0 +1,1 @@
+lib/collect/store_collect.mli: Exsel_expander Exsel_sim

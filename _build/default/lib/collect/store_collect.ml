@@ -1,0 +1,121 @@
+module Memory = Exsel_sim.Memory
+module Register = Exsel_sim.Register
+module Runtime = Exsel_sim.Runtime
+module R = Exsel_renaming
+
+type rename_engine =
+  | Known of R.Polylog_rename.t * R.Moir_anderson.t  (* polylog + reserve *)
+  | Almost of R.Almost_adaptive.t
+  | Adaptive of R.Adaptive_rename.t
+
+type 'v t = {
+  engine : rename_engine;
+  slots : (int * 'v) option Register.t array;
+  controls : bool Register.t array;  (* controls.(j) fronts interval j *)
+  acquired : (int, int) Hashtbl.t;  (* process identifier -> slot *)
+  slot_registers : int;
+}
+
+(* Interval j covers slots [2^{j+1}-2, 2^{j+2}-3] (lengths 2, 4, 8, ...). *)
+let interval_start j = (1 lsl (j + 1)) - 2
+
+let interval_of_slot s =
+  let rec go j = if s < interval_start (j + 1) then j else go (j + 1) in
+  go 0
+
+let intervals_for m =
+  let rec go j = if interval_start j >= m then j else go (j + 1) in
+  go 1
+
+let make mem ~name ~engine ~slot_count =
+  let slots =
+    Array.init slot_count (fun s ->
+        Register.create mem ~name:(Printf.sprintf "%s.slot%d" name s) None)
+  in
+  let controls =
+    Array.init (intervals_for slot_count) (fun j ->
+        Register.create mem ~name:(Printf.sprintf "%s.ctl%d" name j) false)
+  in
+  {
+    engine;
+    slots;
+    controls;
+    acquired = Hashtbl.create 16;
+    slot_registers = slot_count + Array.length controls;
+  }
+
+let create_known ?params ~rng mem ~name ~k ~inputs =
+  let polylog =
+    R.Polylog_rename.create ?params ~rng mem ~name:(name ^ ".plog") ~k ~inputs
+  in
+  let reserve = R.Moir_anderson.create mem ~name:(name ^ ".reserve") ~side:k in
+  let slot_count =
+    R.Polylog_rename.names polylog + R.Moir_anderson.capacity reserve
+  in
+  make mem ~name ~engine:(Known (polylog, reserve)) ~slot_count
+
+let create_almost ?params ~rng mem ~name ~n ~inputs =
+  let engine = R.Almost_adaptive.create ?params ~rng mem ~name:(name ^ ".aa") ~n ~inputs in
+  (* slots cover every name the engine can assign: all doubling levels plus
+     the reserve grid's n(n+1)/2 names *)
+  let slot_count =
+    R.Almost_adaptive.name_bound_for_contention engine ~k:n + (n * (n + 1) / 2)
+  in
+  make mem ~name ~engine:(Almost engine) ~slot_count
+
+let create_adaptive ?params ~rng mem ~name ~n =
+  let engine = R.Adaptive_rename.create ?params ~rng mem ~name:(name ^ ".ad") ~n in
+  let slot_count =
+    R.Adaptive_rename.name_bound_for_contention ~k:n + (n * (n + 1) / 2)
+  in
+  make mem ~name ~engine:(Adaptive engine) ~slot_count
+
+let acquire_slot t ~me =
+  match t.engine with
+  | Known (polylog, reserve) -> (
+      match R.Polylog_rename.rename polylog ~me with
+      | Some s -> s
+      | None -> (
+          match R.Moir_anderson.rename reserve ~me with
+          | Some w -> R.Polylog_rename.names polylog + w
+          | None ->
+              (* unreachable under the setting's contract (contention <= k) *)
+              assert false))
+  | Almost engine -> R.Almost_adaptive.rename engine ~me
+  | Adaptive engine -> R.Adaptive_rename.rename engine ~me
+
+let store t ~me v =
+  match Hashtbl.find_opt t.acquired me with
+  | Some slot -> Runtime.write t.slots.(slot) (Some (me, v))
+  | None ->
+      let slot = acquire_slot t ~me in
+      assert (slot >= 0 && slot < Array.length t.slots);
+      Hashtbl.replace t.acquired me slot;
+      Runtime.write t.slots.(slot) (Some (me, v));
+      (* raise the controls of every interval up to ours so collectors
+         reach the slot; value first, so a raised control implies the
+         completed store is visible *)
+      for j = 0 to interval_of_slot slot do
+        Runtime.write t.controls.(j) true
+      done
+
+let collect t =
+  let out = ref [] in
+  let m = Array.length t.slots in
+  let rec scan_interval j =
+    if j < Array.length t.controls && Runtime.read t.controls.(j) then begin
+      let lo = interval_start j and hi = min (m - 1) (interval_start (j + 1) - 1) in
+      for s = lo to hi do
+        match Runtime.read t.slots.(s) with
+        | Some (owner, v) -> out := (owner, v) :: !out
+        | None -> ()
+      done;
+      scan_interval (j + 1)
+    end
+  in
+  scan_interval 0;
+  List.rev !out
+
+let slots t = Array.length t.slots
+let slot_of t ~me = Hashtbl.find_opt t.acquired me
+let registers t = t.slot_registers

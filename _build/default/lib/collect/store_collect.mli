@@ -1,0 +1,70 @@
+(** Store&Collect built on renaming (Theorem 5).
+
+    Each process owns one value slot, acquired through a renaming
+    subroutine on its first [store].  Slots are organised in geometric
+    intervals of lengths 2, 4, 8, …, each fronted by a boolean control
+    register; a first store raises the control bits of every interval up
+    to its own, so a collect can scan intervals in order and stop at the
+    first unraised control — reading only an O(k)-length prefix.
+
+    The four knowledge settings of Theorem 5 choose the subroutine:
+    - (i)   [create_known]: k and N known → PolyLog-Rename(k, N);
+    - (ii)  [create_almost] with N = O(n), and
+    - (iii) [create_almost] with N = poly(n): k unknown → Almost-Adaptive(N);
+    - (iv)  [create_adaptive]: neither known → Adaptive-Rename.
+
+    First store: renaming + slot write + O(log k) control writes.
+    Subsequent stores: 1 local step.  Collect: O(k) local steps. *)
+
+type 'v t
+
+val create_known :
+  ?params:Exsel_expander.Params.t ->
+  rng:Exsel_sim.Rng.t ->
+  Exsel_sim.Memory.t ->
+  name:string ->
+  k:int ->
+  inputs:int ->
+  'v t
+(** Setting (i).  Stores must come from at most [k] processes whose
+    identifiers lie in [0 .. inputs−1]. *)
+
+val create_almost :
+  ?params:Exsel_expander.Params.t ->
+  rng:Exsel_sim.Rng.t ->
+  Exsel_sim.Memory.t ->
+  name:string ->
+  n:int ->
+  inputs:int ->
+  'v t
+(** Settings (ii)/(iii).  Identifiers in [0 .. inputs−1]; any contention
+    up to [n]. *)
+
+val create_adaptive :
+  ?params:Exsel_expander.Params.t ->
+  rng:Exsel_sim.Rng.t ->
+  Exsel_sim.Memory.t ->
+  name:string ->
+  n:int ->
+  'v t
+(** Setting (iv).  Identifiers arbitrary; any contention up to [n]. *)
+
+val store : 'v t -> me:int -> 'v -> unit
+(** Propose a value; it replaces the process's previous proposal.  Must be
+    called from inside a runtime process. *)
+
+val collect : 'v t -> (int * 'v) list
+(** All proposals visible so far, as [(identifier, value)] pairs, one per
+    storing process, ordered by slot.  Must be called from inside a
+    runtime process. *)
+
+val slots : 'v t -> int
+(** Slot-space size (the renaming bound [M]); intervals and controls are
+    sized from it. *)
+
+val slot_of : 'v t -> me:int -> int option
+(** The slot a process acquired, if it stored already (test inspection). *)
+
+val registers : 'v t -> int
+(** Registers used by slots and controls (excluding the renaming
+    subroutine's own registers, which the shared memory also counts). *)

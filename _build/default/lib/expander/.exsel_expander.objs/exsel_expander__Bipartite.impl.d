@@ -1,0 +1,1 @@
+lib/expander/bipartite.ml: Array Hashtbl Printf

@@ -1,0 +1,1 @@
+lib/expander/check.ml: Array Bipartite Exsel_sim Hashtbl List

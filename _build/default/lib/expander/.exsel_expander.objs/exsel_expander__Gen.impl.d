@@ -1,0 +1,1 @@
+lib/expander/gen.ml: Array Bipartite Exsel_sim Hashtbl Int64 Params

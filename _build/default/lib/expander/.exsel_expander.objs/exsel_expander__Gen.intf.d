@@ -1,0 +1,1 @@
+lib/expander/gen.mli: Bipartite Exsel_sim Params

@@ -1,0 +1,1 @@
+lib/expander/params.ml: Float

@@ -1,0 +1,127 @@
+module Rng = Exsel_sim.Rng
+
+let check_distinct xs =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      if Hashtbl.mem seen v then
+        invalid_arg "Check: duplicate input in subset"
+      else Hashtbl.add seen v ())
+    xs
+
+(* Count, for every output touched by [xs], how many members are adjacent
+   to it.  Returns the table output -> multiplicity. *)
+let touch_counts g xs =
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun v ->
+      Array.iter
+        (fun w ->
+          let c = try Hashtbl.find counts w with Not_found -> 0 in
+          Hashtbl.replace counts w (c + 1))
+        (Bipartite.neighbours g v))
+    xs;
+  counts
+
+let unique_neighbour_inputs g xs =
+  check_distinct xs;
+  let counts = touch_counts g xs in
+  List.filter
+    (fun v ->
+      Array.exists (fun w -> Hashtbl.find counts w = 1) (Bipartite.neighbours g v))
+    xs
+
+let neighbourhood_size g xs =
+  check_distinct xs;
+  Hashtbl.length (touch_counts g xs)
+
+let majority_ok g xs =
+  let x = List.length xs in
+  let winners = List.length (unique_neighbour_inputs g xs) in
+  2 * winners >= x
+
+let exhaustive_cost ~inputs ~l =
+  (* sum_{x<=l} (inputs choose x), saturating at max_int *)
+  let rec go x acc binom =
+    if x > l then acc
+    else
+      let binom =
+        if x = 0 then 1
+        else
+          let num = binom * (inputs - x + 1) in
+          if num < 0 then max_int else num / x
+      in
+      let acc = if acc > max_int - binom then max_int else acc + binom in
+      if binom = max_int then max_int else go (x + 1) acc binom
+  in
+  go 0 0 1
+
+let verify_exhaustive g ~l =
+  let n = Bipartite.inputs g in
+  let violation = ref None in
+  (* enumerate subsets of size <= l by recursive choice *)
+  let rec go start chosen size =
+    match !violation with
+    | Some _ -> ()
+    | None ->
+        if size > 0 && not (majority_ok g chosen) then violation := Some chosen
+        else if size < l then
+          for v = start to n - 1 do
+            go (v + 1) (v :: chosen) (size + 1)
+          done
+  in
+  go 0 [] 0;
+  match !violation with None -> Ok () | Some xs -> Error xs
+
+let random_subset rng n size =
+  let all = Array.init n (fun i -> i) in
+  Rng.shuffle rng all;
+  Array.to_list (Array.sub all 0 size)
+
+let verify_sampled rng g ~l ~trials =
+  let n = Bipartite.inputs g in
+  let size = min l n in
+  let rec go t =
+    if t = 0 then Ok ()
+    else
+      let xs = random_subset rng n size in
+      if majority_ok g xs then go (t - 1) else Error xs
+  in
+  go trials
+
+(* Local search: starting from a random subset, repeatedly swap a member for
+   an outsider if the swap lowers the unique-neighbour count. *)
+let verify_greedy_adversarial g ~l ~restarts ~seed =
+  let n = Bipartite.inputs g in
+  let size = min l n in
+  let rng = Rng.create ~seed in
+  let score xs = List.length (unique_neighbour_inputs g xs) in
+  let improve xs =
+    let best = ref (score xs, xs) in
+    let try_swap out_v in_v =
+      let cand = in_v :: List.filter (fun v -> v <> out_v) xs in
+      let s = score cand in
+      if s < fst !best then best := (s, cand)
+    in
+    (* probe a bounded number of random swaps to keep the search cheap *)
+    for _ = 1 to 32 + (4 * size) do
+      let out_v = List.nth xs (Rng.int rng size) in
+      let in_v = Rng.int rng n in
+      if not (List.mem in_v xs) then try_swap out_v in_v
+    done;
+    !best
+  in
+  let rec descend xs s rounds =
+    if rounds = 0 then (s, xs)
+    else
+      let s', xs' = improve xs in
+      if s' < s then descend xs' s' (rounds - 1) else (s, xs)
+  in
+  let rec go r =
+    if r = 0 then Ok ()
+    else
+      let xs = random_subset rng n size in
+      let _, worst = descend xs (score xs) 20 in
+      if majority_ok g worst then go (r - 1) else Error worst
+  in
+  go restarts

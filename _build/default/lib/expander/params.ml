@@ -1,0 +1,37 @@
+type t = {
+  degree_factor : float;
+  width_factor : float;
+  min_degree : int;
+  width_floor : int;
+}
+
+let paper =
+  { degree_factor = 4.0; width_factor = 12.0 *. exp 4.0; min_degree = 1; width_floor = 1 }
+
+(* Dimensioning heuristic behind the practical preset: with x ≤ L active
+   inputs, the expected load on an output is λ = xΔ/|W| ≤
+   degree_factor/width_factor per lg-unit; an output adjacent to an active
+   input is its unique neighbour with probability ≈ e^{-λ}, so an input has
+   one with probability ≈ 1 − (1 − e^{-λ})^Δ.  With λ ≤ 1.6 and Δ ≥ 4 this
+   stays well above 1/2 in expectation; Majority.create additionally
+   certifies each sampled graph and resamples on failure. *)
+let practical = { degree_factor = 4.0; width_factor = 2.5; min_degree = 4; width_floor = 3 }
+
+(* Deliberately marginal dimensioning: majority holds by a thin margin, so
+   the per-stage halving of Lemma 5 is visible instead of every stage
+   renaming everyone.  Used by the F1 experiment. *)
+let tight = { degree_factor = 2.0; width_factor = 1.0; min_degree = 2; width_floor = 2 }
+
+let lg_ratio ~inputs ~l =
+  if inputs <= 0 || l <= 0 then invalid_arg "Params.lg_ratio: positive sizes required";
+  Float.max 1.0 (Float.log2 (float_of_int inputs /. float_of_int l))
+
+(* Δ is additionally capped at the output width by Gen.sample, since
+   neighbours are distinct outputs. *)
+let degree t ~inputs ~l =
+  let d = int_of_float (Float.ceil (t.degree_factor *. lg_ratio ~inputs ~l)) in
+  max t.min_degree d
+
+let width t ~inputs ~l =
+  let w = int_of_float (Float.ceil (t.width_factor *. float_of_int l *. lg_ratio ~inputs ~l)) in
+  max (t.width_floor * l) w

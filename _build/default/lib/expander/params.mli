@@ -1,0 +1,40 @@
+(** Expander dimensioning constants.
+
+    Lemma 3 of the paper fixes input-degree Δ = 4 lg(|V|/L) and output width
+    |W| = 12e⁴ · L · lg(|V|/L).  The 12e⁴ ≈ 655 constant makes name ranges
+    astronomically large; it exists to push the union bound of the
+    probabilistic argument below 1.  We expose both the paper's constants
+    and a practical preset whose sampled graphs are verified (exhaustively
+    for small instances, statistically otherwise) by {!Check}. *)
+
+type t = {
+  degree_factor : float;  (** Δ = max(min_degree, ⌈degree_factor · lg(N/L)⌉) *)
+  width_factor : float;  (** |W| = max(width_floor·L, ⌈width_factor · L · lg(N/L)⌉) *)
+  min_degree : int;  (** lower bound on Δ, ≥ 1 *)
+  width_floor : int;  (** |W| ≥ width_floor · L *)
+}
+
+val paper : t
+(** Lemma 3 verbatim: degree_factor 4, width_factor 12e⁴. *)
+
+val practical : t
+(** Scaled-down constants (degree_factor 4, width_factor 2.5, with floors)
+    giving name ranges usable in experiments; sampled graphs are certified
+    and resampled by [Majority.create].  DESIGN.md, Substitution 1. *)
+
+val tight : t
+(** Deliberately marginal constants (majority holds by a thin margin) used
+    by experiments that want to observe Lemma 5's per-stage halving rather
+    than full-stage success. *)
+
+val degree : t -> inputs:int -> l:int -> int
+(** The input degree Δ for a graph over [inputs] names with contention
+    budget [l]. *)
+
+val width : t -> inputs:int -> l:int -> int
+(** The output count |W| (the bound [M] on new names of one Majority
+    instance). *)
+
+val lg_ratio : inputs:int -> l:int -> float
+(** [max 1 (lg (inputs / l))], the lg(N/L) term, floored at 1 so degenerate
+    ranges keep positive degree. *)

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array Exsel_collect Exsel_expander Exsel_lowerbound Exsel_msgnet Exsel_renaming Exsel_repository Exsel_sim Fun List Memory Metrics Printf Rng Runtime Scheduler Table

@@ -1,0 +1,48 @@
+type t = {
+  id : string;
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let make ~id ~title ~header ?(notes = []) rows = { id; title; header; rows; notes }
+
+let render t =
+  let all = t.header :: t.rows in
+  let cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some s -> max acc (String.length s)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let line row =
+    List.mapi (fun c w -> pad (Option.value ~default:"" (List.nth_opt row c)) w) widths
+    |> String.concat "  "
+  in
+  let rule =
+    String.concat "--" (List.map (fun w -> String.make w '-') widths)
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "== %s: %s ==\n" t.id t.title);
+  Buffer.add_string buf (line t.header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (line r);
+      Buffer.add_char buf '\n')
+    t.rows;
+  List.iter (fun n -> Buffer.add_string buf ("   " ^ n ^ "\n")) t.notes;
+  Buffer.contents buf
+
+let print t = print_string (render t); print_newline ()
+
+let cell_int = string_of_int
+let cell_float f = Printf.sprintf "%.2f" f

@@ -1,0 +1,22 @@
+(** Plain-text tables for the experiment harness. *)
+
+type t = {
+  id : string;  (** experiment id, e.g. "T2" *)
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;  (** shape commentary printed under the table *)
+}
+
+val make :
+  id:string -> title:string -> header:string list -> ?notes:string list ->
+  string list list -> t
+
+val render : t -> string
+(** Column-aligned rendering with a title rule and notes. *)
+
+val print : t -> unit
+
+val cell_int : int -> string
+val cell_float : float -> string
+(** Two-decimal rendering. *)

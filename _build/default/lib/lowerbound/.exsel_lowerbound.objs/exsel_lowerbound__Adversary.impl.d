@@ -1,0 +1,1 @@
+lib/lowerbound/adversary.ml: Array Exsel_renaming Exsel_sim Hashtbl List

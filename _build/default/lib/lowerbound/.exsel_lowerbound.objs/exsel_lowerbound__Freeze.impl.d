@@ -1,0 +1,1 @@
+lib/lowerbound/freeze.ml: Exsel_repository Exsel_sim List Printf

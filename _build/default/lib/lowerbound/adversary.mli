@@ -1,0 +1,53 @@
+(** The lower-bound adversary of Theorems 6 and 7, as an executable driver.
+
+    The proof constructs an execution stage by stage: keep a pool of
+    processes with identical histories; at each stage look at the pending
+    operations of the pool, keep the majority class (reads or writes),
+    focus on the most-contended register — by pigeonhole the pool shrinks
+    by a factor of at most 2r — schedule exactly those operations, and
+    absorb the last writer into a residue.  After
+    t = min\{k−2, log₂ᵣ(N/2M)\} stages the surviving pool still has 2M
+    processes with identical read histories, at most M names to decide
+    among, and a residue of at most k−2 writers: some process must take at
+    least one more step, i.e. 1 + t in total.
+
+    This module replays the construction against {e any} algorithm running
+    in our runtime (whose pending operations are exactly the visibility
+    the proof needs) and reports what it forced. *)
+
+type stage = {
+  index : int;
+  pool_before : int;
+  op_class : [ `Read | `Write ];
+  register : int;  (** id of the most-contended register *)
+  pool_after : int;
+}
+
+type result = {
+  stages : stage list;
+  forced_stages : int;  (** stages driven, ≤ the theorem's t *)
+  theoretical_stages : int;  (** t = min\{k−2, ⌊log₂ᵣ(N/2M)⌋\} *)
+  bound : int;  (** 1 + t, the step lower bound *)
+  pool_final : int;
+  residue : int;
+  max_steps : int;  (** measured max local steps after completion *)
+}
+
+val force :
+  ?stage_budget:int ->
+  Exsel_sim.Runtime.t ->
+  spawn:(int -> Exsel_sim.Runtime.proc) ->
+  n_names:int ->
+  k:int ->
+  m:int ->
+  r:int ->
+  result
+(** [force rt ~spawn ~n_names ~k ~m ~r] spawns one process per original
+    name in [0 .. n_names−1] via [spawn], drives the staged construction,
+    crashes everything outside the final pool and residue, completes the
+    survivors (round-robin) and reports the forced step counts.  [m] and
+    [r] are the algorithm's name bound and register count, used for the
+    theoretical stage budget.  [stage_budget] overrides that budget —
+    Theorem 7's store variant passes
+    [Spec.store_lower_bound ~k ~n_names ~r - 1] here, since its recursion
+    stops at [min{k−2, ⌈log₂ᵣ(N/k)⌉}] stages instead. *)

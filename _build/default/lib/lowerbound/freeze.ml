@@ -1,0 +1,92 @@
+module Memory = Exsel_sim.Memory
+module Register = Exsel_sim.Register
+module Runtime = Exsel_sim.Runtime
+module Scheduler = Exsel_sim.Scheduler
+module Rng = Exsel_sim.Rng
+module SD = Exsel_repository.Selfish_deposit
+module DA = Exsel_repository.Deposit_array
+
+type result = {
+  frozen_register : int;
+  others_deposits : int;
+  untouched_while_frozen : bool;
+  deposit_completed_after_thaw : bool;
+}
+
+(* Identify the deposit-register ids currently allocated. *)
+let deposit_reg_ids regs =
+  List.init (DA.allocated regs) (fun i -> Register.id (DA.get regs i))
+
+let index_of_reg regs reg_id =
+  let rec go i =
+    if i >= DA.allocated regs then None
+    else if Register.id (DA.get regs i) = reg_id then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let corollary2 ~n ~deposits_per_other ~seed =
+  if n < 2 then invalid_arg "Freeze.corollary2: n must be at least 2";
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let sd = SD.create mem ~name:"sd" ~n in
+  (* The victim performs one deposit; we advance it alone until its
+     pending operation is a write to a dedicated deposit register — the
+     instant the paper freezes. *)
+  let victim = Runtime.spawn rt ~name:"victim" (fun () -> ignore (SD.deposit sd ~me:0 999)) in
+  let regs = SD.registers sd in
+  let rec advance () =
+    match Runtime.pending victim with
+    | Some (Runtime.Write reg_id) when List.mem reg_id (deposit_reg_ids regs) ->
+        reg_id
+    | Some _ ->
+        Runtime.commit rt victim;
+        advance ()
+    | None -> invalid_arg "Freeze.corollary2: victim finished without depositing"
+  in
+  let frozen_reg_id = advance () in
+  let frozen_index =
+    match index_of_reg regs frozen_reg_id with
+    | Some i -> i
+    | None -> assert false
+  in
+  (* watch for any write to the frozen register while the victim sleeps *)
+  let touched = ref false in
+  Runtime.on_commit rt (fun p op ->
+      match op with
+      | Runtime.Write r when r = frozen_reg_id && Runtime.pid p <> Runtime.pid victim ->
+          touched := true
+      | Runtime.Write _ | Runtime.Read _ -> ());
+  (* the other processes deposit freely *)
+  let completed = ref 0 in
+  for i = 1 to n - 1 do
+    ignore
+      (Runtime.spawn rt ~name:(Printf.sprintf "p%d" i) (fun () ->
+           for v = 1 to deposits_per_other do
+             ignore (SD.deposit sd ~me:i ((100 * i) + v));
+             incr completed
+           done))
+  done;
+  let others p = Runtime.pid p <> Runtime.pid victim in
+  let rng = Rng.create ~seed in
+  let policy t =
+    match List.filter others (Runtime.runnable t) with
+    | [] -> None
+    | ps -> Some (List.nth ps (Rng.int rng (List.length ps)))
+  in
+  Runtime.run ~max_commits:200_000_000 rt policy;
+  let untouched_while_frozen =
+    (not !touched) && DA.value regs frozen_index = None
+  in
+  (* thaw: the victim's pending write commits and must land cleanly *)
+  Scheduler.run rt (Scheduler.round_robin ());
+  let deposit_completed_after_thaw =
+    Runtime.status victim = Runtime.Done
+    && DA.value regs frozen_index = Some 999
+  in
+  {
+    frozen_register = frozen_index;
+    others_deposits = !completed;
+    untouched_while_frozen;
+    deposit_completed_after_thaw;
+  }

@@ -1,0 +1,29 @@
+(** Corollary 2's optimality argument, executably.
+
+    The paper shows no repository implementation can waste fewer than
+    [n − 1] registers: freeze a process at the instant its deposit write
+    to register [R] is {e enabled but not yet committed}.  No other
+    process may ever deposit into [R] — if some process did and
+    acknowledged, un-freezing the pending write would overwrite a
+    deposited value, contradicting Persistence.  So a crash at that
+    instant pins [R] forever, and [n − 1] crashes pin [n − 1] registers.
+
+    [corollary2] replays this construction against our Selfish-Deposit:
+    it drives a victim until its deposit write is pending, freezes it,
+    lets the other processes deposit arbitrarily often, and reports
+    whether the frozen register stayed untouched — and that un-freezing
+    afterwards completes the deposit without any overwrite. *)
+
+type result = {
+  frozen_register : int;  (** index of the register pinned by the freeze *)
+  others_deposits : int;  (** deposits completed by the other processes *)
+  untouched_while_frozen : bool;  (** nobody wrote it while frozen *)
+  deposit_completed_after_thaw : bool;
+      (** the victim's write landed cleanly when resumed *)
+}
+
+val corollary2 :
+  n:int -> deposits_per_other:int -> seed:int -> result
+(** Run the construction with [n] processes ([n ≥ 2]); the victim is
+    process 0, the other [n − 1] each deposit [deposits_per_other]
+    values while the victim is frozen. *)

@@ -1,0 +1,1 @@
+lib/msgnet/abdpr_renaming.ml: Array Exsel_sim Int List Mnet Set

@@ -1,0 +1,1 @@
+lib/msgnet/abdpr_renaming.mli: Exsel_sim Mnet

@@ -1,0 +1,1 @@
+lib/msgnet/mnet.ml: Array Effect Exsel_sim Fun List

@@ -1,0 +1,1 @@
+lib/msgnet/mnet.mli: Exsel_sim

@@ -1,0 +1,101 @@
+module Rng = Exsel_sim.Rng
+module IntSet = Set.Make (Int)
+
+type message = { view : IntSet.t }
+
+let make_net ~n : message Mnet.t = Mnet.create ~n
+
+let name_bound ~n ~f = (f + 1) * n
+
+(* Decide the new name from a stable set: sizes range over
+   [n-f .. n] and the rank of the own name within the set over
+   [1 .. |V|]; the lexicographic pair maps injectively below (f+1)n. *)
+let name_of ~n ~f ~view ~orig =
+  let sorted = IntSet.elements view in
+  let rank =
+    let rec go i = function
+      | [] -> invalid_arg "Abdpr: own name missing from stable set"
+      | x :: rest -> if x = orig then i else go (i + 1) rest
+    in
+    go 1 sorted
+  in
+  ((IntSet.cardinal view - (n - f)) * n) + rank - 1
+
+let body net ~n ~f ~me ~orig ~(decide : int -> unit) () =
+  let view = ref (IntSet.singleton orig) in
+  (* last set reported by each slot (self included) *)
+  let last_report = Array.make n IntSet.empty in
+  last_report.(me) <- !view;
+  Mnet.broadcast net { view = !view };
+  let decided = ref false in
+  let check_stability () =
+    if not !decided then begin
+      let reporters =
+        Array.to_list last_report
+        |> List.filter (fun r -> IntSet.equal r !view)
+        |> List.length
+      in
+      if reporters >= n - f then begin
+        decided := true;
+        decide (name_of ~n ~f ~view:!view ~orig)
+      end
+    end
+  in
+  check_stability ();
+  (* Serve forever: even after deciding, keep merging and echoing so that
+     slower processes can stabilise.  The process parks in [receive] once
+     the protocol quiesces. *)
+  let rec serve () =
+    let from, { view = v' } = Mnet.receive net in
+    (* channels are unordered, but a sender's reports form a chain, so the
+       union reconstructs its latest report even under reordering *)
+    last_report.(from) <- IntSet.union last_report.(from) v';
+    if not (IntSet.subset v' !view) then begin
+      view := IntSet.union !view v';
+      last_report.(me) <- !view;
+      Mnet.broadcast net { view = !view }
+    end;
+    check_stability ();
+    serve ()
+  in
+  serve ()
+
+let run ~net ~f ~originals ~rng ?(crash_after = []) () =
+  let n = Mnet.n net in
+  if f < 0 || 2 * f >= n then invalid_arg "Abdpr.run: need 0 <= f and 2f < n";
+  if List.length originals > n then invalid_arg "Abdpr.run: too many processes";
+  let distinct l = List.length (List.sort_uniq compare l) = List.length l in
+  if not (distinct (List.map snd originals) && distinct (List.map fst originals))
+  then invalid_arg "Abdpr.run: slots and original names must be distinct";
+  let decisions = ref [] in
+  let members =
+    List.map
+      (fun (slot, orig) ->
+        let p =
+          Mnet.spawn net ~me:slot
+            (body net ~n ~f ~me:slot ~orig ~decide:(fun name ->
+                 decisions := (orig, name) :: !decisions))
+        in
+        (slot, p))
+      originals
+  in
+  (* random adversary with a crash plan counted in global events *)
+  let events = ref 0 in
+  let plan = ref crash_after in
+  let rec drive () =
+    let due, later = List.partition (fun (_, c) -> c <= !events) !plan in
+    plan := later;
+    List.iter
+      (fun (slot, _) ->
+        match List.assoc_opt slot members with
+        | Some p -> Mnet.crash net p
+        | None -> ())
+      due;
+    if Mnet.step_random net rng then begin
+      incr events;
+      if !events > 10_000_000 then raise Exsel_sim.Runtime.Stalled;
+      drive ()
+    end
+  in
+  drive ();
+  List.rev !decisions

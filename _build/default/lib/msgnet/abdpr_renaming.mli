@@ -1,0 +1,46 @@
+(** Renaming in asynchronous message passing — where the problem began.
+
+    The stable-vectors renaming of Attiya, Bar-Noy, Dolev, Peleg and
+    Reischuk (JACM 1990; the paper's reference [14]): [n] processes with
+    original names from an unbounded domain, at most [f < n/2] crashes.
+    Each process repeatedly broadcasts the set of original names it has
+    heard of and merges incoming sets; when [n − f] processes (itself
+    included) have last reported {e exactly} its current set [V], the set
+    is {e stable} and the process decides.
+
+    Because any two stable sets are reported by majorities that intersect
+    in a process whose reports grow monotonically, stable sets form a
+    chain under inclusion; hence the pair [(|V|, rank of own name in V)]
+    is unique per decider and we map it to the integer
+    [(|V| − (n − f))·n + rank − 1].  This simple mapping yields
+    [M = (f + 1)·n] names; the cited paper refines it to the optimal
+    [M = n + f], a refinement we do not reproduce (DESIGN.md,
+    Substitution 5).  Deciders keep echoing so slower processes also
+    stabilise, as the model requires. *)
+
+type message
+(** The view-exchange message (a set of original names). *)
+
+val make_net : n:int -> message Mnet.t
+(** A network carrying this algorithm's messages. *)
+
+val run :
+  net:message Mnet.t ->
+  f:int ->
+  originals:(int * int) list ->
+  rng:Exsel_sim.Rng.t ->
+  ?crash_after:(int * int) list ->
+  unit ->
+  (int * int) list
+(** [run ~net ~f ~originals ~rng ()] spawns one process per
+    [(slot, original_name)] pair (original names must be distinct and
+    non-negative), drives the network with a random adversary — crashing
+    slot [s] after the [c]-th global event for each [(s, c)] in
+    [crash_after] — and returns the decided [(original_name, new_name)]
+    pairs.  With at most [f] crashes every surviving process decides;
+    names are exclusive and lie below [(f + 1)·n].
+    @raise Invalid_argument unless [0 ≤ f] and [2f < n]. *)
+
+val name_bound : n:int -> f:int -> int
+(** The implemented mapping's bound [M = (f+1)·n].  (The cited paper's
+    refined mapping achieves [n + f].) *)

@@ -1,0 +1,184 @@
+module Rng = Exsel_sim.Rng
+
+type status = Running | Waiting | Done | Crashed
+
+exception Crash_signal
+
+(* A suspended operation.  All message typing lives inside the closures,
+   which capture the (typed) network the effect was performed on; the
+   scheduler only sees kinds and counts. *)
+type pending =
+  | Send_pending of { to_ : int; commit : unit -> unit; kill : unit -> unit }
+  | Recv_pending of {
+      available : unit -> int;  (* current in-flight count for this proc *)
+      commit : int -> unit;  (* deliver the message at this queue index *)
+      kill : unit -> unit;
+    }
+
+type proc = {
+  pid : int;
+  mutable status : status;
+  mutable pending : pending option;
+  mutable sent : int;
+  mutable received : int;
+}
+
+type 'm t = {
+  size : int;
+  members : proc option array;
+  inboxes : (int * 'm) list array;  (* in-flight (sender, message) per dest *)
+}
+
+type _ Effect.t +=
+  | E_send : ('m t * int * 'm) -> unit Effect.t
+  | E_recv : 'm t -> (int * 'm) Effect.t
+
+let create ~n =
+  if n <= 0 then invalid_arg "Mnet.create: n must be positive";
+  { size = n; members = Array.make n None; inboxes = Array.make n [] }
+
+let n t = t.size
+
+let send t ~to_ msg =
+  if to_ < 0 || to_ >= t.size then invalid_arg "Mnet.send: bad destination";
+  Effect.perform (E_send (t, to_, msg))
+
+let broadcast t msg =
+  for q = 0 to t.size - 1 do
+    send t ~to_:q msg
+  done
+
+let receive t = Effect.perform (E_recv t)
+
+let spawn t ~me body =
+  if me < 0 || me >= t.size then invalid_arg "Mnet.spawn: bad slot";
+  (match t.members.(me) with
+  | Some _ -> invalid_arg "Mnet.spawn: slot already occupied"
+  | None -> ());
+  let p = { pid = me; status = Running; pending = None; sent = 0; received = 0 } in
+  t.members.(me) <- Some p;
+  let open Effect.Deep in
+  let handler : (unit, unit) handler =
+    {
+      retc =
+        (fun () ->
+          p.status <- Done;
+          p.pending <- None);
+      exnc =
+        (fun e ->
+          match e with
+          | Crash_signal ->
+              p.status <- Crashed;
+              p.pending <- None
+          | e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | E_send (net, to_, msg) ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  p.status <- Running;
+                  p.pending <-
+                    Some
+                      (Send_pending
+                         {
+                           to_;
+                           commit =
+                             (fun () ->
+                               p.pending <- None;
+                               p.sent <- p.sent + 1;
+                               net.inboxes.(to_) <-
+                                 net.inboxes.(to_) @ [ (p.pid, msg) ];
+                               continue k ());
+                           kill = (fun () -> discontinue k Crash_signal);
+                         }))
+          | E_recv net ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  p.status <- Waiting;
+                  p.pending <-
+                    Some
+                      (Recv_pending
+                         {
+                           available = (fun () -> List.length net.inboxes.(p.pid));
+                           commit =
+                             (fun index ->
+                               let inbox = net.inboxes.(p.pid) in
+                               if index < 0 || index >= List.length inbox then
+                                 invalid_arg "Mnet: delivery index out of range";
+                               let msg = List.nth inbox index in
+                               net.inboxes.(p.pid) <-
+                                 List.filteri (fun i _ -> i <> index) inbox;
+                               p.pending <- None;
+                               p.received <- p.received + 1;
+                               p.status <- Running;
+                               continue k msg);
+                           kill = (fun () -> discontinue k Crash_signal);
+                         }))
+          | _ -> None);
+    }
+  in
+  match_with body () handler;
+  p
+
+let procs t =
+  Array.to_list t.members |> List.filter_map Fun.id
+
+let pid p = p.pid
+let status p = p.status
+let sent p = p.sent
+let received p = p.received
+
+let in_flight t ~to_ = List.length t.inboxes.(to_)
+
+let crash t p =
+  match (p.status, p.pending) with
+  | (Running | Waiting), Some (Send_pending { kill; _ })
+  | (Running | Waiting), Some (Recv_pending { kill; _ }) ->
+      p.pending <- None;
+      kill ();
+      t.inboxes.(p.pid) <- []
+  | (Running | Waiting), None ->
+      p.status <- Crashed;
+      t.inboxes.(p.pid) <- []
+  | (Done | Crashed), _ -> ()
+
+(* A committable event: a pending send taking effect, or one specific
+   in-flight message delivered to a waiting receiver. *)
+let events t =
+  List.concat_map
+    (fun p ->
+      match (p.status, p.pending) with
+      | Running, Some (Send_pending _) -> [ (p, 0) ]
+      | Waiting, Some (Recv_pending { available; _ }) ->
+          List.init (available ()) (fun i -> (p, i))
+      | _ -> [])
+    (procs t)
+
+let quiescent t = events t = []
+
+let commit_event (p, index) =
+  match p.pending with
+  | Some (Send_pending { commit; _ }) -> commit ()
+  | Some (Recv_pending { commit; _ }) -> commit index
+  | None -> invalid_arg "Mnet: no pending operation"
+
+let step_random t rng =
+  match events t with
+  | [] -> false
+  | evs ->
+      commit_event (List.nth evs (Rng.int rng (List.length evs)));
+      true
+
+let run_random ?(max_events = 10_000_000) t rng =
+  let budget = ref max_events in
+  let rec loop () =
+    match events t with
+    | [] -> ()
+    | evs ->
+        if !budget <= 0 then raise Exsel_sim.Runtime.Stalled;
+        decr budget;
+        commit_event (List.nth evs (Rng.int rng (List.length evs)));
+        loop ()
+  in
+  loop ()

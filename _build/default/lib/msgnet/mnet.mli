@@ -1,0 +1,80 @@
+(** Asynchronous message-passing simulator.
+
+    The model in which renaming was introduced (Attiya, Bar-Noy, Dolev,
+    Peleg and Reischuk, JACM 1990 — the paper's reference [14]): [n]
+    processes, point-to-point channels with unbounded delays and no order
+    guarantees, up to [f] crash failures.  This simulator mirrors
+    {!Exsel_sim.Runtime} for the message world: processes are direct-style
+    OCaml suspended at every [send]/[receive]; an adversarial scheduler
+    decides when sends take effect and which in-flight message a receive
+    consumes, so every asynchronous execution is reachable and runs are
+    reproducible from a seed.
+
+    Complexity accounting: [sent] and [received] count per-process message
+    events (message complexity), the standard measure in this model. *)
+
+type 'm t
+(** A network carrying messages of type ['m]. *)
+
+type proc
+
+type status =
+  | Running  (** has a pending send awaiting commit *)
+  | Waiting  (** blocked in [receive] *)
+  | Done
+  | Crashed
+
+val create : n:int -> 'm t
+(** [n] process slots, empty channels. *)
+
+val n : 'm t -> int
+
+val spawn : 'm t -> me:int -> (unit -> unit) -> proc
+(** Install the process for slot [me] (at most one per slot).  Like
+    {!Exsel_sim.Runtime.spawn}, the body runs to its first operation. *)
+
+(** {2 Operations inside process bodies} *)
+
+val send : 'm t -> to_:int -> 'm -> unit
+(** Asynchronously send; the message enters the channel when the scheduler
+    commits the operation. *)
+
+val broadcast : 'm t -> 'm -> unit
+(** Send to every slot, including the caller ([n] operations). *)
+
+val receive : 'm t -> int * 'm
+(** Block until the scheduler delivers some in-flight message addressed to
+    the caller; returns [(sender, message)].  Channels are unordered: any
+    in-flight message may arrive. *)
+
+(** {2 Scheduling} *)
+
+val procs : 'm t -> proc list
+val pid : proc -> int
+val status : proc -> status
+val sent : proc -> int
+val received : proc -> int
+
+val in_flight : 'm t -> to_:int -> int
+(** Number of undelivered messages addressed to a slot. *)
+
+val crash : 'm t -> proc -> unit
+(** Crash: the process takes no further events; messages it already sent
+    remain in flight (asynchronous network), undelivered messages to it
+    are discarded. *)
+
+val step_random : 'm t -> Exsel_sim.Rng.t -> bool
+(** Commit one uniformly chosen committable event; [false] if none was
+    possible.  Building block for custom drivers (crash schedules etc.). *)
+
+val run_random :
+  ?max_events:int -> 'm t -> Exsel_sim.Rng.t -> unit
+(** Drive the network to quiescence under a uniformly random adversary:
+    at each point pick uniformly among committable events (a pending send
+    taking effect, or the delivery of one specific in-flight message).
+    Stops when no event is possible — all processes done/crashed, or the
+    rest blocked on empty channels.  [max_events] (default 10⁷) guards
+    against livelock; exceeding it raises {!Exsel_sim.Runtime.Stalled}. *)
+
+val quiescent : 'm t -> bool
+(** No committable event remains. *)

@@ -1,0 +1,1 @@
+lib/renaming/adaptive_rename.ml: Array Efficient_rename Exsel_sim Moir_anderson Name_range Printf

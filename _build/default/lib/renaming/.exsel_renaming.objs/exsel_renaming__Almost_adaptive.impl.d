@@ -1,0 +1,1 @@
+lib/renaming/almost_adaptive.ml: Array Exsel_sim Moir_anderson Name_range Polylog_rename Printf

@@ -1,0 +1,1 @@
+lib/renaming/almost_adaptive.mli: Exsel_expander Exsel_sim

@@ -1,0 +1,1 @@
+lib/renaming/attiya_renaming.ml: Array Exsel_sim Exsel_snapshot List

@@ -1,0 +1,1 @@
+lib/renaming/attiya_renaming.mli: Exsel_sim

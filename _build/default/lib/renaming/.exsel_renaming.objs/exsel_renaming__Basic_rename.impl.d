@@ -1,0 +1,1 @@
+lib/renaming/basic_rename.ml: Array Exsel_expander Exsel_sim List Majority Name_range Printf

@@ -1,0 +1,1 @@
+lib/renaming/basic_rename.mli: Exsel_expander Exsel_sim

@@ -1,0 +1,1 @@
+lib/renaming/chain_rename.ml: Array Compete Printf

@@ -1,0 +1,1 @@
+lib/renaming/compete.ml: Exsel_sim

@@ -1,0 +1,1 @@
+lib/renaming/compete.mli: Exsel_sim

@@ -1,0 +1,1 @@
+lib/renaming/efficient_rename.mli: Exsel_expander Exsel_sim

@@ -1,0 +1,1 @@
+lib/renaming/is_rename.ml: Exsel_sim Exsel_snapshot List

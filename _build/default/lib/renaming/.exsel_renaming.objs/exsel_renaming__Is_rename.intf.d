@@ -1,0 +1,1 @@
+lib/renaming/is_rename.mli: Exsel_sim

@@ -1,0 +1,1 @@
+lib/renaming/long_lived.ml: Array Exsel_sim Exsel_snapshot List

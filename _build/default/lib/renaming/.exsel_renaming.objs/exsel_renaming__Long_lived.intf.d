@@ -1,0 +1,1 @@
+lib/renaming/long_lived.mli: Exsel_sim

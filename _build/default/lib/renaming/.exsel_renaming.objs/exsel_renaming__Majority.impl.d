@@ -1,0 +1,1 @@
+lib/renaming/majority.ml: Array Compete Exsel_expander Exsel_sim Printf

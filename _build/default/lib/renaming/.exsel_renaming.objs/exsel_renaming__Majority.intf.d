@@ -1,0 +1,1 @@
+lib/renaming/majority.mli: Exsel_expander Exsel_sim

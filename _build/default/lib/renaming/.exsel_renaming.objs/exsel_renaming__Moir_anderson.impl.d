@@ -1,0 +1,1 @@
+lib/renaming/moir_anderson.ml: Array Exsel_sim Printf Splitter

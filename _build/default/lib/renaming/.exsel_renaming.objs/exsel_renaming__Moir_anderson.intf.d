@@ -1,0 +1,1 @@
+lib/renaming/moir_anderson.mli: Exsel_sim

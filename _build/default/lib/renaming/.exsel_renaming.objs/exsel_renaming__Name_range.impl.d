@@ -1,0 +1,1 @@
+lib/renaming/name_range.ml:

@@ -1,0 +1,1 @@
+lib/renaming/polylog_rename.ml: Array Basic_rename Exsel_sim List Printf

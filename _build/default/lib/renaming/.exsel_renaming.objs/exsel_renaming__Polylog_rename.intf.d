@@ -1,0 +1,1 @@
+lib/renaming/polylog_rename.mli: Exsel_expander Exsel_sim

@@ -1,0 +1,1 @@
+lib/renaming/randomized_rename.ml: Array Compete Exsel_sim Float Printf

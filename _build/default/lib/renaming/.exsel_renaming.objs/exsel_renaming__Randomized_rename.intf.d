@@ -1,0 +1,1 @@
+lib/renaming/randomized_rename.mli: Exsel_sim

@@ -1,0 +1,1 @@
+lib/renaming/splitter.ml: Exsel_sim

@@ -1,0 +1,1 @@
+lib/renaming/splitter.mli: Exsel_sim

@@ -1,0 +1,65 @@
+module Memory = Exsel_sim.Memory
+
+type level = { eff : Efficient_rename.t; range : Name_range.range }
+
+type t = {
+  levels : level array;
+  reserve : Moir_anderson.t;
+  reserve_range : Name_range.range;
+  mutable reserve_uses : int;
+}
+
+let rec ceil_lg n = if n <= 1 then 0 else 1 + ceil_lg ((n + 1) / 2)
+
+let create ?params ~rng mem ~name ~n =
+  if n <= 0 then invalid_arg "Adaptive_rename.create: n must be positive";
+  let ranges = Name_range.allocator () in
+  let levels =
+    Array.init
+      (ceil_lg n + 1)
+      (fun i ->
+        let k = min n (1 lsl i) in
+        let eff =
+          Efficient_rename.create ?params ~rng:(Exsel_sim.Rng.split rng) mem
+            ~name:(Printf.sprintf "%s.lvl%d" name i)
+            ~k
+        in
+        { eff; range = Name_range.take ranges (Efficient_rename.names eff) })
+  in
+  let reserve = Moir_anderson.create mem ~name:(name ^ ".reserve") ~side:n in
+  let reserve_range = Name_range.take ranges (Moir_anderson.capacity reserve) in
+  { levels; reserve; reserve_range; reserve_uses = 0 }
+
+let levels t = Array.length t.levels
+
+let rename_leveled t ~me =
+  let rec go i =
+    if i >= Array.length t.levels then begin
+      t.reserve_uses <- t.reserve_uses + 1;
+      match Moir_anderson.rename t.reserve ~me with
+      | Some w -> (Name_range.global t.reserve_range w, i)
+      | None ->
+          (* unreachable: the reserve grid has side n >= contention *)
+          assert false
+    end
+    else
+      let lvl = t.levels.(i) in
+      match Efficient_rename.rename lvl.eff ~me with
+      | Some w -> (Name_range.global lvl.range w, i)
+      | None -> go (i + 1)
+  in
+  go 0
+
+let rename t ~me = fst (rename_leveled t ~me)
+
+let rec lg_floor n = if n <= 1 then 0 else 1 + lg_floor (n / 2)
+
+let name_bound_for_contention ~k =
+  if k <= 0 then invalid_arg "Adaptive_rename.name_bound_for_contention";
+  (8 * k) - lg_floor k - 1
+
+let reserve_uses t = t.reserve_uses
+
+let registers t =
+  Array.fold_left (fun acc l -> acc + Efficient_rename.registers l.eff) 0 t.levels
+  + (Moir_anderson.side t.reserve * (Moir_anderson.side t.reserve + 1))

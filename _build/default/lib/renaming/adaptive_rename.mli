@@ -1,0 +1,40 @@
+(** Adaptive-Rename: fully adaptive renaming, k and N unknown (Theorem 4).
+
+    Doubles a contention guess over {!Efficient_rename} instances: level
+    [i] hosts Efficient-Rename(2ⁱ) on a disjoint name interval of size
+    [2·2ⁱ − 1].  A process tries levels in order; overflow in a level's MA
+    grid or a withdrawal in its capped final stage advances it to the next
+    level.  With realised contention [k], level [⌈lg k⌉] suffices, giving
+
+      M ≤ Σ_{i ≤ ⌈lg k⌉} (2^{i+1} − 1) ≤ 8k − lg k − 1
+
+    final names, O(k) local steps and O(n²) registers.  A Moir–Anderson
+    grid of side [n] backs the construction as an unconditional
+    wait-freedom reserve (unused in certified runs). *)
+
+type t
+
+val create :
+  ?params:Exsel_expander.Params.t ->
+  rng:Exsel_sim.Rng.t ->
+  Exsel_sim.Memory.t ->
+  name:string ->
+  n:int ->
+  t
+(** [n] bounds the number of processes in the system; neither the realised
+    contention [k] nor the original-name range appears anywhere. *)
+
+val levels : t -> int
+
+val rename : t -> me:int -> int
+(** Always succeeds; [me] is any integer identifier unique per process. *)
+
+val rename_leveled : t -> me:int -> int * int
+(** Name with the serving level ([levels t] for the reserve). *)
+
+val name_bound_for_contention : k:int -> int
+(** The paper's bound [8k − lg k − 1] (exclusive upper bound on names,
+    0-based). *)
+
+val reserve_uses : t -> int
+val registers : t -> int

@@ -1,0 +1,40 @@
+(** Snapshot-based wait-free (2k−1)-renaming (Attiya et al. [14, 21]).
+
+    Processes publish name proposals in an atomic snapshot; a process whose
+    proposal is unique in its scan decides, otherwise it re-proposes the
+    [rank]-th integer not proposed by others, where [rank] is the rank of
+    its identifier among participants it sees.  With [k] concurrent
+    participants, decided names lie in [0 .. 2k−2] and decisions are
+    exclusive.
+
+    This module is the substitute for the paper's AF(k,N) compression
+    stage (Attiya–Fouren [16]) — same interface and the same name bound
+    M = 2k−1 — see DESIGN.md, Substitution 2.  It is only ever applied to
+    ranges of size O(k).
+
+    The [cap] option supports the paper's Theorem 4 doubling: a process
+    whose next proposal would exceed [cap] {e withdraws} (clears its
+    component and reports failure), so an overloaded instance never emits
+    a name outside its reserved interval. *)
+
+type t
+
+val create :
+  Exsel_sim.Memory.t -> name:string -> slots:int -> ?cap:int -> unit -> t
+(** [create mem ~name ~slots ?cap ()] allocates the snapshot object.
+    [slots] bounds the number of distinct participants; each caller must
+    use a distinct [slot] in [0 .. slots−1] (composed algorithms use the
+    exclusive name of the previous stage).  [cap], if given, is the
+    largest name (inclusive) the instance may assign. *)
+
+val slots : t -> int
+
+val rename : t -> slot:int -> int option
+(** Run the protocol in the given slot (which also serves as the process
+    identifier for ranking).  [Some name] on decision; [None] after a
+    withdrawal (only possible when [cap] is set).  Must be called from
+    inside a runtime process, once per slot. *)
+
+val name_bound : contenders:int -> int
+(** Exclusive upper bound on decided names with [contenders] concurrent
+    participants: [2·contenders − 1]. *)

@@ -1,0 +1,59 @@
+module Memory = Exsel_sim.Memory
+
+type stage = { majority : Majority.t; range : Name_range.range }
+
+type t = { stages : stage array; names : int }
+
+(* Contention budgets k, ⌈k/2⌉, …, 2, 1 — the paper's lg k + 1 stages plus
+   the terminal singleton stage that absorbs the last contender. *)
+let budgets k =
+  let rec go b acc = if b <= 1 then List.rev (1 :: acc) else go ((b + 1) / 2) (b :: acc) in
+  go k []
+
+(* Predicted name-range size of an instance, without allocating anything:
+   the sum of the stage widths dictated by the expander parameters. *)
+let plan_names ?(params = Exsel_expander.Params.practical) ~k ~inputs () =
+  List.fold_left
+    (fun acc l -> acc + Exsel_expander.Params.width params ~inputs ~l)
+    0 (budgets k)
+
+let create ?params ~rng mem ~name ~k ~inputs =
+  if k <= 0 then invalid_arg "Basic_rename.create: k must be positive";
+  let ranges = Name_range.allocator () in
+  let stages =
+    budgets k
+    |> List.mapi (fun i l ->
+           let majority =
+             Majority.create ?params ~rng:(Exsel_sim.Rng.split rng) mem
+               ~name:(Printf.sprintf "%s.stage%d" name i)
+               ~l ~inputs
+           in
+           { majority; range = Name_range.take ranges (Majority.names majority) })
+    |> Array.of_list
+  in
+  { stages; names = Name_range.used ranges }
+
+let stages t = Array.length t.stages
+let names t = t.names
+
+let stage_budgets t =
+  Array.to_list (Array.map (fun s -> Majority.contention_budget s.majority) t.stages)
+
+let rename_traced t ~me =
+  let rec go i =
+    if i >= Array.length t.stages then (None, i)
+    else
+      let s = t.stages.(i) in
+      match Majority.rename s.majority ~me with
+      | Some w -> (Some (Name_range.global s.range w), i)
+      | None -> go (i + 1)
+  in
+  go 0
+
+let rename t ~me = fst (rename_traced t ~me)
+
+let steps_bound t =
+  Array.fold_left (fun acc s -> acc + Majority.steps_bound s.majority) 0 t.stages
+
+let registers t =
+  Array.fold_left (fun acc s -> acc + Majority.registers s.majority) 0 t.stages

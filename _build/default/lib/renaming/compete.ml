@@ -1,0 +1,34 @@
+module Memory = Exsel_sim.Memory
+module Register = Exsel_sim.Register
+module Runtime = Exsel_sim.Runtime
+
+type t = {
+  hr : int option Register.t;  (* placeholder holding a reservation for r *)
+  r : int option Register.t;
+}
+
+let create mem ~name =
+  {
+    hr = Register.create mem ~name:(name ^ ".HR") None;
+    r = Register.create mem ~name:(name ^ ".R") None;
+  }
+
+(* Figure 1.  Exclusiveness argument (Lemma 1): p's value in HR is only
+   overwritten once R already stores p, so any later contender fails the
+   read of R; an earlier contender that wrote HR before p would have made
+   p's first read non-null. *)
+let compete t ~me =
+  match Runtime.read t.hr with
+  | Some _ -> false
+  | None -> (
+      Runtime.write t.hr (Some me);
+      match Runtime.read t.r with
+      | Some _ -> false
+      | None ->
+          Runtime.write t.r (Some me);
+          Runtime.read t.hr = Some me)
+
+let occupant t = Register.peek t.r
+
+let steps_bound = 5
+let registers_per_instance = 2

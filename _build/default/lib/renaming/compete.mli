@@ -1,0 +1,35 @@
+(** Compete-For-Register (paper, Figure 1 and Lemma 1).
+
+    A competition object over one register [R] with a placeholder register
+    [HR].  Its two guarantees (Lemma 1):
+
+    - {e wins are exclusive}: at most one contender ever wins;
+    - {e solo wins}: a contender running with no other contender wins.
+
+    Under contention the object may be won by nobody — that weakness is
+    what the expander machinery compensates for.  Costs at most 5 local
+    steps and uses exactly 2 registers. *)
+
+type t
+
+val create : Exsel_sim.Memory.t -> name:string -> t
+(** Allocate the register pair, both initialised to the paper's [null]. *)
+
+val compete : t -> me:int -> bool
+(** [compete t ~me] runs the procedure of Figure 1 for a process with
+    identifier [me] (any integer unique to the caller).  Returns [true] on
+    a win.  Must be called from inside a runtime process, at most once per
+    process per object. *)
+
+val occupant : t -> int option
+(** The identifier currently stored in [R] (test inspection, non-atomic).
+    Note this is {e not} necessarily a winner: a contender may write [R]
+    and still lose the final placeholder check.  Exclusiveness is about
+    [compete] returning [true], which tests must collect at call sites. *)
+
+val steps_bound : int
+(** Worst-case local steps of one [compete] call (5: three reads
+    interleaved with two writes). *)
+
+val registers_per_instance : int
+(** Registers allocated by [create] (2). *)

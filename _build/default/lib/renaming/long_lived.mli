@@ -1,0 +1,38 @@
+(** Long-lived renaming: acquire and release names repeatedly.
+
+    Extension beyond the paper's one-shot setting (its §1 surveys
+    long-lived renaming as the natural generalisation [2, 24, 25, 41, 42]).
+    The snapshot-based renaming adapts directly: a process {e holds} a name
+    by keeping it published in its snapshot component and {e releases} it
+    by clearing the component, after which the name may be reused.
+
+    Guarantees:
+    - {e exclusive holds}: two processes never hold the same name at
+      overlapping times;
+    - {e adaptive range}: a successful acquire returns a name below
+      [2k̂ − 1] where [k̂] is the number of processes concurrently holding
+      or contending during the acquire (point contention);
+    - {e wait-free}: an acquire completes regardless of other processes'
+      speeds; a crash while holding pins that name forever (the paper's
+      crash model — a crashed holder is indistinguishable from a slow
+      one).
+
+    Uses one [n]-component snapshot object ([n] registers). *)
+
+type t
+
+val create : Exsel_sim.Memory.t -> name:string -> n:int -> t
+
+val n : t -> int
+
+val acquire : t -> me:int -> int
+(** Acquire a name exclusively.  [me] is the caller's slot in [0 .. n−1];
+    the caller must not already hold a name.  Must run inside a runtime
+    process. *)
+
+val release : t -> me:int -> unit
+(** Release the held name (one snapshot update: O(n) reads + 1 write).
+    Call only while holding. *)
+
+val holder_view : t -> int option array
+(** Currently published names per slot (test inspection, non-atomic). *)

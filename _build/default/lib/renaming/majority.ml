@@ -1,0 +1,59 @@
+module Memory = Exsel_sim.Memory
+module Bipartite = Exsel_expander.Bipartite
+module Gen = Exsel_expander.Gen
+module Params = Exsel_expander.Params
+
+type t = {
+  graph : Bipartite.t;
+  l : int;
+  competitions : Compete.t array;  (* one per output *)
+}
+
+module Check = Exsel_expander.Check
+
+(* Sample a graph and certify the unique-neighbour majority property
+   (exhaustively when the subset space is tiny, statistically otherwise);
+   resample with fresh randomness on failure.  The last attempt is accepted
+   uncertified — the caller's reserve lane covers the residual risk. *)
+let sample_certified rng params ~inputs ~l ~attempts =
+  let certify g =
+    let cost = Check.exhaustive_cost ~inputs ~l in
+    if cost <= 20_000 then Check.verify_exhaustive g ~l
+    else
+      Check.verify_sampled (Exsel_sim.Rng.split rng) g ~l
+        ~trials:(min 200 (20 * l))
+  in
+  let rec go n =
+    let g = Gen.sample (Exsel_sim.Rng.split rng) params ~inputs ~l in
+    if n <= 1 then g
+    else match certify g with Ok () -> g | Error _ -> go (n - 1)
+  in
+  go attempts
+
+let create ?(params = Params.practical) ~rng mem ~name ~l ~inputs =
+  if l <= 0 then invalid_arg "Majority.create: l must be positive";
+  if inputs <= 0 then invalid_arg "Majority.create: inputs must be positive";
+  let graph = sample_certified rng params ~inputs ~l ~attempts:16 in
+  let competitions =
+    Array.init (Bipartite.outputs graph) (fun w ->
+        Compete.create mem ~name:(Printf.sprintf "%s.out%d" name w))
+  in
+  { graph; l; competitions }
+
+let graph t = t.graph
+let contention_budget t = t.l
+let names t = Bipartite.outputs t.graph
+
+let rename t ~me =
+  if me < 0 || me >= Bipartite.inputs t.graph then
+    invalid_arg "Majority.rename: name out of range";
+  let adj = Bipartite.neighbours t.graph me in
+  let rec try_from i =
+    if i >= Array.length adj then None
+    else if Compete.compete t.competitions.(adj.(i)) ~me then Some adj.(i)
+    else try_from (i + 1)
+  in
+  try_from 0
+
+let steps_bound t = Compete.steps_bound * Bipartite.degree t.graph
+let registers t = Compete.registers_per_instance * names t

@@ -1,0 +1,44 @@
+(** Majority(ℓ, N): expander-traversal majority renaming (Lemma 4).
+
+    Names [0 .. N−1] are the inputs of a bipartite graph sampled per
+    Lemma 3; outputs are candidate new names, each guarded by a
+    {!Compete} pair.  A process walks the Δ neighbours of its input in
+    order, competing for each, and adopts the first output it wins.
+
+    Guarantees, given the graph's unique-neighbour property (certified by
+    {!Exsel_expander.Check}): with at most ℓ contenders holding distinct
+    inputs, at least ⌈half⌉ of them win, every winner's name is exclusive
+    (unconditionally, by Lemma 1), and each process takes at most
+    [5Δ = O(log N)] local steps.  Uses [2·M] registers where
+    [M = O(ℓ log(N/ℓ))] is the output count. *)
+
+type t
+
+val create :
+  ?params:Exsel_expander.Params.t ->
+  rng:Exsel_sim.Rng.t ->
+  Exsel_sim.Memory.t ->
+  name:string ->
+  l:int ->
+  inputs:int ->
+  t
+(** [create ~rng mem ~name ~l ~inputs] builds an instance for contention
+    budget [l] over original names [0 .. inputs−1].  [params] defaults to
+    {!Exsel_expander.Params.practical}. *)
+
+val graph : t -> Exsel_expander.Bipartite.t
+val contention_budget : t -> int
+
+val names : t -> int
+(** The bound [M] on new names (the graph's output count). *)
+
+val rename : t -> me:int -> int option
+(** Traverse and compete; [Some w] is the captured output index.
+    [me] must lie in [0 .. inputs−1].  Must run inside a runtime process,
+    once per process. *)
+
+val steps_bound : t -> int
+(** Worst-case local steps: [5·Δ]. *)
+
+val registers : t -> int
+(** Registers allocated: [2·names]. *)

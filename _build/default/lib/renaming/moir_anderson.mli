@@ -1,0 +1,44 @@
+(** MA(k): the Moir–Anderson splitter-grid renaming [41].
+
+    A triangular grid of splitters of side [side]: positions [(r, c)] with
+    [r + c < side].  A process enters at the origin, moves right or down as
+    its splitters dictate, and adopts the index of the splitter it stops in
+    as its name.  With [x ≤ side] contenders every process stops within the
+    first [x] anti-diagonals, giving:
+
+    - wait-free renaming in at most [4·side] local steps,
+    - names below [x(x+1)/2] (adaptive: names are numbered along
+      anti-diagonals, so low contention yields small names),
+    - [side·(side+1)] registers (2 per splitter).
+
+    With more than [side] contenders a process may walk off the grid, in
+    which case [rename] reports failure — exactly the detector the paper's
+    doubling constructions (Theorems 3 and 4) need. *)
+
+type t
+
+val create : Exsel_sim.Memory.t -> name:string -> side:int -> t
+(** [create mem ~name ~side] allocates the triangular grid.
+    @raise Invalid_argument if [side <= 0]. *)
+
+val side : t -> int
+
+val capacity : t -> int
+(** Total names available, [side·(side+1)/2]. *)
+
+val rename : t -> me:int -> int option
+(** Walk the grid from the origin.  [Some name] when the process stops —
+    names of processes that stop are exclusive regardless of contention;
+    [None] when it walks off the grid (contention exceeded [side]).
+    Must be called from inside a runtime process, once per process. *)
+
+val name_of_position : r:int -> c:int -> int
+(** Anti-diagonal numbering: position [(r,c)] on diagonal [d = r+c] gets
+    name [d(d+1)/2 + r].  Exposed for tests. *)
+
+val max_name_bound : contenders:int -> int
+(** Upper bound (exclusive) on names assigned when [contenders] processes
+    participate: [contenders·(contenders+1)/2]. *)
+
+val steps_bound : side:int -> int
+(** Worst-case local steps of [rename]: [4·side]. *)

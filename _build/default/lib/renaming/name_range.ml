@@ -1,0 +1,20 @@
+type range = { base : int; size : int }
+
+type t = { start : int; mutable next : int }
+
+let allocator ?(base = 0) () = { start = base; next = base }
+
+let take t size =
+  if size < 0 then invalid_arg "Name_range.take: negative size";
+  let r = { base = t.next; size } in
+  t.next <- t.next + size;
+  r
+
+let used t = t.next - t.start
+
+let contains r name = name >= r.base && name < r.base + r.size
+
+let global r local =
+  if local < 0 || local >= r.size then
+    invalid_arg "Name_range.global: local name out of range";
+  r.base + local

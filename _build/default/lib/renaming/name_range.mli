@@ -1,0 +1,26 @@
+(** Disjoint name-interval bookkeeping.
+
+    The paper's composed algorithms (Basic-Rename stages, PolyLog epochs,
+    the doubling constructions of Theorems 3–4) each consume "the first
+    interval of new names not used before".  An allocator hands out
+    consecutive disjoint intervals; names local to a component are offset
+    by the interval base. *)
+
+type range = { base : int; size : int }
+
+type t
+
+val allocator : ?base:int -> unit -> t
+(** Fresh allocator starting at [base] (default 0). *)
+
+val take : t -> int -> range
+(** Next interval of the given size.  @raise Invalid_argument on negative
+    size. *)
+
+val used : t -> int
+(** Total names handed out (the composed algorithm's bound [M] relative to
+    the starting base). *)
+
+val contains : range -> int -> bool
+val global : range -> int -> int
+(** [global r local] = [r.base + local]; checks bounds. *)

@@ -1,0 +1,49 @@
+module Memory = Exsel_sim.Memory
+
+type t = {
+  epochs : Basic_rename.t array;
+  inputs : int;
+  names : int;
+}
+
+(* Build epochs while the range strictly contracts, mirroring the paper's
+   stopping rule (iterate until N_j reaches its Θ(k) fixpoint). *)
+let create ?params ~rng mem ~name ~k ~inputs =
+  if k <= 0 then invalid_arg "Polylog_rename.create: k must be positive";
+  if inputs <= 0 then invalid_arg "Polylog_rename.create: inputs must be positive";
+  let rec go j current acc =
+    let planned = Basic_rename.plan_names ?params ~k ~inputs:current () in
+    if planned >= current then (current, List.rev acc)
+    else
+      let basic =
+        Basic_rename.create ?params ~rng:(Exsel_sim.Rng.split rng) mem
+          ~name:(Printf.sprintf "%s.epoch%d" name j)
+          ~k ~inputs:current
+      in
+      go (j + 1) (Basic_rename.names basic) (basic :: acc)
+  in
+  let names, epochs = go 1 inputs [] in
+  { epochs = Array.of_list epochs; inputs; names }
+
+let epochs t = Array.length t.epochs
+
+let epoch_ranges t =
+  t.inputs :: (Array.to_list t.epochs |> List.map Basic_rename.names)
+
+let names t = t.names
+
+let rename t ~me =
+  let rec go i current =
+    if i >= Array.length t.epochs then Some current
+    else
+      match Basic_rename.rename t.epochs.(i) ~me:current with
+      | Some next -> go (i + 1) next
+      | None -> None
+  in
+  go 0 me
+
+let steps_bound t =
+  Array.fold_left (fun acc b -> acc + Basic_rename.steps_bound b) 0 t.epochs
+
+let registers t =
+  Array.fold_left (fun acc b -> acc + Basic_rename.registers b) 0 t.epochs

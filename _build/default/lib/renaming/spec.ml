@@ -1,0 +1,47 @@
+let lg x = Float.log2 (float_of_int (max 2 x))
+
+let majority_steps ~n_names = lg n_names
+
+let basic_steps ~k ~n_names = lg k *. lg n_names
+
+let polylog_steps ~k ~n_names =
+  lg k *. (lg n_names +. (lg k *. Float.log2 (Float.max 2.0 (lg n_names))))
+
+let efficient_steps ~k = float_of_int k
+
+let almost_adaptive_steps ~k ~n_names = lg k *. polylog_steps ~k ~n_names
+
+let adaptive_steps ~k = float_of_int k
+
+let efficient_names ~k = (2 * k) - 1
+
+let adaptive_names ~k = Adaptive_rename.name_bound_for_contention ~k
+
+let polylog_registers ~k ~n_names =
+  float_of_int k *. Float.max 1.0 (lg n_names -. lg k)
+
+let lower_bound_steps ~k ~n_names ~m ~r =
+  let log_term =
+    if n_names <= 2 * m then 0
+    else
+      int_of_float
+        (Float.log (float_of_int n_names /. (2.0 *. float_of_int m))
+        /. Float.log (float_of_int (max 2 (2 * r))))
+  in
+  1 + max 0 (min (k - 2) log_term)
+
+let store_lower_bound ~k ~n_names ~r =
+  let log_term =
+    if n_names <= k then 0
+    else
+      int_of_float
+        (Float.log (float_of_int n_names /. float_of_int k)
+        /. Float.log (float_of_int (max 2 (2 * r))))
+  in
+  max 1 (min k log_term)
+
+let store_steps_known ~k ~n_names = polylog_steps ~k ~n_names
+
+let store_steps_almost ~k ~n = lg k *. polylog_steps ~k ~n_names:n
+
+let collect_steps ~k = float_of_int k

@@ -1,0 +1,54 @@
+(** The paper's complexity bounds as executable functions.
+
+    Tests and the experiment harness compare measured local steps, name
+    bounds and register counts against these shapes.  Asymptotic bounds
+    are reported without their hidden constants; harness tables print the
+    measured-to-bound ratio, which should stay flat (or shrink) along a
+    sweep if the shape holds. *)
+
+val lg : int -> float
+(** Base-2 logarithm of [max 2 x] — the guarded lg the bound formulas use
+    so that tiny parameters do not send shapes to 0 or −∞. *)
+
+val polylog_steps : k:int -> n_names:int -> float
+(** Theorem 1: [log k (log N + log k log log N)]. *)
+
+val basic_steps : k:int -> n_names:int -> float
+(** Lemma 5: [log k · log N]. *)
+
+val majority_steps : n_names:int -> float
+(** Lemma 4: [log N]. *)
+
+val efficient_steps : k:int -> float
+(** Theorem 2: [k]. *)
+
+val almost_adaptive_steps : k:int -> n_names:int -> float
+(** Theorem 3: [log² k (log N + log k log log N)]. *)
+
+val adaptive_steps : k:int -> float
+(** Theorem 4: [k]. *)
+
+val efficient_names : k:int -> int
+(** Theorem 2: [2k − 1]. *)
+
+val adaptive_names : k:int -> int
+(** Theorem 4: [8k − lg k − 1]. *)
+
+val polylog_registers : k:int -> n_names:int -> float
+(** Theorem 1: [k log(N/k)]. *)
+
+val lower_bound_steps : k:int -> n_names:int -> m:int -> r:int -> int
+(** Theorem 6: [1 + min{k − 2, log_{2r}(N/2M)}] (floored at 1). *)
+
+val store_lower_bound : k:int -> n_names:int -> r:int -> int
+(** Theorem 7: [min{k, log_{2r}(N/k)}] local steps for a first store
+    (floored at 1). *)
+
+val store_steps_known : k:int -> n_names:int -> float
+(** Theorem 5(i): first store, k and N known. *)
+
+val store_steps_almost : k:int -> n:int -> float
+(** Theorem 5(ii–iii): first store, N = poly(n) known, k unknown. *)
+
+val collect_steps : k:int -> float
+(** Theorem 5: collect is [O(k)] in every setting. *)

@@ -1,0 +1,39 @@
+module Memory = Exsel_sim.Memory
+module Register = Exsel_sim.Register
+module Runtime = Exsel_sim.Runtime
+
+type outcome = Stop | Right | Down
+
+type t = {
+  door : int option Register.t;  (* last entrant *)
+  closed : bool Register.t;  (* set by the first process past the door *)
+  mutable stopped : int option;  (* diagnostic mirror of the Stop outcome *)
+}
+
+let create mem ~name =
+  {
+    door = Register.create mem ~name:(name ^ ".X") None;
+    closed = Register.create mem ~name:(name ^ ".Y") false;
+    stopped = None;
+  }
+
+(* Classic argument: a process that finds the door still holding its own
+   identifier after closing the gate is alone past the gate; any later
+   process sees the gate closed and goes right, any gate-racer that lost
+   the door goes down. *)
+let enter t ~me =
+  Runtime.write t.door (Some me);
+  if Runtime.read t.closed then Right
+  else begin
+    Runtime.write t.closed true;
+    if Runtime.read t.door = Some me then begin
+      t.stopped <- Some me;
+      Stop
+    end
+    else Down
+  end
+
+let captured_by t = t.stopped
+
+let steps_bound = 4
+let registers_per_instance = 2

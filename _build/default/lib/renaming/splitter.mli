@@ -1,0 +1,29 @@
+(** Wait-free splitter (Moir–Anderson / Lamport fast-path).
+
+    A splitter partitions the processes that enter it: at most one {e stops}
+    (captures the splitter), and of the rest, not all go right and not all
+    go down — if [x] processes enter, at most [x−1] leave right and at most
+    [x−1] leave down, and a solo entrant always stops.  Building block of
+    the MA(k) renaming grid [41] used by the paper's Theorem 2. *)
+
+type outcome = Stop | Right | Down
+
+type t
+
+val create : Exsel_sim.Memory.t -> name:string -> t
+(** Allocates the 2 registers of the splitter. *)
+
+val enter : t -> me:int -> outcome
+(** Run the splitter.  At most 4 local steps.  Must be called from inside a
+    runtime process, at most once per process per splitter. *)
+
+val captured_by : t -> int option
+(** Identifier that stopped here, if any (test inspection, non-atomic;
+    sound only after the execution is quiet, when it equals the unique
+    stopped process). *)
+
+val steps_bound : int
+(** Worst-case local steps of [enter] (4). *)
+
+val registers_per_instance : int
+(** Registers allocated by [create] (2). *)

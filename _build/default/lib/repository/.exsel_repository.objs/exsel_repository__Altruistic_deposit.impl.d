@@ -1,0 +1,1 @@
+lib/repository/altruistic_deposit.ml: Array Deposit_array Exsel_sim Fun Help_board List Printf Unbounded_naming

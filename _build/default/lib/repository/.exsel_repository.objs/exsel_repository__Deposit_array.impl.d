@@ -1,0 +1,1 @@
+lib/repository/deposit_array.ml: Array Exsel_sim List Printf

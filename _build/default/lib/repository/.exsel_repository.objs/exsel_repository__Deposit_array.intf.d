@@ -1,0 +1,1 @@
+lib/repository/deposit_array.mli: Exsel_sim

@@ -1,0 +1,1 @@
+lib/repository/help_board.ml: Array Exsel_sim List Printf Unbounded_naming

@@ -1,0 +1,1 @@
+lib/repository/help_board.mli: Exsel_sim Unbounded_naming

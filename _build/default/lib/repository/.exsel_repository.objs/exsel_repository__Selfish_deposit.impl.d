@@ -1,0 +1,1 @@
+lib/repository/selfish_deposit.ml: Array Deposit_array Exsel_sim Exsel_snapshot Fun List

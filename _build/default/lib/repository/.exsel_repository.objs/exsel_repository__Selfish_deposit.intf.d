@@ -1,0 +1,1 @@
+lib/repository/selfish_deposit.mli: Deposit_array Exsel_sim

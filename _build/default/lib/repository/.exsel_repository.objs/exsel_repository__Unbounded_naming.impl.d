@@ -1,0 +1,1 @@
+lib/repository/unbounded_naming.ml: Array Exsel_sim Exsel_snapshot Fun List Printf

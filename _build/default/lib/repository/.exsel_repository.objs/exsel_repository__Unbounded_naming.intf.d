@@ -1,0 +1,1 @@
+lib/repository/unbounded_naming.mli: Exsel_sim

@@ -1,0 +1,58 @@
+module Memory = Exsel_sim.Memory
+module Runtime = Exsel_sim.Runtime
+
+type 'v t = {
+  n : int;
+  naming : Unbounded_naming.t;
+  board : Help_board.t;
+  regs : 'v Deposit_array.t;
+}
+
+let create mem ~name ~n =
+  {
+    n;
+    naming = Unbounded_naming.create mem ~name:(name ^ ".naming") ~n;
+    board = Help_board.create mem ~name:(name ^ ".help") ~n;
+    regs = Deposit_array.create mem ~name:(name ^ ".R");
+  }
+
+let n t = t.n
+
+let deposit t ~me v =
+  let row, x = Help_board.peek_name t.board ~me in
+  Runtime.write (Deposit_array.get t.regs x) (Some v);
+  Help_board.clear t.board ~row ~me;
+  x
+
+let provider_loop t ~me ~stop =
+  Help_board.provider_loop t.board ~naming:t.naming ~me ~stop
+
+let spawn_all rt t ~values ~on_deposit =
+  let finished = Array.make t.n false in
+  let depositors =
+    Array.init t.n (fun me ->
+        Runtime.spawn rt ~name:(Printf.sprintf "depositor%d" me) (fun () ->
+            List.iter
+              (fun v ->
+                let index = deposit t ~me v in
+                on_deposit ~me ~index ~value:v)
+              (values me);
+            finished.(me) <- true))
+  in
+  let all_settled () =
+    Array.for_all Fun.id
+      (Array.mapi
+         (fun i p -> finished.(i) || Runtime.status p = Runtime.Crashed)
+         depositors)
+  in
+  Array.iteri
+    (fun me _ ->
+      ignore
+        (Runtime.spawn rt ~name:(Printf.sprintf "provider%d" me) (fun () ->
+             provider_loop t ~me ~stop:all_settled)))
+    depositors
+
+let naming t = t.naming
+let board t = t.board
+let registers t = t.regs
+let deposits t = Deposit_array.deposited t.regs

@@ -1,0 +1,50 @@
+(** Altruistic-Deposit: a wait-free repository (Theorem 9).
+
+    Extends the naming machinery with an n×n {!Help_board}: every process
+    runs a {e provider} activity that fills the null cells of its Help row
+    with names freshly committed through {!Unbounded_naming}, and deposits
+    by {e consuming} a name from its Help column — writing its value into
+    the corresponding dedicated register and clearing the cell.  A name
+    committed by the naming engine is exclusive, so the register it
+    denotes is written exactly once: persistence is structural.
+
+    Depositing is wait-free: the consumer only scans its own column, and
+    the non-blocking naming engine keeps providers (collectively)
+    producing names.  At most n(n−1) dedicated registers are never used:
+    the worst case leaves a full Help matrix minus one column stranded by
+    crashes.
+
+    The two activities of a process are modelled as two runtime fibers
+    (the paper interleaves their events fairly); {!spawn_all} wires them
+    up. *)
+
+type 'v t
+
+val create : Exsel_sim.Memory.t -> name:string -> n:int -> 'v t
+
+val n : 'v t -> int
+
+val deposit : 'v t -> me:int -> 'v -> int
+(** Consume a name from column [me], deposit the value in its register and
+    return the register index.  Wait-free given ongoing provision.  Must
+    run inside a runtime process. *)
+
+val provider_loop : 'v t -> me:int -> stop:(unit -> bool) -> unit
+(** Run the provider activity of process [me] until [stop ()].  Must run
+    inside a runtime process (normally a dedicated fiber). *)
+
+val spawn_all :
+  Exsel_sim.Runtime.t ->
+  'v t ->
+  values:(int -> 'v list) ->
+  on_deposit:(me:int -> index:int -> value:'v -> unit) ->
+  unit
+(** Spawn, for every process [p], a depositor fiber that deposits
+    [values p] in order (invoking [on_deposit] after each acknowledged
+    deposit) and a provider fiber that serves names until every depositor
+    has finished or crashed. *)
+
+val naming : 'v t -> Unbounded_naming.t
+val board : 'v t -> Help_board.t
+val registers : 'v t -> 'v Deposit_array.t
+val deposits : 'v t -> (int * 'v) list

@@ -1,0 +1,60 @@
+module Memory = Exsel_sim.Memory
+module Register = Exsel_sim.Register
+
+type 'v t = {
+  mem : Memory.t;
+  name : string;
+  mutable regs : 'v option Register.t option array;  (* capacity buffer *)
+  mutable allocated : int;  (* contiguous created prefix *)
+}
+
+let create mem ~name = { mem; name; regs = Array.make 16 None; allocated = 0 }
+
+(* Touching R_i creates the whole prefix up to i — accesses in the
+   protocols are prefix-contiguous anyway (lists and pointers scan in index
+   order), and a contiguous prefix keeps the waste accounting simple. *)
+let ensure t i =
+  if i >= Array.length t.regs then begin
+    let cap = max (i + 1) (2 * Array.length t.regs) in
+    let fresh = Array.make cap None in
+    Array.blit t.regs 0 fresh 0 (Array.length t.regs);
+    t.regs <- fresh
+  end;
+  for j = t.allocated to i do
+    t.regs.(j) <-
+      Some (Register.create t.mem ~name:(Printf.sprintf "%s.R%d" t.name j) None)
+  done;
+  if i >= t.allocated then t.allocated <- i + 1
+
+let get t i =
+  if i < 0 then invalid_arg "Deposit_array.get: negative index";
+  ensure t i;
+  match t.regs.(i) with
+  | Some r -> r
+  | None -> assert false (* ensured above *)
+
+let allocated t = t.allocated
+
+let reg t i = match t.regs.(i) with Some r -> r | None -> assert false
+
+let value t i = if i < t.allocated then Register.peek (reg t i) else None
+
+let deposited t =
+  let out = ref [] in
+  for i = t.allocated - 1 downto 0 do
+    match Register.peek (reg t i) with
+    | Some v -> out := (i, v) :: !out
+    | None -> ()
+  done;
+  !out
+
+let empty_below t bound =
+  let out = ref [] in
+  for i = min bound t.allocated - 1 downto 0 do
+    if Register.peek (reg t i) = None then out := i :: !out
+  done;
+  let beyond = ref [] in
+  for i = t.allocated to bound - 1 do
+    beyond := i :: !beyond
+  done;
+  !out @ List.rev !beyond

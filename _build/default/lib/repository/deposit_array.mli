@@ -1,0 +1,31 @@
+(** The paper's infinite array R₀, R₁, R₂, … of dedicated deposit registers.
+
+    Section 5 assumes infinitely many read/write registers dedicated to
+    depositing, all initialised to [null].  We simulate the infinite array
+    by allocating registers on first touch; an execution only ever reaches
+    a finite prefix, which is the prefix the theorems' waste bounds
+    quantify over. *)
+
+type 'v t
+
+val create : Exsel_sim.Memory.t -> name:string -> 'v t
+
+val get : 'v t -> int -> 'v option Exsel_sim.Register.t
+(** [get t i] is register Rᵢ (0-based), allocating the prefix up to [i] on
+    demand.  Allocation is a bookkeeping action of the simulation, not a
+    step of any process. *)
+
+val allocated : 'v t -> int
+(** Size of the touched prefix. *)
+
+val value : 'v t -> int -> 'v option
+(** Current content of Rᵢ ([None] if empty or beyond the prefix) — test
+    inspection, non-atomic. *)
+
+val deposited : 'v t -> (int * 'v) list
+(** All non-empty registers in the touched prefix, in index order — test
+    inspection, non-atomic. *)
+
+val empty_below : 'v t -> int -> int list
+(** Indices of empty registers strictly below the given bound — the waste
+    measure of Theorems 8 and 9. *)

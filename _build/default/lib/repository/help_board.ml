@@ -1,0 +1,55 @@
+module Memory = Exsel_sim.Memory
+module Register = Exsel_sim.Register
+module Runtime = Exsel_sim.Runtime
+
+type t = {
+  n : int;
+  cells : int option Register.t array array;  (* cells.(p).(q): p -> q *)
+}
+
+let create mem ~name ~n =
+  if n <= 0 then invalid_arg "Help_board.create: n must be positive";
+  {
+    n;
+    cells =
+      Array.init n (fun p ->
+          Array.init n (fun q ->
+              Register.create mem ~name:(Printf.sprintf "%s[%d,%d]" name p q) None));
+  }
+
+let n t = t.n
+
+let provider_loop t ~naming ~me ~stop =
+  let q = ref 0 in
+  while not (stop ()) do
+    (match Runtime.read t.cells.(me).(!q) with
+    | None ->
+        let x = Unbounded_naming.acquire naming ~me in
+        Runtime.write t.cells.(me).(!q) (Some x)
+    | Some _ -> ());
+    q := (!q + 1) mod t.n
+  done
+
+let peek_name t ~me =
+  let rec scan r =
+    match Runtime.read t.cells.(r).(me) with
+    | Some x -> (r, x)
+    | None -> scan ((r + 1) mod t.n)
+  in
+  scan 0
+
+let clear t ~row ~me = Runtime.write t.cells.(row).(me) None
+
+let cells t = Array.map (Array.map Register.peek) t.cells
+
+let stranded t ~alive =
+  let out = ref [] in
+  for p = 0 to t.n - 1 do
+    for q = 0 to t.n - 1 do
+      if not (alive q) then
+        match Register.peek t.cells.(p).(q) with
+        | Some x -> out := x :: !out
+        | None -> ()
+    done
+  done;
+  List.sort compare !out

@@ -1,0 +1,39 @@
+(** The n×n Help matrix of Altruistic-Deposit (Theorem 9).
+
+    [Help.(p).(q)] is written by provider [p] with a freshly committed
+    name destined for consumer [q], and cleared by [q] after use.  Each
+    process runs two concurrent activities: a {e provider} loop that fills
+    the null cells of its row with names it acquires, and a {e consumer}
+    that scans its column until a name appears.  Consumption is wait-free
+    as long as acquisitions keep completing somewhere in the system —
+    which the non-blocking {!Unbounded_naming} engine guarantees. *)
+
+type t
+
+val create : Exsel_sim.Memory.t -> name:string -> n:int -> t
+(** Allocates the n² cell registers, all null. *)
+
+val n : t -> int
+
+val provider_loop :
+  t -> naming:Unbounded_naming.t -> me:int -> stop:(unit -> bool) -> unit
+(** Cycle over row [me]: whenever a cell is null, acquire a name and write
+    it there.  Returns when [stop ()] becomes true (checked between
+    operations).  Must run inside a runtime process. *)
+
+val peek_name : t -> me:int -> int * int
+(** Scan column [me] cyclically until a cell holds a name; return
+    [(row, name)] without clearing, so the caller can use the name first
+    and {!clear} afterwards (the paper's crash-safe order: a crash in
+    between wastes nothing).  Must run inside a runtime process.  Only
+    process [me] may consume from column [me]. *)
+
+val clear : t -> row:int -> me:int -> unit
+(** Null the cell after its name has been used. *)
+
+val cells : t -> int option array array
+(** Current matrix contents — test inspection, non-atomic. *)
+
+val stranded : t -> alive:(int -> bool) -> int list
+(** Names currently sitting in cells whose consumer column belongs to a
+    non-[alive] process — the waste of Theorem 9's worst case. *)

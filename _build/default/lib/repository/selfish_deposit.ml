@@ -1,0 +1,116 @@
+module Memory = Exsel_sim.Memory
+module Register = Exsel_sim.Register
+module Runtime = Exsel_sim.Runtime
+module Snapshot = Exsel_snapshot.Snapshot
+
+type local = {
+  mutable list : int list;  (* sorted candidate register indices *)
+  mutable pointer : int;  (* next index to probe when replenishing *)
+}
+
+type 'v t = {
+  n : int;
+  regs : 'v Deposit_array.t;
+  w : int option Snapshot.t;
+  locals : local array;
+}
+
+let list_len n = (2 * n) - 1
+
+let create mem ~name ~n =
+  if n <= 0 then invalid_arg "Selfish_deposit.create: n must be positive";
+  {
+    n;
+    regs = Deposit_array.create mem ~name:(name ^ ".R");
+    w = Snapshot.create mem ~name:(name ^ ".W") ~n ~init:None;
+    locals =
+      Array.init n (fun _ ->
+          { list = List.init (list_len n) Fun.id; pointer = list_len n });
+  }
+
+let n t = t.n
+
+let is_empty t i = Runtime.read (Deposit_array.get t.regs i) = None
+
+(* Scan forward from the pointer for the next empty register; append it to
+   the (sorted) list — fresh indices always exceed existing entries. *)
+let replenish t local =
+  let rec find a = if is_empty t a then a else find (a + 1) in
+  let k = find local.pointer in
+  local.list <- local.list @ [ k ];
+  local.pointer <- k + 1
+
+let remove_candidate local x = local.list <- List.filter (fun j -> j <> x) local.list
+
+(* The paper's list verification: drop candidates whose register filled up,
+   replenishing each from the pointer scan. *)
+let verify t ~me =
+  let local = t.locals.(me) in
+  List.iter
+    (fun j ->
+      if not (is_empty t j) then begin
+        remove_candidate local j;
+        replenish t local
+      end)
+    local.list
+
+let choose_by_rank t ~me local view =
+  let on_list v = List.mem v local.list in
+  let holders =
+    List.filter_map
+      (fun q -> match view.(q) with Some v when on_list v -> Some q | Some _ | None -> None)
+      (List.init t.n Fun.id)
+  in
+  let rank = 1 + List.length (List.filter (fun q -> q < me) holders) in
+  let proposed =
+    Array.to_list view |> List.filter_map Fun.id |> List.sort_uniq compare
+  in
+  let candidates = List.filter (fun v -> not (List.mem v proposed)) local.list in
+  match List.nth_opt candidates (rank - 1) with
+  | Some x -> x
+  | None -> (
+      match List.rev candidates with
+      | x :: _ -> x
+      | [] -> invalid_arg "Selfish_deposit: exhausted candidate list")
+
+let deposit t ~me v =
+  if me < 0 || me >= t.n then invalid_arg "Selfish_deposit.deposit: bad slot";
+  let local = t.locals.(me) in
+  let rec attempt proposal =
+    Snapshot.update t.w ~me (Some proposal);
+    let view = Snapshot.scan t.w ~me in
+    let unique =
+      not
+        (List.exists
+           (fun q -> q <> me && view.(q) = Some proposal)
+           (List.init t.n Fun.id))
+    in
+    if not unique then attempt (choose_by_rank t ~me local view)
+    else if is_empty t proposal then begin
+      Runtime.write (Deposit_array.get t.regs proposal) (Some v);
+      remove_candidate local proposal;
+      replenish t local;
+      proposal
+    end
+    else begin
+      verify t ~me;
+      attempt (List.hd local.list)
+    end
+  in
+  attempt (List.hd local.list)
+
+let registers t = t.regs
+let deposits t = Deposit_array.deposited t.regs
+let candidate_lists t = Array.map (fun l -> l.list) t.locals
+
+let pinned t ~alive =
+  let held = Snapshot.peek t.w in
+  let out = ref [] in
+  Array.iteri
+    (fun q v ->
+      match v with
+      | Some i when (not (alive q)) && Deposit_array.value t.regs i = None ->
+          out := i :: !out
+      | Some _ | None -> ())
+    held;
+  List.sort compare !out

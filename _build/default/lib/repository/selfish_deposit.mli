@@ -1,0 +1,39 @@
+(** Selfish-Deposit: a non-blocking repository (Theorem 8, Corollary 2).
+
+    Each process keeps a sorted local list [L_p] of 2n−1 indices of deposit
+    registers it believes empty, plus a scan pointer [A_p].  To deposit it
+    proposes the smallest candidate through the snapshot object [W]; while
+    the proposal collides it re-proposes by rank; once its proposal [i] is
+    unique it double-checks that Rᵢ is still empty and then deposits —
+    the value is never overwritten because any later claimant of [i] either
+    sees it held in [W] or finds Rᵢ non-empty.  If Rᵢ turned out full the
+    process {e verifies} its list (drops filled registers, replenishing
+    each from the scan pointer) and retries.
+
+    Non-blocking; at most n−1 dedicated registers are never used for
+    deposits (one per crashed process pinning its held index), which
+    Corollary 2 proves optimal. *)
+
+type 'v t
+
+val create : Exsel_sim.Memory.t -> name:string -> n:int -> 'v t
+
+val n : 'v t -> int
+
+val deposit : 'v t -> me:int -> 'v -> int
+(** Deposit a value; returns the index of the register it now occupies
+    forever.  Must run inside a runtime process; a process must not
+    interleave two of its own deposits (the paper's no-pipelining rule). *)
+
+val registers : 'v t -> 'v Deposit_array.t
+(** The dedicated deposit array (for inspection and waste accounting). *)
+
+val deposits : 'v t -> (int * 'v) list
+(** All deposits visible now, in index order — test inspection. *)
+
+val candidate_lists : 'v t -> int list array
+(** Current local lists [L_p] — test inspection. *)
+
+val pinned : 'v t -> alive:(int -> bool) -> int list
+(** Indices currently held in [W] by non-[alive] processes and still
+    empty — the registers a crash has pinned forever (Theorem 8's waste). *)

@@ -1,0 +1,152 @@
+module Memory = Exsel_sim.Memory
+module Register = Exsel_sim.Register
+module Runtime = Exsel_sim.Runtime
+module Snapshot = Exsel_snapshot.Snapshot
+
+type suite = {
+  entries : int Register.t array;  (* the 2n-1 published candidates *)
+  frontier : int Register.t;  (* published A_p *)
+}
+
+type local = {
+  values : int array;  (* mirror of the published candidate multiset *)
+  mutable pointer : int;  (* mirror of A_p *)
+}
+
+type t = {
+  n : int;
+  w : int option Snapshot.t;
+  suites : suite array;
+  locals : local array;
+  mutable committed : (int * int) list;  (* (name, owner), newest first *)
+}
+
+let list_len n = (2 * n) - 1
+
+let create mem ~name ~n =
+  if n <= 0 then invalid_arg "Unbounded_naming.create: n must be positive";
+  let len = list_len n in
+  let suites =
+    Array.init n (fun p ->
+        {
+          entries =
+            Array.init len (fun i ->
+                Register.create mem ~name:(Printf.sprintf "%s.B%d[%d]" name p i) i);
+          frontier = Register.create mem ~name:(Printf.sprintf "%s.A%d" name p) len;
+        })
+  in
+  let locals =
+    Array.init n (fun _ -> { values = Array.init len (fun i -> i); pointer = len })
+  in
+  {
+    n;
+    w = Snapshot.create mem ~name:(name ^ ".W") ~n ~init:None;
+    suites;
+    locals;
+    committed = [];
+  }
+
+let n t = t.n
+
+let min_value values =
+  Array.fold_left min values.(0) values
+
+(* Replace candidate [x] in [me]'s list by a fresh frontier integer, and
+   publish the change: the entry slot is written before the frontier so a
+   concurrent reader never sees the fresh integer as unavailable. *)
+let replace_candidate t ~me x =
+  let local = t.locals.(me) in
+  let suite = t.suites.(me) in
+  let idx =
+    let rec find i =
+      if i >= Array.length local.values then
+        invalid_arg "Unbounded_naming: candidate not in list"
+      else if local.values.(i) = x then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let fresh = local.pointer in
+  local.values.(idx) <- fresh;
+  local.pointer <- fresh + 1;
+  Runtime.write suite.entries.(idx) fresh;
+  Runtime.write suite.frontier local.pointer
+
+(* Does process [q] (per its published B registers) still believe [x] is
+   available?  Available-according-to-q means x is on q's list or at least
+   as large as q's frontier. *)
+let available_per t ~q x =
+  let suite = t.suites.(q) in
+  let rec in_entries i =
+    i < Array.length suite.entries
+    && (Runtime.read suite.entries.(i) = x || in_entries (i + 1))
+  in
+  if in_entries 0 then true else x >= Runtime.read suite.frontier
+
+let available_to_all t ~me x =
+  let rec go q =
+    q >= t.n || ((q = me || available_per t ~q x) && go (q + 1))
+  in
+  go 0
+
+(* Choose by rank: with k = rank of me among processes whose proposal is on
+   my list, pick the k-th smallest of my candidates that appear in nobody's
+   proposal. *)
+let choose_by_rank t ~me view =
+  let local = t.locals.(me) in
+  let on_list v = Array.exists (fun e -> e = v) local.values in
+  let holders =
+    List.filter_map
+      (fun q -> match view.(q) with Some v when on_list v -> Some q | Some _ | None -> None)
+      (List.init t.n Fun.id)
+  in
+  let rank = 1 + List.length (List.filter (fun q -> q < me) holders) in
+  let proposed =
+    Array.to_list view |> List.filter_map Fun.id |> List.sort_uniq compare
+  in
+  let candidates =
+    Array.to_list local.values
+    |> List.filter (fun v -> not (List.mem v proposed))
+    |> List.sort compare
+  in
+  match List.nth_opt candidates (rank - 1) with
+  | Some x -> x
+  | None -> (
+      (* cannot happen with 2n-1 candidates and a duplicated proposal in
+         the view (at most n-1 distinct proposals); keep a defensive
+         fallback on the largest free candidate *)
+      match List.rev candidates with
+      | x :: _ -> x
+      | [] -> invalid_arg "Unbounded_naming: exhausted candidate list")
+
+let acquire t ~me =
+  if me < 0 || me >= t.n then invalid_arg "Unbounded_naming.acquire: bad slot";
+  let local = t.locals.(me) in
+  let rec attempt proposal =
+    Snapshot.update t.w ~me (Some proposal);
+    let view = Snapshot.scan t.w ~me in
+    let unique =
+      not
+        (List.exists
+           (fun q -> q <> me && view.(q) = Some proposal)
+           (List.init t.n Fun.id))
+    in
+    if not unique then attempt (choose_by_rank t ~me view)
+    else if available_to_all t ~me proposal then begin
+      (* commit: publish unavailability before the proposal can be
+         released from W by a later update *)
+      replace_candidate t ~me proposal;
+      t.committed <- (proposal, me) :: t.committed;
+      proposal
+    end
+    else begin
+      (* someone committed to it earlier: drop it and retry *)
+      replace_candidate t ~me proposal;
+      attempt (min_value local.values)
+    end
+  in
+  attempt (min_value local.values)
+
+let committed t = List.rev t.committed
+let committed_names t = List.sort compare (List.map fst t.committed)
+let holder_view t = Snapshot.peek t.w

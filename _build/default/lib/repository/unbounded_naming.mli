@@ -1,0 +1,44 @@
+(** Exclusive acquisition of unbounded integer names (Theorem 10).
+
+    Each process keeps a local candidate list [L_p] of 2n−1 integers and a
+    frontier pointer [A_p], mirrored in shared registers [B_p] (2n
+    registers per process).  To acquire, a process proposes candidates
+    through an atomic-snapshot object [W]: it re-proposes by rank while its
+    proposal collides, and once its proposal [i] is unique in a snapshot it
+    checks every [B_q] to confirm that all processes still believe [i] is
+    available (i.e. [i ∈ L_q] or [i ≥ A_q]); if so it {e commits} to [i],
+    removes [i] from its list, replenishes from its frontier and publishes
+    the change in [B_p] {e before} releasing [i] in [W].
+
+    Exclusiveness: committing requires holding [i] uniquely in [W], and a
+    process that already released [i] has published its unavailability
+    first, so a later claimant's availability check fails.
+
+    Progress: non-blocking.  A crashed process can pin forever at most the
+    one integer it holds in [W], hence at most n−1 integers are never
+    assigned — which Corollary 2 shows is optimal.  The wait-free variant
+    of Theorem 10 is obtained by serving names through a {!Help_board}. *)
+
+type t
+
+val create : Exsel_sim.Memory.t -> name:string -> n:int -> t
+(** [n] processes, slots [0 .. n−1].  Allocates the snapshot object and
+    the [n·2n] registers of the [B] suites. *)
+
+val n : t -> int
+
+val acquire : t -> me:int -> int
+(** Commit to a fresh integer, exclusively.  Non-blocking: may loop while
+    other processes acquire, but some acquisition always completes.  Must
+    run inside a runtime process; a process must not interleave two of its
+    own acquisitions. *)
+
+val committed : t -> (int * int) list
+(** All [(name, owner)] commitments so far, in commitment order — test
+    inspection. *)
+
+val committed_names : t -> int list
+(** Names only, sorted — test inspection. *)
+
+val holder_view : t -> int option array
+(** Current proposals in [W] — test inspection, non-atomic. *)

@@ -1,0 +1,1 @@
+lib/sim/explore.ml: Format List Printf Runtime

@@ -1,0 +1,1 @@
+lib/sim/register.mli: Memory

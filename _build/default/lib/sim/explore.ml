@@ -1,0 +1,115 @@
+type choice = Step of int | Crash of int
+
+type reduction = [ `None | `Sleep_sets ]
+
+type outcome = {
+  paths : int;
+  states : int;
+  truncated : bool;
+  failure : (string * choice list) option;
+}
+
+exception Done of outcome
+
+let pp_choice ppf = function
+  | Step pid -> Format.fprintf ppf "step p%d" pid
+  | Crash pid -> Format.fprintf ppf "crash p%d" pid
+
+let independent op1 op2 =
+  match (op1, op2) with
+  | Runtime.Read _, Runtime.Read _ -> true
+  | Runtime.Read r, Runtime.Write w | Runtime.Write w, Runtime.Read r -> r <> w
+  | Runtime.Write a, Runtime.Write b -> a <> b
+
+let proc_by_pid rt pid =
+  match List.find_opt (fun p -> Runtime.pid p = pid) (Runtime.procs rt) with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Explore: no process with pid %d" pid)
+
+let apply rt = function
+  | Step pid -> Runtime.commit rt (proc_by_pid rt pid)
+  | Crash pid -> Runtime.crash rt (proc_by_pid rt pid)
+
+let replay rt choices = List.iter (apply rt) choices
+
+let run ?(max_crashes = 0) ?(max_paths = 1_000_000) ?(reduction = `None) ~init ~check
+    () =
+  if reduction = `Sleep_sets && max_crashes > 0 then
+    invalid_arg "Explore.run: sleep-set reduction requires max_crashes = 0";
+  let paths = ref 0 in
+  let states = ref 0 in
+  let finish_path ctx rt prefix =
+    incr paths;
+    (match check ctx rt with
+    | Ok () -> ()
+    | Error msg ->
+        raise
+          (Done
+             { paths = !paths; states = !states; truncated = false; failure = Some (msg, prefix) }));
+    if !paths >= max_paths then
+      raise (Done { paths = !paths; states = !states; truncated = true; failure = None })
+  in
+  (* Depth-first over choice sequences; each node re-instantiates and
+     replays its prefix, so state reconstruction is exact and memory use
+     stays flat.  [sleep] holds (pid, pending op) pairs whose immediate
+     exploration from this node is provably redundant: executing a
+     sleeping operation first only commutes independent neighbours of an
+     already-explored branch.  A sleeping process wakes (drops out of the
+     set) as soon as a dependent operation executes. *)
+  let rec explore prefix sleep =
+    let ctx, rt = init () in
+    replay rt prefix;
+    match Runtime.runnable rt with
+    | [] -> finish_path ctx rt prefix
+    | runnable ->
+        let enabled =
+          List.map
+            (fun p ->
+              match Runtime.pending p with
+              | Some op -> (Runtime.pid p, op)
+              | None -> assert false (* runnable implies pending *))
+            runnable
+        in
+        let candidates =
+          List.filter (fun (pid, _) -> not (List.mem_assoc pid sleep)) enabled
+        in
+        (* all enabled moves sleeping: this branch is covered elsewhere *)
+        if candidates <> [] then begin
+          let explored = ref [] in
+          List.iter
+            (fun (pid, op) ->
+              incr states;
+              let child_sleep =
+                List.filter (fun (_, op') -> independent op op') (sleep @ !explored)
+              in
+              explore (prefix @ [ Step pid ]) child_sleep;
+              explored := (pid, op) :: !explored)
+            candidates
+        end
+  in
+  try
+    (if reduction = `Sleep_sets then explore [] []
+     else
+       (* unreduced engine: every enabled step, plus crash decisions *)
+       let rec explore_full prefix crashes =
+         let ctx, rt = init () in
+         replay rt prefix;
+         match Runtime.runnable rt with
+         | [] -> finish_path ctx rt prefix
+         | runnable ->
+             let pids = List.map Runtime.pid runnable in
+             List.iter
+               (fun pid ->
+                 incr states;
+                 explore_full (prefix @ [ Step pid ]) crashes)
+               pids;
+             if crashes < max_crashes then
+               List.iter
+                 (fun pid ->
+                   incr states;
+                   explore_full (prefix @ [ Crash pid ]) (crashes + 1))
+                 pids
+       in
+       explore_full [] 0);
+    { paths = !paths; states = !states; truncated = false; failure = None }
+  with Done o -> o

@@ -1,0 +1,36 @@
+type 'v write = { at : int; location : int; value : 'v }
+
+let validity_windows ~writes ~location ~value ~init =
+  let ws =
+    writes
+    |> List.filter (fun w -> w.location = location)
+    |> List.sort (fun a b -> compare a.at b.at)
+  in
+  let timeline = { at = -1; location; value = init location } :: ws in
+  let rec windows = function
+    | [] -> []
+    | [ w ] -> [ (w.value, w.at, max_int) ]
+    | w :: (w' :: _ as rest) -> (w.value, w.at, w'.at) :: windows rest
+  in
+  List.filter_map
+    (fun (v, from, until) -> if v = value then Some (from, until) else None)
+    (windows timeline)
+
+let consistent_cut ~writes ~window:(lo, hi) ~view ~init =
+  let candidate_windows =
+    List.map
+      (fun (location, value) -> validity_windows ~writes ~location ~value ~init)
+      view
+  in
+  (* a common point G exists iff some choice of one window per location
+     has max(froms) <= G < min(untils) with lo <= G <= hi *)
+  let rec feasible chosen = function
+    | [] ->
+        let from_max = List.fold_left (fun a (f, _) -> max a f) (-1) chosen in
+        let until_min = List.fold_left (fun a (_, u) -> min a u) max_int chosen in
+        let g_lo = max from_max lo in
+        let g_hi = min (until_min - 1) hi in
+        g_lo <= g_hi
+    | ws :: rest -> List.exists (fun w -> feasible (w :: chosen) rest) ws
+  in
+  feasible [] candidate_windows

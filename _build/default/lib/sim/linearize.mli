@@ -1,0 +1,35 @@
+(** Consistent-cut checking for composite read operations.
+
+    A scan-like operation (an atomic snapshot's [scan], a collect) claims
+    to return values of many registers "at one instant".  This module
+    checks that claim against a recorded execution: given the per-location
+    write history (commit index, location, value) and the operation's
+    commit window, [consistent_cut] decides whether some single point [G]
+    inside the window exists at which every returned value was the latest
+    write to its location.
+
+    Histories are typically gathered with {!Trace} or an
+    {!Runtime.on_commit} hook; the snapshot test suite uses this checker
+    to validate linearizability of scans under random schedules. *)
+
+type 'v write = { at : int; location : int; value : 'v }
+(** One committed write: [at] is the global commit index. *)
+
+val consistent_cut :
+  writes:'v write list ->
+  window:int * int ->
+  view:(int * 'v) list ->
+  init:(int -> 'v) ->
+  bool
+(** [consistent_cut ~writes ~window:(lo, hi) ~view ~init] holds when there
+    is a linearization point [G] with [lo ≤ G ≤ hi] such that for every
+    [(location, value)] in [view], [value] is the latest write to
+    [location] at index [≤ G] ([init location] if none).  Locations absent
+    from [view] are unconstrained. *)
+
+val validity_windows :
+  writes:'v write list -> location:int -> value:'v -> init:(int -> 'v) ->
+  (int * int) list
+(** The half-open index intervals [(from, until)] during which [value] was
+    current at [location]; [max_int] marks "still current".  Exposed for
+    diagnostics. *)

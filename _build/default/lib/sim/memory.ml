@@ -1,0 +1,19 @@
+type t = {
+  mutable next_id : int;
+  mutable reads : int;
+  mutable writes : int;
+}
+
+let create () = { next_id = 0; reads = 0; writes = 0 }
+
+let registers t = t.next_id
+let reads t = t.reads
+let writes t = t.writes
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+let note_read t = t.reads <- t.reads + 1
+let note_write t = t.writes <- t.writes + 1

@@ -1,0 +1,30 @@
+(** Shared-memory accounting.
+
+    A [Memory.t] tracks how many shared registers a protocol has allocated
+    and how often they are accessed.  The paper's register complexity [r] of
+    an algorithm is exactly [Memory.registers] of the memory it ran against;
+    its step complexity is counted per process by {!Runtime}. *)
+
+type t
+
+val create : unit -> t
+(** A fresh memory with no registers. *)
+
+val registers : t -> int
+(** Number of registers allocated so far (the paper's [r]). *)
+
+val reads : t -> int
+(** Total committed read operations across all registers. *)
+
+val writes : t -> int
+(** Total committed write operations across all registers. *)
+
+val fresh_id : t -> int
+(** Allocate a new register identifier.  Used by {!Register.create};
+    protocols do not call this directly. *)
+
+val note_read : t -> unit
+(** Record one committed read.  Called by the runtime. *)
+
+val note_write : t -> unit
+(** Record one committed write.  Called by the runtime. *)

@@ -1,0 +1,31 @@
+type summary = {
+  processes : int;
+  completed : int;
+  crashed : int;
+  max_steps : int;
+  total_steps : int;
+  registers : int;
+  reads : int;
+  writes : int;
+}
+
+let of_runtime t =
+  let procs = Runtime.procs t in
+  let count st = List.length (List.filter (fun p -> Runtime.status p = st) procs) in
+  let mem = Runtime.memory t in
+  {
+    processes = List.length procs;
+    completed = count Runtime.Done;
+    crashed = count Runtime.Crashed;
+    max_steps = Runtime.max_steps t;
+    total_steps = List.fold_left (fun acc p -> acc + Runtime.steps p) 0 procs;
+    registers = Memory.registers mem;
+    reads = Memory.reads mem;
+    writes = Memory.writes mem;
+  }
+
+let pp ppf s =
+  Format.fprintf ppf
+    "procs=%d done=%d crashed=%d max_steps=%d total_steps=%d regs=%d r/w=%d/%d"
+    s.processes s.completed s.crashed s.max_steps s.total_steps s.registers
+    s.reads s.writes

@@ -1,0 +1,22 @@
+(** Execution summaries.
+
+    A {!summary} captures the complexity measures the paper reports:
+    worst-case local steps over processes, the number of shared registers
+    used, and outcome counts. *)
+
+type summary = {
+  processes : int;
+  completed : int;
+  crashed : int;
+  max_steps : int;  (** worst-case local steps (the paper's time measure) *)
+  total_steps : int;
+  registers : int;  (** the paper's register count [r] *)
+  reads : int;
+  writes : int;
+}
+
+val of_runtime : Runtime.t -> summary
+(** Snapshot the measures of an execution. *)
+
+val pp : Format.formatter -> summary -> unit
+(** Human-readable one-line rendering. *)

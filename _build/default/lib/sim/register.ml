@@ -1,0 +1,29 @@
+type 'a t = {
+  id : int;
+  name : string;
+  memory : Memory.t;
+  mutable value : 'a;
+  mutable reads : int;
+  mutable writes : int;
+}
+
+let create memory ~name init =
+  { id = Memory.fresh_id memory; name; memory; value = init; reads = 0; writes = 0 }
+
+let id t = t.id
+let name t = t.name
+let peek t = t.value
+let poke t v = t.value <- v
+let reads t = t.reads
+let writes t = t.writes
+let memory t = t.memory
+
+let commit_read t =
+  t.reads <- t.reads + 1;
+  Memory.note_read t.memory;
+  t.value
+
+let commit_write t v =
+  t.writes <- t.writes + 1;
+  Memory.note_write t.memory;
+  t.value <- v

@@ -1,0 +1,44 @@
+(** Atomic multi-reader multi-writer shared registers.
+
+    Registers are the only means of inter-process communication in the
+    model.  A register is typed by the values it holds; protocols define a
+    value type per register family (commonly ['a option] with [None] playing
+    the paper's [null]).
+
+    Reads and writes of registers are {e not} performed through this module
+    directly by protocol code: processes running under {!Runtime} use
+    {!Runtime.read} and {!Runtime.write}, which suspend the process so the
+    scheduler can interleave operations.  The accessors here ([peek],
+    [poke]) act immediately and are reserved for initialisation and for
+    test-harness inspection outside of simulated executions. *)
+
+type 'a t
+
+val create : Memory.t -> name:string -> 'a -> 'a t
+(** [create mem ~name init] allocates a fresh register holding [init].
+    [name] is a diagnostic label used in traces. *)
+
+val id : 'a t -> int
+(** Unique identifier within the owning memory. *)
+
+val name : 'a t -> string
+(** Diagnostic label. *)
+
+val peek : 'a t -> 'a
+(** Current value, outside of any simulated execution. *)
+
+val poke : 'a t -> 'a -> unit
+(** Overwrite the value, outside of any simulated execution. *)
+
+val reads : 'a t -> int
+(** Committed reads of this register. *)
+
+val writes : 'a t -> int
+(** Committed writes to this register. *)
+
+(**/**)
+
+(* Internal: used by Runtime to commit operations. *)
+val commit_read : 'a t -> 'a
+val commit_write : 'a t -> 'a -> unit
+val memory : 'a t -> Memory.t

@@ -1,0 +1,36 @@
+(** Deterministic splittable pseudo-random number generator (SplitMix64).
+
+    Every source of randomness in the simulator — schedulers, crash
+    injection, expander sampling — draws from an explicit [Rng.t] created
+    from a seed, so that entire executions are reproducible bit-for-bit.
+    The global [Stdlib.Random] state is never touched. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int -> t
+(** [create ~seed] returns a fresh generator determined by [seed]. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t].
+    Streams produced by the two generators are statistically independent. *)
+
+val int : t -> int -> int
+(** [int t bound] draws a uniform integer in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val bits64 : t -> int64
+(** [bits64 t] draws 64 uniform bits. *)
+
+val bool : t -> bool
+(** [bool t] draws a uniform boolean. *)
+
+val float : t -> float
+(** [float t] draws a uniform float in [\[0, 1)]. *)
+
+val shuffle : t -> 'a array -> unit
+(** [shuffle t a] permutes [a] in place, uniformly at random. *)
+
+val pick : t -> 'a list -> 'a
+(** [pick t xs] returns a uniformly chosen element of [xs].
+    @raise Invalid_argument if [xs] is empty. *)

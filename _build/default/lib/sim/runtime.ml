@@ -1,0 +1,151 @@
+type op_kind = Read of int | Write of int
+
+type status = Runnable | Done | Crashed
+
+exception Stalled
+exception Crash_signal
+
+type pending = {
+  kind : op_kind;
+  apply : unit -> unit;  (* commit the memory effect and resume the fiber *)
+  kill : unit -> unit;  (* unwind the fiber with Crash_signal *)
+}
+
+type proc = {
+  pid : int;
+  name : string;
+  mutable status : status;
+  mutable pending_op : pending option;
+  mutable steps : int;
+}
+
+type t = {
+  memory : Memory.t;
+  mutable procs_rev : proc list;
+  mutable nprocs : int;
+  mutable commits : int;
+  mutable hooks : (proc -> op_kind -> unit) list;
+}
+
+type _ Effect.t +=
+  | E_read : 'a Register.t -> 'a Effect.t
+  | E_write : 'a Register.t * 'a -> unit Effect.t
+
+let create memory = { memory; procs_rev = []; nprocs = 0; commits = 0; hooks = [] }
+
+let memory t = t.memory
+
+let read r = Effect.perform (E_read r)
+let write r v = Effect.perform (E_write (r, v))
+
+let spawn t ~name body =
+  let p =
+    { pid = t.nprocs; name; status = Runnable; pending_op = None; steps = 0 }
+  in
+  t.procs_rev <- p :: t.procs_rev;
+  t.nprocs <- t.nprocs + 1;
+  let open Effect.Deep in
+  let handler : (unit, unit) handler =
+    {
+      retc =
+        (fun () ->
+          p.status <- Done;
+          p.pending_op <- None);
+      exnc =
+        (fun e ->
+          match e with
+          | Crash_signal ->
+              p.status <- Crashed;
+              p.pending_op <- None
+          | e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | E_read r ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  p.pending_op <-
+                    Some
+                      {
+                        kind = Read (Register.id r);
+                        apply =
+                          (fun () ->
+                            p.pending_op <- None;
+                            p.steps <- p.steps + 1;
+                            let v = Register.commit_read r in
+                            continue k v);
+                        kill = (fun () -> discontinue k Crash_signal);
+                      })
+          | E_write (r, v) ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  p.pending_op <-
+                    Some
+                      {
+                        kind = Write (Register.id r);
+                        apply =
+                          (fun () ->
+                            p.pending_op <- None;
+                            p.steps <- p.steps + 1;
+                            Register.commit_write r v;
+                            continue k ());
+                        kill = (fun () -> discontinue k Crash_signal);
+                      })
+          | _ -> None);
+    }
+  in
+  match_with body () handler;
+  p
+
+let procs t = List.rev t.procs_rev
+let pid p = p.pid
+let proc_name p = p.name
+let status p = p.status
+let steps p = p.steps
+
+let pending p =
+  match p.pending_op with None -> None | Some pd -> Some pd.kind
+
+let commit t p =
+  match p.status, p.pending_op with
+  | Runnable, Some pd ->
+      t.commits <- t.commits + 1;
+      pd.apply ();
+      List.iter (fun hook -> hook p pd.kind) t.hooks
+  | _, _ -> invalid_arg "Runtime.commit: process is not runnable"
+
+let crash _t p =
+  match p.status, p.pending_op with
+  | Runnable, Some pd ->
+      p.pending_op <- None;
+      pd.kill ()
+  | Runnable, None ->
+      (* spawned but suspended state lost: mark directly *)
+      p.status <- Crashed
+  | (Done | Crashed), _ -> ()
+
+let runnable t = List.filter (fun p -> p.status = Runnable) (procs t)
+let all_quiet t = runnable t = []
+let commits t = t.commits
+
+let max_steps t =
+  List.fold_left (fun acc p -> max acc p.steps) 0 (procs t)
+
+let run ?max_commits t policy =
+  let budget = ref max_commits in
+  let rec loop () =
+    (match !budget with
+    | Some b when b <= 0 -> if not (all_quiet t) then raise Stalled
+    | _ -> (
+        match policy t with
+        | None -> ()
+        | Some p ->
+            commit t p;
+            (match !budget with
+            | Some b -> budget := Some (b - 1)
+            | None -> ());
+            loop ()))
+  in
+  loop ()
+
+let on_commit t hook = t.hooks <- hook :: t.hooks

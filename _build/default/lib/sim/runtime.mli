@@ -1,0 +1,107 @@
+(** Cooperative runtime for asynchronous crash-prone processes.
+
+    Protocol code is ordinary OCaml written in direct style; every shared
+    register access ({!read}, {!write}) suspends the process through an
+    effect handler.  The suspended operation is exposed as a {e pending}
+    operation — its kind and target register are visible {e before} it takes
+    effect — and a scheduler (or an adversary, cf. the paper's Theorem 6)
+    decides the order in which pending operations commit.  Exactly one
+    operation commits at a time, so executions are linearizable by
+    construction and every asynchronous interleaving is reachable.
+
+    Crashes: a process can be crashed at any point; its pending operation is
+    discarded and its fiber unwound.  A crashed process takes no further
+    steps, matching the paper's crash-fault model.
+
+    Local steps: the runtime counts committed shared-memory operations per
+    process; [steps] of a process is the paper's local-step complexity. *)
+
+type t
+(** A runtime instance: a set of processes over one shared memory. *)
+
+type proc
+(** Handle on a spawned process. *)
+
+type op_kind =
+  | Read of int  (** pending read of register [id] *)
+  | Write of int  (** pending write to register [id] *)
+
+type status =
+  | Runnable  (** has a pending operation awaiting commit *)
+  | Done  (** body returned *)
+  | Crashed  (** crashed by the scheduler *)
+
+exception Stalled
+(** Raised by {!run} when a positive [max_commits] budget is exhausted while
+    runnable processes remain — a liveness-failure detector for tests. *)
+
+val create : Memory.t -> t
+(** [create mem] makes a runtime whose processes share memory [mem]. *)
+
+val memory : t -> Memory.t
+
+val spawn : t -> name:string -> (unit -> unit) -> proc
+(** [spawn t ~name body] starts a process.  The body runs immediately up to
+    its first shared-memory operation (or to completion if it performs
+    none); thereafter it advances only when the scheduler commits its
+    pending operations.  Results should be communicated through refs or
+    registers captured by [body]. *)
+
+(** {2 Operations available inside process bodies} *)
+
+val read : 'a Register.t -> 'a
+(** Suspend on a read; returns the register's value at commit time.
+    Must be called from within a spawned process body. *)
+
+val write : 'a Register.t -> 'a -> unit
+(** Suspend on a write; the register is updated at commit time.
+    Must be called from within a spawned process body. *)
+
+(** {2 Scheduling interface} *)
+
+val procs : t -> proc list
+(** All processes in spawn order. *)
+
+val pid : proc -> int
+(** Dense index of the process (0-based, in spawn order). *)
+
+val proc_name : proc -> string
+
+val status : proc -> status
+
+val steps : proc -> int
+(** Committed shared-memory operations of this process so far. *)
+
+val pending : proc -> op_kind option
+(** The operation the process is suspended on, if runnable. *)
+
+val commit : t -> proc -> unit
+(** Commit the pending operation of a runnable process: the memory effect
+    takes place and the process runs to its next suspension point or to
+    completion.  @raise Invalid_argument if the process is not runnable. *)
+
+val crash : t -> proc -> unit
+(** Crash a process: discard its pending operation and unwind its fiber.
+    Idempotent on finished processes. *)
+
+val runnable : t -> proc list
+(** Processes currently awaiting a commit. *)
+
+val all_quiet : t -> bool
+(** [true] when no process is runnable (all done or crashed). *)
+
+val commits : t -> int
+(** Total operations committed in this runtime. *)
+
+val max_steps : t -> int
+(** Maximum {!steps} over all processes — the paper's worst-case local-step
+    measure for the execution. *)
+
+val run : ?max_commits:int -> t -> (t -> proc option) -> unit
+(** [run t policy] repeatedly asks [policy] for a runnable process and
+    commits its pending operation, until [policy] returns [None] or no
+    process is runnable.  [max_commits] (default unlimited) bounds the total
+    number of commits; exceeding it raises {!Stalled}. *)
+
+val on_commit : t -> (proc -> op_kind -> unit) -> unit
+(** Install a callback invoked after every commit (tracing, invariants). *)

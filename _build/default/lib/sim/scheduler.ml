@@ -1,0 +1,52 @@
+type policy = Runtime.t -> Runtime.proc option
+
+let round_robin () =
+  let last = ref (-1) in
+  fun t ->
+    match Runtime.runnable t with
+    | [] -> None
+    | rs ->
+        let after =
+          List.filter (fun p -> Runtime.pid p > !last) rs
+        in
+        let p = match after with p :: _ -> p | [] -> List.hd rs in
+        last := Runtime.pid p;
+        Some p
+
+let random rng t =
+  match Runtime.runnable t with
+  | [] -> None
+  | rs -> Some (List.nth rs (Rng.int rng (List.length rs)))
+
+let sequential () t =
+  match Runtime.runnable t with [] -> None | p :: _ -> Some p
+
+let with_crashes ~crash_at inner =
+  let plan = ref crash_at in
+  fun t ->
+    let now = Runtime.commits t in
+    let due, later = List.partition (fun (c, _) -> c <= now) !plan in
+    plan := later;
+    List.iter
+      (fun (_, pid) ->
+        match List.find_opt (fun p -> Runtime.pid p = pid) (Runtime.procs t) with
+        | Some p -> Runtime.crash t p
+        | None -> ())
+      due;
+    inner t
+
+let random_crashes rng ~victims ~prob inner t =
+  List.iter
+    (fun p ->
+      if
+        Runtime.status p = Runtime.Runnable
+        && List.mem (Runtime.pid p) victims
+        && Rng.float rng < prob
+      then Runtime.crash t p)
+    (Runtime.procs t);
+  inner t
+
+let run ?max_commits t policy = Runtime.run ?max_commits t policy
+
+let run_for t ~commits policy =
+  try Runtime.run ~max_commits:commits t policy with Runtime.Stalled -> ()

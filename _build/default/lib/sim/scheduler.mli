@@ -1,0 +1,39 @@
+(** Scheduling policies and crash injection.
+
+    A policy picks which runnable process commits its next shared-memory
+    operation.  Policies compose: {!with_crashes} wraps any policy with a
+    crash plan.  Fully programmatic adversaries (such as the lower-bound
+    construction of the paper's Theorem 6) drive {!Runtime.commit} directly
+    instead of going through a policy. *)
+
+type policy = Runtime.t -> Runtime.proc option
+(** Return the process whose pending operation should commit next, or
+    [None] to stop the execution. *)
+
+val round_robin : unit -> policy
+(** Fair cyclic order over runnable processes.  Fresh state per call. *)
+
+val random : Rng.t -> policy
+(** Uniformly random runnable process at each commit. *)
+
+val sequential : unit -> policy
+(** Run the lowest-pid runnable process to completion, then the next.
+    Simulates the solo/contention-free schedule (useful for wait-freedom
+    tests: processes observed after all others crashed). *)
+
+val with_crashes : crash_at:(int * int) list -> policy -> policy
+(** [with_crashes ~crash_at policy] crashes process [pid] just before the
+    [c]-th global commit for each [(c, pid)] in [crash_at] (commits are
+    numbered from 0), then defers to [policy]. *)
+
+val random_crashes : Rng.t -> victims:int list -> prob:float -> policy -> policy
+(** Before each commit, each still-runnable victim crashes with probability
+    [prob].  Deterministic given the generator. *)
+
+val run : ?max_commits:int -> Runtime.t -> policy -> unit
+(** Alias of {!Runtime.run} for readability at call sites. *)
+
+val run_for : Runtime.t -> commits:int -> policy -> unit
+(** Drive at most [commits] operations and return, whether or not work
+    remains — a warm-up/partial-execution helper that, unlike a [run] with
+    [max_commits], never raises {!Runtime.Stalled}. *)

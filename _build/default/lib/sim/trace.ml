@@ -1,0 +1,45 @@
+type event = {
+  index : int;
+  pid : int;
+  proc_name : string;
+  op : Runtime.op_kind;
+  step : int;
+}
+
+type t = { mutable events_rev : event list; mutable count : int }
+
+let attach rt =
+  let t = { events_rev = []; count = 0 } in
+  Runtime.on_commit rt (fun p op ->
+      let e =
+        {
+          index = t.count;
+          pid = Runtime.pid p;
+          proc_name = Runtime.proc_name p;
+          op;
+          step = Runtime.steps p;
+        }
+      in
+      t.events_rev <- e :: t.events_rev;
+      t.count <- t.count + 1);
+  t
+
+let events t = List.rev t.events_rev
+let length t = t.count
+
+let by_process t pid = List.filter (fun e -> e.pid = pid) (events t)
+
+let writes_to t reg_id =
+  List.filter
+    (fun e -> match e.op with Runtime.Write r -> r = reg_id | Runtime.Read _ -> false)
+    (events t)
+
+let pp_event ppf e =
+  let kind, reg =
+    match e.op with Runtime.Read r -> ("read", r) | Runtime.Write r -> ("write", r)
+  in
+  Format.fprintf ppf "#%d %s(p%d) %s reg%d (local step %d)" e.index e.proc_name
+    e.pid kind reg e.step
+
+let pp ppf t =
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_event e) (events t)

@@ -1,0 +1,36 @@
+(** Execution traces.
+
+    A trace records committed operations in order — the linearization of
+    the execution — for debugging, for invariant checkers that need
+    history (e.g. the snapshot consistent-cut test), and for rendering
+    schedules found by {!Explore}.  Recording costs one list cell per
+    commit; attach only when needed. *)
+
+type event = {
+  index : int;  (** global commit index, from 0 *)
+  pid : int;
+  proc_name : string;
+  op : Runtime.op_kind;
+  step : int;  (** the process's local step count after this commit *)
+}
+
+type t
+
+val attach : Runtime.t -> t
+(** Start recording the runtime's commits (from now on). *)
+
+val events : t -> event list
+(** Events recorded so far, oldest first. *)
+
+val length : t -> int
+
+val by_process : t -> int -> event list
+(** Events of one process, oldest first. *)
+
+val writes_to : t -> int -> event list
+(** Write events targeting a register id, oldest first. *)
+
+val pp_event : Format.formatter -> event -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Full trace, one event per line. *)

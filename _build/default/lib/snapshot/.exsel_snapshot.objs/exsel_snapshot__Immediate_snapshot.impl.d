@@ -1,0 +1,1 @@
+lib/snapshot/immediate_snapshot.ml: Array Exsel_sim List Printf

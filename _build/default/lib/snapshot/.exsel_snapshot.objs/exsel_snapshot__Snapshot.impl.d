@@ -1,0 +1,1 @@
+lib/snapshot/snapshot.ml: Array Exsel_sim Printf

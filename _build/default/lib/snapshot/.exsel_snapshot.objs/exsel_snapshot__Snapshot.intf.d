@@ -1,0 +1,1 @@
+lib/snapshot/snapshot.mli: Exsel_sim

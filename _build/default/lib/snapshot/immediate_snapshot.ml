@@ -1,0 +1,49 @@
+module Memory = Exsel_sim.Memory
+module Register = Exsel_sim.Register
+module Runtime = Exsel_sim.Runtime
+
+type 'a t = {
+  n : int;
+  values : 'a option Register.t array;
+  levels : int Register.t array;  (* n+1 = not started *)
+}
+
+let create mem ~name ~n =
+  if n <= 0 then invalid_arg "Immediate_snapshot.create: n must be positive";
+  {
+    n;
+    values =
+      Array.init n (fun i ->
+          Register.create mem ~name:(Printf.sprintf "%s.val%d" name i) None);
+    levels =
+      Array.init n (fun i ->
+          Register.create mem ~name:(Printf.sprintf "%s.lvl%d" name i) (n + 1));
+  }
+
+let size t = t.n
+
+(* Level descent: stopping at level ℓ exactly when ℓ processes occupy
+   levels <= ℓ yields the three properties — the processes that stop at
+   the same level see each other (immediacy), and lower levels see subsets
+   (containment). *)
+let access t ~me v =
+  if me < 0 || me >= t.n then invalid_arg "Immediate_snapshot.access: bad slot";
+  Runtime.write t.values.(me) (Some v);
+  let rec descend level =
+    Runtime.write t.levels.(me) level;
+    let below = ref [] in
+    for j = 0 to t.n - 1 do
+      if Runtime.read t.levels.(j) <= level then below := j :: !below
+    done;
+    if List.length !below >= level then List.sort compare !below
+    else descend (level - 1)
+  in
+  let members = descend t.n in
+  List.map
+    (fun j ->
+      match Runtime.read t.values.(j) with
+      | Some x -> (j, x)
+      | None ->
+          (* a process at a level has already published its value *)
+          assert false)
+    members

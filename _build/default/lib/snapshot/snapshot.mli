@@ -1,0 +1,36 @@
+(** Wait-free single-writer atomic snapshot from read/write registers.
+
+    The object holds [n] components; component [i] is written only by the
+    process occupying slot [i] and read by all.  [scan] returns a view of
+    all components that is linearizable with every [update] — the atomic
+    snapshot object of Afek, Attiya, Dolev, Gafni, Merritt and Shavit
+    (JACM 1993), which the paper's Section 5 assumes as object [W].
+
+    Implementation: unbounded sequence numbers with double collects; an
+    updater embeds the view of a scan it performs before writing, and a
+    scanner that observes the same component advance twice borrows that
+    embedded view.  Both operations are wait-free: [scan] commits at most
+    O(n²) reads, [update] O(n²) reads and one write.
+
+    All operations must be called from inside a {!Exsel_sim.Runtime}
+    process. *)
+
+type 'a t
+
+val create : Exsel_sim.Memory.t -> name:string -> n:int -> init:'a -> 'a t
+(** [create mem ~name ~n ~init] allocates an [n]-component snapshot whose
+    components all start as [init].  Uses [n] shared registers. *)
+
+val size : 'a t -> int
+
+val update : 'a t -> me:int -> 'a -> unit
+(** [update t ~me v] sets component [me] to [v].  Only one process may ever
+    act as writer of a given slot (single-writer discipline is the caller's
+    responsibility). *)
+
+val scan : 'a t -> me:int -> 'a array
+(** [scan t ~me] returns an atomic view of all [n] components. *)
+
+val peek : 'a t -> 'a array
+(** Current component values, outside of any simulated execution (test
+    inspection only; not linearizable). *)

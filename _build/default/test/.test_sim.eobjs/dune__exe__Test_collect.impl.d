@@ -1,0 +1,1 @@
+test/test_collect.ml: Alcotest Exsel_collect Exsel_sim List Memory Printf QCheck QCheck_alcotest Rng Runtime Scheduler

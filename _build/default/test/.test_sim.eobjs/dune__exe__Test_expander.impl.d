@@ -1,0 +1,1 @@
+test/test_expander.ml: Alcotest Array Bipartite Check Exsel_expander Exsel_sim Gen List Params QCheck QCheck_alcotest

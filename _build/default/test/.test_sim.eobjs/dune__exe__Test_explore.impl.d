@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Array Explore Exsel_renaming Exsel_sim Exsel_snapshot Format Fun Hashtbl List Memory Printf Register Runtime String

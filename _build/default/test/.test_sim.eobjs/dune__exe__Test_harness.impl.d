@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Exsel_harness Exsel_renaming List String

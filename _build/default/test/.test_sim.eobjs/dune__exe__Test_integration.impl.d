@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Exsel_collect Exsel_lowerbound Exsel_renaming Exsel_repository Exsel_sim Fun List Memory Printf Rng Runtime Scheduler

@@ -1,0 +1,1 @@
+test/test_long_lived.ml: Alcotest Array Explore Exsel_renaming Exsel_sim List Memory Printf QCheck QCheck_alcotest Rng Runtime Scheduler

@@ -1,0 +1,1 @@
+test/test_long_lived.mli:

@@ -1,0 +1,1 @@
+test/test_lowerbound.ml: Alcotest Array Exsel_lowerbound Exsel_renaming Exsel_sim List Memory Printf Rng Runtime

@@ -1,0 +1,1 @@
+test/test_msgnet.ml: Alcotest Exsel_msgnet Exsel_sim List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_repository.ml: Alcotest Array Exsel_repository Exsel_sim Fun List Memory Printf QCheck QCheck_alcotest Register Rng Runtime Scheduler

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Exsel_sim Format Linearize List Memory Metrics QCheck QCheck_alcotest Register Rng Runtime Scheduler String Trace

@@ -1,0 +1,1 @@
+test/test_snapshot.ml: Alcotest Array Exsel_sim Exsel_snapshot Fun Linearize List Memory Option Printf Rng Runtime Scheduler String

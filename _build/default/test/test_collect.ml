@@ -1,0 +1,278 @@
+(* Tests for Store&Collect (Theorem 5). *)
+
+open Exsel_sim
+module SC = Exsel_collect.Store_collect
+
+let run_with ~seed ?(max_commits = 10_000_000) rt =
+  Scheduler.run ~max_commits rt (Scheduler.random (Rng.create ~seed))
+
+let test_store_then_collect_known () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let sc = SC.create_known ~rng:(Rng.create ~seed:1) mem ~name:"sc" ~k:4 ~inputs:64 in
+  let collected = ref [] in
+  for i = 0 to 3 do
+    ignore
+      (Runtime.spawn rt ~name:(Printf.sprintf "s%d" i) (fun () ->
+           SC.store sc ~me:(i * 10) (100 + i)))
+  done;
+  Scheduler.run rt (Scheduler.round_robin ());
+  ignore (Runtime.spawn rt ~name:"collector" (fun () -> collected := SC.collect sc));
+  Scheduler.run rt (Scheduler.round_robin ());
+  let sorted = List.sort compare !collected in
+  Alcotest.(check (list (pair int int)))
+    "all proposals collected"
+    [ (0, 100); (10, 101); (20, 102); (30, 103) ]
+    sorted
+
+let test_store_overwrites_own_value () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let sc = SC.create_known ~rng:(Rng.create ~seed:2) mem ~name:"sc" ~k:2 ~inputs:16 in
+  let collected = ref [] in
+  ignore
+    (Runtime.spawn rt ~name:"s" (fun () ->
+         SC.store sc ~me:3 1;
+         SC.store sc ~me:3 2;
+         SC.store sc ~me:3 3;
+         collected := SC.collect sc));
+  Scheduler.run rt (Scheduler.round_robin ());
+  Alcotest.(check (list (pair int int))) "latest value only" [ (3, 3) ] !collected
+
+let test_subsequent_store_is_one_step () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let sc = SC.create_known ~rng:(Rng.create ~seed:3) mem ~name:"sc" ~k:2 ~inputs:16 in
+  let after_first = ref 0 in
+  let p =
+    Runtime.spawn rt ~name:"s" (fun () ->
+        SC.store sc ~me:1 10;
+        after_first := Runtime.steps (List.hd (Runtime.procs rt));
+        SC.store sc ~me:1 11)
+  in
+  Scheduler.run rt (Scheduler.round_robin ());
+  Alcotest.(check int) "second store costs 1 step" (!after_first + 1) (Runtime.steps p)
+
+let test_collect_steps_linear_in_contention () =
+  (* collect reads only the raised prefix: O(k) slots, not the whole table *)
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let sc = SC.create_adaptive ~rng:(Rng.create ~seed:4) mem ~name:"sc" ~n:16 in
+  let k = 3 in
+  for i = 0 to k - 1 do
+    ignore (Runtime.spawn rt ~name:(Printf.sprintf "s%d" i) (fun () -> SC.store sc ~me:i i))
+  done;
+  Scheduler.run ~max_commits:10_000_000 rt (Scheduler.random (Rng.create ~seed:5));
+  let collector = Runtime.spawn rt ~name:"c" (fun () -> ignore (SC.collect sc)) in
+  Scheduler.run rt (Scheduler.round_robin ());
+  let total_slots = SC.slots sc in
+  Alcotest.(check bool) "far fewer reads than slots" true
+    (Runtime.steps collector < total_slots / 2);
+  Alcotest.(check bool) "collector did some reads" true (Runtime.steps collector > 0)
+
+let test_concurrent_store_collect_regular () =
+  (* a collect concurrent with stores returns, for each process, either
+     nothing or one of its stored values *)
+  for seed = 1 to 10 do
+    let mem = Memory.create () in
+    let rt = Runtime.create mem in
+    let sc = SC.create_known ~rng:(Rng.create ~seed:(seed * 3)) mem ~name:"sc" ~k:3 ~inputs:32 in
+    let collected = ref [] in
+    for i = 0 to 2 do
+      ignore
+        (Runtime.spawn rt ~name:(Printf.sprintf "s%d" i) (fun () ->
+             SC.store sc ~me:i (10 * i);
+             SC.store sc ~me:i ((10 * i) + 1)))
+    done;
+    ignore (Runtime.spawn rt ~name:"c" (fun () -> collected := SC.collect sc));
+    run_with ~seed rt;
+    List.iter
+      (fun (owner, v) ->
+        if v <> 10 * owner && v <> (10 * owner) + 1 then
+          Alcotest.failf "seed %d: bogus pair (%d,%d)" seed owner v)
+      !collected;
+    let owners = List.map fst !collected in
+    if List.length owners <> List.length (List.sort_uniq compare owners) then
+      Alcotest.failf "seed %d: duplicate owner in collect" seed
+  done
+
+let test_collect_after_quiescence_complete () =
+  for seed = 1 to 8 do
+    let k = 2 + (seed mod 4) in
+    let mem = Memory.create () in
+    let rt = Runtime.create mem in
+    let sc =
+      SC.create_almost ~rng:(Rng.create ~seed:(seed * 7)) mem ~name:"sc" ~n:8 ~inputs:64
+    in
+    for i = 0 to k - 1 do
+      ignore
+        (Runtime.spawn rt ~name:(Printf.sprintf "s%d" i) (fun () ->
+             SC.store sc ~me:(i * 7) i))
+    done;
+    run_with ~seed rt;
+    let collected = ref [] in
+    ignore (Runtime.spawn rt ~name:"c" (fun () -> collected := SC.collect sc));
+    Scheduler.run rt (Scheduler.round_robin ());
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: all k stores visible" seed)
+      k (List.length !collected)
+  done
+
+let test_crashed_storer_invisible_or_complete () =
+  (* a storer crashed mid-first-store leaves either nothing or a complete
+     proposal, never a torn state that breaks collect *)
+  for crash_point = 1 to 30 do
+    let mem = Memory.create () in
+    let rt = Runtime.create mem in
+    let sc = SC.create_known ~rng:(Rng.create ~seed:9) mem ~name:"sc" ~k:2 ~inputs:16 in
+    let victim = Runtime.spawn rt ~name:"victim" (fun () -> SC.store sc ~me:1 111) in
+    let committed = ref 0 in
+    (try
+       while Runtime.status victim = Runtime.Runnable && !committed < crash_point do
+         Runtime.commit rt victim;
+         incr committed
+       done
+     with _ -> ());
+    if Runtime.status victim = Runtime.Runnable then Runtime.crash rt victim;
+    ignore (Runtime.spawn rt ~name:"s2" (fun () -> SC.store sc ~me:2 222));
+    Scheduler.run rt (Scheduler.round_robin ());
+    let collected = ref [] in
+    ignore (Runtime.spawn rt ~name:"c" (fun () -> collected := SC.collect sc));
+    Scheduler.run rt (Scheduler.round_robin ());
+    (* the survivor's value is always there *)
+    Alcotest.(check bool)
+      (Printf.sprintf "crash@%d: survivor visible" crash_point)
+      true
+      (List.mem (2, 222) !collected);
+    List.iter
+      (fun (owner, v) ->
+        if owner = 1 && v <> 111 then Alcotest.failf "torn value %d" v)
+      !collected
+  done
+
+let test_four_settings_work () =
+  let check_setting label make =
+    let mem = Memory.create () in
+    let rt = Runtime.create mem in
+    let sc = make mem in
+    let k = 3 in
+    for i = 0 to k - 1 do
+      ignore
+        (Runtime.spawn rt ~name:(Printf.sprintf "s%d" i) (fun () -> SC.store sc ~me:i i))
+    done;
+    run_with ~seed:11 rt;
+    let collected = ref [] in
+    ignore (Runtime.spawn rt ~name:"c" (fun () -> collected := SC.collect sc));
+    Scheduler.run rt (Scheduler.round_robin ());
+    Alcotest.(check int) (label ^ ": complete") k (List.length !collected)
+  in
+  check_setting "known k,N" (fun mem ->
+      SC.create_known ~rng:(Rng.create ~seed:21) mem ~name:"sc" ~k:3 ~inputs:32);
+  check_setting "N=O(n)" (fun mem ->
+      SC.create_almost ~rng:(Rng.create ~seed:22) mem ~name:"sc" ~n:8 ~inputs:8);
+  check_setting "N=poly(n)" (fun mem ->
+      SC.create_almost ~rng:(Rng.create ~seed:23) mem ~name:"sc" ~n:8 ~inputs:64);
+  check_setting "adaptive" (fun mem ->
+      SC.create_adaptive ~rng:(Rng.create ~seed:24) mem ~name:"sc" ~n:8)
+
+let test_collect_on_untouched_board () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let sc = SC.create_known ~rng:(Rng.create ~seed:31) mem ~name:"sc" ~k:4 ~inputs:32 in
+  let collected = ref [ (0, 0) ] in
+  let c = Runtime.spawn rt ~name:"c" (fun () -> collected := SC.collect sc) in
+  Scheduler.run rt (Scheduler.round_robin ());
+  Alcotest.(check (list (pair int int))) "empty board" [] !collected;
+  Alcotest.(check int) "one control read suffices" 1 (Runtime.steps c)
+
+let test_multiple_collectors_agree_at_quiescence () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let sc = SC.create_known ~rng:(Rng.create ~seed:32) mem ~name:"sc" ~k:3 ~inputs:32 in
+  for i = 0 to 2 do
+    ignore (Runtime.spawn rt ~name:(Printf.sprintf "s%d" i) (fun () -> SC.store sc ~me:i (i * 5)))
+  done;
+  run_with ~seed:33 rt;
+  let a = ref [] and b = ref [] in
+  ignore (Runtime.spawn rt ~name:"ca" (fun () -> a := SC.collect sc));
+  ignore (Runtime.spawn rt ~name:"cb" (fun () -> b := SC.collect sc));
+  Scheduler.run rt (Scheduler.random (Rng.create ~seed:34));
+  Alcotest.(check (list (pair int int))) "same board" (List.sort compare !a)
+    (List.sort compare !b)
+
+let test_slot_of_reflects_acquisition () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let sc = SC.create_known ~rng:(Rng.create ~seed:35) mem ~name:"sc" ~k:2 ~inputs:16 in
+  Alcotest.(check (option int)) "no slot before store" None (SC.slot_of sc ~me:3);
+  ignore (Runtime.spawn rt ~name:"s" (fun () -> SC.store sc ~me:3 30));
+  Scheduler.run rt (Scheduler.round_robin ());
+  match SC.slot_of sc ~me:3 with
+  | None -> Alcotest.fail "slot not recorded"
+  | Some s -> Alcotest.(check bool) "slot within table" true (s >= 0 && s < SC.slots sc)
+
+let test_store_collect_property =
+  QCheck.Test.make ~name:"collect returns exactly the quiescent stores" ~count:30
+    QCheck.(pair small_int (int_range 1 6))
+    (fun (seed, k) ->
+      let mem = Memory.create () in
+      let rt = Runtime.create mem in
+      let sc =
+        SC.create_known ~rng:(Rng.create ~seed:(seed + 100)) mem ~name:"sc" ~k
+          ~inputs:64
+      in
+      for i = 0 to k - 1 do
+        ignore
+          (Runtime.spawn rt ~name:(string_of_int i) (fun () ->
+               SC.store sc ~me:(i * 9) (1000 + i)))
+      done;
+      Scheduler.run ~max_commits:5_000_000 rt (Scheduler.random (Rng.create ~seed));
+      let collected = ref [] in
+      ignore (Runtime.spawn rt ~name:"c" (fun () -> collected := SC.collect sc));
+      Scheduler.run rt (Scheduler.round_robin ());
+      List.sort compare !collected
+      = List.init k (fun i -> (i * 9, 1000 + i)))
+
+let test_interleaved_store_rounds () =
+  (* several rounds of stores with collects in between: each collect shows
+     the latest quiescent values *)
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let sc = SC.create_known ~rng:(Rng.create ~seed:36) mem ~name:"sc" ~k:2 ~inputs:8 in
+  for round = 1 to 3 do
+    for i = 0 to 1 do
+      ignore
+        (Runtime.spawn rt
+           ~name:(Printf.sprintf "s%d-%d" i round)
+           (fun () -> SC.store sc ~me:i ((10 * round) + i)))
+    done;
+    Scheduler.run rt (Scheduler.random (Rng.create ~seed:(40 + round)));
+    let collected = ref [] in
+    ignore (Runtime.spawn rt ~name:"c" (fun () -> collected := SC.collect sc));
+    Scheduler.run rt (Scheduler.round_robin ());
+    Alcotest.(check (list (pair int int)))
+      (Printf.sprintf "round %d board" round)
+      [ (0, 10 * round); (1, (10 * round) + 1) ]
+      (List.sort compare !collected)
+  done
+
+let () =
+  Alcotest.run "exsel_collect"
+    [
+      ( "store-collect",
+        [
+          Alcotest.test_case "store then collect" `Quick test_store_then_collect_known;
+          Alcotest.test_case "store overwrites own value" `Quick test_store_overwrites_own_value;
+          Alcotest.test_case "subsequent store O(1)" `Quick test_subsequent_store_is_one_step;
+          Alcotest.test_case "collect reads O(k) prefix" `Quick test_collect_steps_linear_in_contention;
+          Alcotest.test_case "concurrent regularity" `Quick test_concurrent_store_collect_regular;
+          Alcotest.test_case "quiescent completeness" `Quick test_collect_after_quiescence_complete;
+          Alcotest.test_case "crash mid-store" `Quick test_crashed_storer_invisible_or_complete;
+          Alcotest.test_case "four settings" `Quick test_four_settings_work;
+          Alcotest.test_case "untouched board" `Quick test_collect_on_untouched_board;
+          Alcotest.test_case "collectors agree" `Quick test_multiple_collectors_agree_at_quiescence;
+          Alcotest.test_case "slot_of" `Quick test_slot_of_reflects_acquisition;
+          QCheck_alcotest.to_alcotest test_store_collect_property;
+          Alcotest.test_case "interleaved rounds" `Quick test_interleaved_store_rounds;
+        ] );
+    ]

@@ -1,0 +1,570 @@
+(* Model-checking tests: exhaustive schedule exploration of the paper's
+   primitives on small instances.  Where the rest of the suite samples
+   hundreds of random schedules, these tests check EVERY schedule (and
+   every single-crash variant) of a bounded configuration. *)
+
+open Exsel_sim
+module R = Exsel_renaming
+
+let no_failure label (o : Explore.outcome) =
+  (match o.Explore.failure with
+  | Some (msg, sched) ->
+      Alcotest.failf "%s: %s via [%s]" label msg
+        (String.concat "; "
+           (List.map (Format.asprintf "%a" Explore.pp_choice) sched))
+  | None -> ());
+  Alcotest.(check bool) (label ^ ": not truncated") false o.Explore.truncated;
+  Alcotest.(check bool) (label ^ ": explored something") true (o.Explore.paths > 0)
+
+(* --- Compete-For-Register: Lemma 1, exhaustively --- *)
+
+let test_compete_exhaustive_two () =
+  let init () =
+    let mem = Memory.create () in
+    let rt = Runtime.create mem in
+    let c = R.Compete.create mem ~name:"c" in
+    let wins = Array.make 2 false in
+    for i = 0 to 1 do
+      ignore
+        (Runtime.spawn rt ~name:(string_of_int i) (fun () ->
+             wins.(i) <- R.Compete.compete c ~me:i))
+    done;
+    (wins, rt)
+  in
+  let check wins _rt =
+    let winners = Array.to_list wins |> List.filter Fun.id |> List.length in
+    if winners > 1 then Error "two winners" else Ok ()
+  in
+  let o = Explore.run ~init ~check () in
+  no_failure "compete x2" o;
+  (* both interleavings counts: paths = C(ops) — just sanity-check scale *)
+  Alcotest.(check bool) "nontrivial path count" true (o.Explore.paths >= 10)
+
+let test_compete_exhaustive_three () =
+  let init () =
+    let mem = Memory.create () in
+    let rt = Runtime.create mem in
+    let c = R.Compete.create mem ~name:"c" in
+    let wins = Array.make 3 false in
+    for i = 0 to 2 do
+      ignore
+        (Runtime.spawn rt ~name:(string_of_int i) (fun () ->
+             wins.(i) <- R.Compete.compete c ~me:i))
+    done;
+    (wins, rt)
+  in
+  let check wins _rt =
+    let winners = Array.to_list wins |> List.filter Fun.id |> List.length in
+    if winners > 1 then Error "two winners" else Ok ()
+  in
+  no_failure "compete x3" (Explore.run ~init ~check ())
+
+let test_compete_exhaustive_with_crash () =
+  let init () =
+    let mem = Memory.create () in
+    let rt = Runtime.create mem in
+    let c = R.Compete.create mem ~name:"c" in
+    let wins = Array.make 2 false in
+    for i = 0 to 1 do
+      ignore
+        (Runtime.spawn rt ~name:(string_of_int i) (fun () ->
+             wins.(i) <- R.Compete.compete c ~me:i))
+    done;
+    (wins, rt)
+  in
+  let check wins _rt =
+    let winners = Array.to_list wins |> List.filter Fun.id |> List.length in
+    if winners > 1 then Error "two winners" else Ok ()
+  in
+  no_failure "compete x2 +crash" (Explore.run ~max_crashes:1 ~init ~check ())
+
+let test_compete_solo_win_all_schedules_of_two_with_crash () =
+  (* wait-freedom facet of Lemma 1: if the other contender crashes before
+     touching HR, the survivor must win — checked on all such schedules *)
+  let init () =
+    let mem = Memory.create () in
+    let rt = Runtime.create mem in
+    let c = R.Compete.create mem ~name:"c" in
+    let wins = Array.make 2 false in
+    for i = 0 to 1 do
+      ignore
+        (Runtime.spawn rt ~name:(string_of_int i) (fun () ->
+             wins.(i) <- R.Compete.compete c ~me:i))
+    done;
+    ((wins, c), rt)
+  in
+  let check (wins, c) rt =
+    (* exclusiveness always *)
+    let winners = Array.to_list wins |> List.filter Fun.id |> List.length in
+    if winners > 1 then Error "two winners"
+    else
+      (* solo guarantee: if p1 crashed with zero steps, p0 must have won *)
+      let procs = Runtime.procs rt in
+      let p1 = List.nth procs 1 in
+      ignore c;
+      if
+        Runtime.status p1 = Runtime.Crashed
+        && Runtime.steps p1 = 0
+        && Runtime.status (List.nth procs 0) = Runtime.Done
+        && not wins.(0)
+      then Error "effectively-solo contender lost"
+      else Ok ()
+  in
+  no_failure "compete solo facet" (Explore.run ~max_crashes:1 ~init ~check ())
+
+(* --- Splitter: exhaustive splitter laws --- *)
+
+let splitter_init contenders () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let s = R.Splitter.create mem ~name:"s" in
+  let outs = Array.make contenders None in
+  for i = 0 to contenders - 1 do
+    ignore
+      (Runtime.spawn rt ~name:(string_of_int i) (fun () ->
+           outs.(i) <- Some (R.Splitter.enter s ~me:i)))
+  done;
+  (outs, rt)
+
+let splitter_check outs rt =
+  let finished =
+    List.filter (fun p -> Runtime.status p = Runtime.Done) (Runtime.procs rt)
+  in
+  let outcomes =
+    List.filter_map (fun p -> outs.(Runtime.pid p)) finished
+  in
+  let count o = List.length (List.filter (fun x -> x = o) outcomes) in
+  if count R.Splitter.Stop > 1 then Error "two processes stopped"
+  else if
+    (* among processes that finished (not crashed): not all right, not all
+       down, when at least one finished *)
+    outcomes <> []
+    && count R.Splitter.Right = List.length outcomes
+    && List.length outcomes = List.length (Runtime.procs rt)
+  then Error "all went right"
+  else if
+    outcomes <> []
+    && count R.Splitter.Down = List.length outcomes
+    && List.length outcomes = List.length (Runtime.procs rt)
+  then Error "all went down"
+  else Ok ()
+
+let test_splitter_exhaustive_two () =
+  no_failure "splitter x2" (Explore.run ~init:(splitter_init 2) ~check:splitter_check ())
+
+let test_splitter_exhaustive_three () =
+  no_failure "splitter x3" (Explore.run ~init:(splitter_init 3) ~check:splitter_check ())
+
+let test_splitter_exhaustive_two_with_crash () =
+  no_failure "splitter x2 +crash"
+    (Explore.run ~max_crashes:1 ~init:(splitter_init 2) ~check:splitter_check ())
+
+(* --- Two-splitter MA fragment: exclusive names, exhaustively --- *)
+
+let test_ma_grid_exhaustive_two () =
+  let init () =
+    let mem = Memory.create () in
+    let rt = Runtime.create mem in
+    let ma = R.Moir_anderson.create mem ~name:"ma" ~side:2 in
+    let names = Array.make 2 None in
+    for i = 0 to 1 do
+      ignore
+        (Runtime.spawn rt ~name:(string_of_int i) (fun () ->
+             names.(i) <- R.Moir_anderson.rename ma ~me:i))
+    done;
+    (names, rt)
+  in
+  let check names _rt =
+    match (names.(0), names.(1)) with
+    | Some a, Some b when a = b -> Error "duplicate MA name"
+    | (Some _ | None), (Some _ | None) -> Ok ()
+  in
+  no_failure "ma 2x2 grid" (Explore.run ~init ~check ())
+
+(* --- Snapshot: scan validity on a tiny instance, exhaustively --- *)
+
+let test_snapshot_exhaustive_tiny () =
+  let module Snapshot = Exsel_snapshot.Snapshot in
+  let init () =
+    let mem = Memory.create () in
+    let rt = Runtime.create mem in
+    let snap = Snapshot.create mem ~name:"w" ~n:2 ~init:0 in
+    let view = ref None in
+    ignore
+      (Runtime.spawn rt ~name:"updater" (fun () ->
+           Snapshot.update snap ~me:1 5;
+           Snapshot.update snap ~me:1 6));
+    ignore
+      (Runtime.spawn rt ~name:"scanner" (fun () -> view := Some (Snapshot.scan snap ~me:0)));
+    (view, rt)
+  in
+  let check view rt =
+    let scanner =
+      List.find (fun p -> Runtime.proc_name p = "scanner") (Runtime.procs rt)
+    in
+    match (!view, Runtime.status scanner) with
+    | None, Runtime.Done -> Error "scanner done without a view"
+    | None, _ -> Ok ()
+    | Some v, _ ->
+        (* component 0 never written: must be 0; component 1 only ever 0,
+           5 or 6, and monotone with respect to nothing else here *)
+        if v.(0) <> 0 then Error "phantom value in component 0"
+        else if v.(1) <> 0 && v.(1) <> 5 && v.(1) <> 6 then
+          Error "phantom value in component 1"
+        else Ok ()
+  in
+  let o = Explore.run ~max_paths:2_000_000 ~init ~check () in
+  no_failure "snapshot tiny" o
+
+(* --- Immediate snapshot: the three properties, exhaustively --- *)
+
+let test_is_exhaustive_two () =
+  let module IS = Exsel_snapshot.Immediate_snapshot in
+  let init () =
+    let mem = Memory.create () in
+    let rt = Runtime.create mem in
+    let is = IS.create mem ~name:"is" ~n:2 in
+    let views = Array.make 2 None in
+    for i = 0 to 1 do
+      ignore
+        (Runtime.spawn rt ~name:(string_of_int i) (fun () ->
+             views.(i) <- Some (IS.access is ~me:i (10 + i))))
+    done;
+    (views, rt)
+  in
+  let subset a b = List.for_all (fun x -> List.mem x b) a in
+  let check views _rt =
+    match (views.(0), views.(1)) with
+    | Some v0, Some v1 ->
+        if not (List.mem_assoc 0 v0 && List.mem_assoc 1 v1) then
+          Error "self-inclusion violated"
+        else if not (subset v0 v1 || subset v1 v0) then Error "containment violated"
+        else if List.mem_assoc 1 v0 && not (subset v1 v0) then
+          Error "immediacy violated (0 sees 1)"
+        else if List.mem_assoc 0 v1 && not (subset v0 v1) then
+          Error "immediacy violated (1 sees 0)"
+        else Ok ()
+    | _ -> Error "a participant got no view"
+  in
+  let o = Explore.run ~reduction:`Sleep_sets ~max_paths:500_000 ~init ~check () in
+  no_failure "immediate snapshot x2" o
+
+let test_is_rename_exhaustive_two () =
+  let init () =
+    let mem = Memory.create () in
+    let rt = Runtime.create mem in
+    let ir = R.Is_rename.create mem ~name:"ir" ~n:2 in
+    let names = Array.make 2 (-1) in
+    for i = 0 to 1 do
+      ignore
+        (Runtime.spawn rt ~name:(string_of_int i) (fun () ->
+             names.(i) <- R.Is_rename.rename ir ~slot:i))
+    done;
+    (names, rt)
+  in
+  let check names _rt =
+    if names.(0) >= 0 && names.(0) = names.(1) then Error "duplicate IS names"
+    else if names.(0) >= 3 || names.(1) >= 3 then Error "name beyond k(k+1)/2"
+    else Ok ()
+  in
+  no_failure "is-rename x2" (Explore.run ~reduction:`Sleep_sets ~init ~check ())
+
+(* --- Chain rename: exclusiveness across the chain, exhaustively --- *)
+
+let test_chain_exhaustive () =
+  let init () =
+    let mem = Memory.create () in
+    let rt = Runtime.create mem in
+    let c = R.Chain_rename.create mem ~name:"ch" ~m:3 in
+    let names = Array.make 2 None in
+    for i = 0 to 1 do
+      ignore
+        (Runtime.spawn rt ~name:(string_of_int i) (fun () ->
+             names.(i) <- R.Chain_rename.rename c ~me:i))
+    done;
+    (names, rt)
+  in
+  let check names _rt =
+    match (names.(0), names.(1)) with
+    | Some a, Some b when a = b -> Error "duplicate chain name"
+    | (Some _ | None), (Some _ | None) -> Ok ()
+  in
+  no_failure "chain x2" (Explore.run ~max_paths:2_000_000 ~init ~check ())
+
+(* --- Explore plumbing --- *)
+
+let test_explore_counts_paths () =
+  (* two independent single-op processes: exactly 2 interleavings *)
+  let init () =
+    let mem = Memory.create () in
+    let rt = Runtime.create mem in
+    for i = 0 to 1 do
+      let r = Register.create mem ~name:(string_of_int i) 0 in
+      ignore (Runtime.spawn rt ~name:(string_of_int i) (fun () -> Runtime.write r 1))
+    done;
+    ((), rt)
+  in
+  let o = Explore.run ~init ~check:(fun () _ -> Ok ()) () in
+  Alcotest.(check int) "2 paths" 2 o.Explore.paths
+
+let test_explore_finds_planted_bug () =
+  (* a racy increment: exploration must find the lost-update schedule *)
+  let init () =
+    let mem = Memory.create () in
+    let rt = Runtime.create mem in
+    let r = Register.create mem ~name:"r" 0 in
+    for i = 0 to 1 do
+      ignore
+        (Runtime.spawn rt ~name:(string_of_int i) (fun () ->
+             let v = Runtime.read r in
+             Runtime.write r (v + 1)))
+    done;
+    (r, rt)
+  in
+  let check r _rt = if Register.peek r <> 2 then Error "lost update" else Ok () in
+  let o = Explore.run ~init ~check () in
+  match o.Explore.failure with
+  | Some ("lost update", schedule) ->
+      Alcotest.(check bool) "non-empty schedule" true (schedule <> [])
+  | Some (msg, _) -> Alcotest.failf "unexpected failure %s" msg
+  | None -> Alcotest.fail "exploration missed the planted race"
+
+let test_explore_replay_reproduces () =
+  let make () =
+    let mem = Memory.create () in
+    let rt = Runtime.create mem in
+    let r = Register.create mem ~name:"r" 0 in
+    for i = 0 to 1 do
+      ignore
+        (Runtime.spawn rt ~name:(string_of_int i) (fun () ->
+             let v = Runtime.read r in
+             Runtime.write r (v + 1)))
+    done;
+    (r, rt)
+  in
+  let o =
+    Explore.run ~init:make ~check:(fun r _ -> if Register.peek r <> 2 then Error "x" else Ok ()) ()
+  in
+  match o.Explore.failure with
+  | None -> Alcotest.fail "expected failure"
+  | Some (_, schedule) ->
+      let r, rt = make () in
+      Explore.replay rt schedule;
+      Alcotest.(check bool) "replay reproduces the bad state" true (Register.peek r <> 2)
+
+(* --- Sleep-set reduction: soundness cross-validation --- *)
+
+(* Run an instance in both modes, collecting the set of distinct quiescent
+   states (via a caller-supplied fingerprint); the reduced run must reach
+   exactly the same state set with no more paths. *)
+let cross_validate ~label ~init ~fingerprint =
+  let run_mode reduction =
+    let seen = Hashtbl.create 64 in
+    let o =
+      Explore.run ~reduction ~init
+        ~check:(fun ctx rt ->
+          Hashtbl.replace seen (fingerprint ctx rt) ();
+          Ok ())
+        ()
+    in
+    let states = Hashtbl.fold (fun k () acc -> k :: acc) seen [] in
+    (o, List.sort compare states)
+  in
+  let full, full_states = run_mode `None in
+  let reduced, reduced_states = run_mode `Sleep_sets in
+  Alcotest.(check bool) (label ^ ": no failures") true
+    (full.Explore.failure = None && reduced.Explore.failure = None);
+  Alcotest.(check bool)
+    (label ^ ": reduction explores fewer or equal paths")
+    true
+    (reduced.Explore.paths <= full.Explore.paths);
+  Alcotest.(check (list string)) (label ^ ": same quiescent states") full_states
+    reduced_states;
+  (full.Explore.paths, reduced.Explore.paths)
+
+let test_por_cross_validate_disjoint_writers () =
+  (* fully independent processes: reduction collapses to a single path *)
+  let init () =
+    let mem = Memory.create () in
+    let rt = Runtime.create mem in
+    let regs =
+      Array.init 3 (fun i -> Register.create mem ~name:(string_of_int i) 0)
+    in
+    for i = 0 to 2 do
+      ignore
+        (Runtime.spawn rt ~name:(string_of_int i) (fun () ->
+             Runtime.write regs.(i) (i + 1);
+             Runtime.write regs.(i) (i + 10)))
+    done;
+    (regs, rt)
+  in
+  let fingerprint regs _rt =
+    String.concat "," (Array.to_list (Array.map (fun r -> string_of_int (Register.peek r)) regs))
+  in
+  let full, reduced = cross_validate ~label:"disjoint" ~init ~fingerprint in
+  Alcotest.(check int) "full explores 90 interleavings" 90 full;
+  Alcotest.(check int) "reduction collapses to 1" 1 reduced
+
+let test_por_cross_validate_racy_counter () =
+  let init () =
+    let mem = Memory.create () in
+    let rt = Runtime.create mem in
+    let r = Register.create mem ~name:"r" 0 in
+    for i = 0 to 1 do
+      ignore
+        (Runtime.spawn rt ~name:(string_of_int i) (fun () ->
+             let v = Runtime.read r in
+             Runtime.write r (v + 1)))
+    done;
+    (r, rt)
+  in
+  let fingerprint r _rt = string_of_int (Register.peek r) in
+  let _full, _reduced = cross_validate ~label:"racy" ~init ~fingerprint in
+  ()
+
+let test_por_cross_validate_compete () =
+  let init () =
+    let mem = Memory.create () in
+    let rt = Runtime.create mem in
+    let c = R.Compete.create mem ~name:"c" in
+    let wins = Array.make 2 false in
+    for i = 0 to 1 do
+      ignore
+        (Runtime.spawn rt ~name:(string_of_int i) (fun () ->
+             wins.(i) <- R.Compete.compete c ~me:i))
+    done;
+    (wins, rt)
+  in
+  let fingerprint wins _rt =
+    Printf.sprintf "%b%b" wins.(0) wins.(1)
+  in
+  let full, reduced = cross_validate ~label:"compete" ~init ~fingerprint in
+  Alcotest.(check bool) "meaningful reduction" true (reduced < full)
+
+let test_por_cross_validate_splitter_three () =
+  let init () =
+    let mem = Memory.create () in
+    let rt = Runtime.create mem in
+    let s = R.Splitter.create mem ~name:"s" in
+    let outs = Array.make 3 None in
+    for i = 0 to 2 do
+      ignore
+        (Runtime.spawn rt ~name:(string_of_int i) (fun () ->
+             outs.(i) <- Some (R.Splitter.enter s ~me:i)))
+    done;
+    (outs, rt)
+  in
+  let fingerprint outs _rt =
+    String.concat ","
+      (Array.to_list
+         (Array.map
+            (function
+              | Some R.Splitter.Stop -> "S"
+              | Some R.Splitter.Right -> "R"
+              | Some R.Splitter.Down -> "D"
+              | None -> "-")
+            outs))
+  in
+  ignore (cross_validate ~label:"splitter3" ~init ~fingerprint)
+
+let test_por_still_finds_violations () =
+  let init () =
+    let mem = Memory.create () in
+    let rt = Runtime.create mem in
+    let r = Register.create mem ~name:"r" 0 in
+    for i = 0 to 1 do
+      ignore
+        (Runtime.spawn rt ~name:(string_of_int i) (fun () ->
+             let v = Runtime.read r in
+             Runtime.write r (v + 1)))
+    done;
+    (r, rt)
+  in
+  let check r _rt = if Register.peek r <> 2 then Error "lost update" else Ok () in
+  let o = Explore.run ~reduction:`Sleep_sets ~init ~check () in
+  Alcotest.(check bool) "reduced exploration finds the race" true
+    (match o.Explore.failure with Some ("lost update", _) -> true | Some _ | None -> false)
+
+let test_por_rejects_crashes () =
+  Alcotest.(check bool) "invalid combination rejected" true
+    (try
+       ignore
+         (Explore.run ~reduction:`Sleep_sets ~max_crashes:1
+            ~init:(fun () ->
+              let mem = Memory.create () in
+              ((), Runtime.create mem))
+            ~check:(fun () _ -> Ok ())
+            ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_independence_relation () =
+  Alcotest.(check bool) "reads commute" true
+    (Explore.independent (Runtime.Read 1) (Runtime.Read 1));
+  Alcotest.(check bool) "write/read same reg conflict" false
+    (Explore.independent (Runtime.Write 1) (Runtime.Read 1));
+  Alcotest.(check bool) "writes same reg conflict" false
+    (Explore.independent (Runtime.Write 1) (Runtime.Write 1));
+  Alcotest.(check bool) "different regs commute" true
+    (Explore.independent (Runtime.Write 1) (Runtime.Write 2))
+
+let test_explore_truncation () =
+  let init () =
+    let mem = Memory.create () in
+    let rt = Runtime.create mem in
+    for i = 0 to 2 do
+      let r = Register.create mem ~name:(string_of_int i) 0 in
+      ignore
+        (Runtime.spawn rt ~name:(string_of_int i) (fun () ->
+             Runtime.write r 1;
+             Runtime.write r 2))
+    done;
+    ((), rt)
+  in
+  let o = Explore.run ~max_paths:5 ~init ~check:(fun () _ -> Ok ()) () in
+  Alcotest.(check bool) "truncated" true o.Explore.truncated;
+  Alcotest.(check int) "stopped at limit" 5 o.Explore.paths
+
+let () =
+  Alcotest.run "exsel_explore"
+    [
+      ( "compete",
+        [
+          Alcotest.test_case "exhaustive x2" `Quick test_compete_exhaustive_two;
+          Alcotest.test_case "exhaustive x3" `Slow test_compete_exhaustive_three;
+          Alcotest.test_case "exhaustive x2 +crash" `Quick test_compete_exhaustive_with_crash;
+          Alcotest.test_case "solo facet +crash" `Quick
+            test_compete_solo_win_all_schedules_of_two_with_crash;
+        ] );
+      ( "splitter",
+        [
+          Alcotest.test_case "exhaustive x2" `Quick test_splitter_exhaustive_two;
+          Alcotest.test_case "exhaustive x3" `Slow test_splitter_exhaustive_three;
+          Alcotest.test_case "exhaustive x2 +crash" `Quick test_splitter_exhaustive_two_with_crash;
+        ] );
+      ( "composites",
+        [
+          Alcotest.test_case "ma grid x2" `Quick test_ma_grid_exhaustive_two;
+          Alcotest.test_case "snapshot tiny" `Slow test_snapshot_exhaustive_tiny;
+          Alcotest.test_case "chain x2" `Slow test_chain_exhaustive;
+          Alcotest.test_case "immediate snapshot x2" `Quick test_is_exhaustive_two;
+          Alcotest.test_case "is-rename x2" `Quick test_is_rename_exhaustive_two;
+        ] );
+      ( "reduction",
+        [
+          Alcotest.test_case "disjoint writers collapse" `Quick test_por_cross_validate_disjoint_writers;
+          Alcotest.test_case "racy counter cross-validated" `Quick test_por_cross_validate_racy_counter;
+          Alcotest.test_case "compete cross-validated" `Quick test_por_cross_validate_compete;
+          Alcotest.test_case "splitter x3 cross-validated" `Slow test_por_cross_validate_splitter_three;
+          Alcotest.test_case "violations still found" `Quick test_por_still_finds_violations;
+          Alcotest.test_case "crashes rejected" `Quick test_por_rejects_crashes;
+          Alcotest.test_case "independence relation" `Quick test_independence_relation;
+        ] );
+      ( "plumbing",
+        [
+          Alcotest.test_case "counts paths" `Quick test_explore_counts_paths;
+          Alcotest.test_case "finds planted bug" `Quick test_explore_finds_planted_bug;
+          Alcotest.test_case "replay reproduces" `Quick test_explore_replay_reproduces;
+          Alcotest.test_case "truncation" `Quick test_explore_truncation;
+        ] );
+    ]

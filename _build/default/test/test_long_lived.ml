@@ -1,0 +1,185 @@
+(* Tests for the long-lived renaming extension: exclusive holds across
+   acquire/release cycles, adaptive name ranges, reuse, crash pinning. *)
+
+open Exsel_sim
+module LL = Exsel_renaming.Long_lived
+
+(* Shared hold ledger: entries are updated inside process fibers, which is
+   sound under cooperative scheduling (no interleaving between commits). *)
+let make_ledger n = Array.make n None
+
+let assert_exclusive_hold ledger me name =
+  Array.iteri
+    (fun q h ->
+      if q <> me && h = Some name then
+        Alcotest.failf "name %d held by p%d and p%d simultaneously" name q me)
+    ledger
+
+let test_sequential_reuse () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let ll = LL.create mem ~name:"ll" ~n:4 in
+  let log = ref [] in
+  ignore
+    (Runtime.spawn rt ~name:"p" (fun () ->
+         for _ = 1 to 3 do
+           let x = LL.acquire ll ~me:0 in
+           log := x :: !log;
+           LL.release ll ~me:0
+         done));
+  Scheduler.run rt (Scheduler.round_robin ());
+  Alcotest.(check (list int)) "solo always reuses the smallest name" [ 0; 0; 0 ]
+    (List.rev !log)
+
+let test_released_name_taken_by_other () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let ll = LL.create mem ~name:"ll" ~n:2 in
+  let a = ref (-1) and b = ref (-1) in
+  let p0 =
+    Runtime.spawn rt ~name:"p0" (fun () ->
+        a := LL.acquire ll ~me:0;
+        LL.release ll ~me:0)
+  in
+  (* p0 acquires and releases first; p1 then gets the same smallest name *)
+  Scheduler.run rt (Scheduler.sequential ());
+  ignore (Runtime.spawn rt ~name:"p1" (fun () -> b := LL.acquire ll ~me:1));
+  Scheduler.run rt (Scheduler.sequential ());
+  ignore p0;
+  Alcotest.(check int) "p0 had 0" 0 !a;
+  Alcotest.(check int) "p1 reuses 0" 0 !b
+
+let test_concurrent_holds_exclusive_over_schedules () =
+  for seed = 1 to 30 do
+    let n = 3 in
+    let rounds = 4 in
+    let mem = Memory.create () in
+    let rt = Runtime.create mem in
+    let ll = LL.create mem ~name:"ll" ~n in
+    let ledger = make_ledger n in
+    let max_seen = ref 0 in
+    for i = 0 to n - 1 do
+      ignore
+        (Runtime.spawn rt ~name:(string_of_int i) (fun () ->
+             for _ = 1 to rounds do
+               let x = LL.acquire ll ~me:i in
+               assert_exclusive_hold ledger i x;
+               ledger.(i) <- Some x;
+               max_seen := max !max_seen x;
+               LL.release ll ~me:i;
+               ledger.(i) <- None
+             done))
+    done;
+    Scheduler.run ~max_commits:5_000_000 rt (Scheduler.random (Rng.create ~seed));
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: names within 2n-1" seed)
+      true
+      (!max_seen <= (2 * n) - 2)
+  done
+
+let test_point_contention_adaptivity () =
+  (* one process churning alone after others left sees small names again *)
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let ll = LL.create mem ~name:"ll" ~n:4 in
+  (* phase 1: all four hold concurrently *)
+  let names = Array.make 4 (-1) in
+  for i = 0 to 3 do
+    ignore (Runtime.spawn rt ~name:(string_of_int i) (fun () -> names.(i) <- LL.acquire ll ~me:i))
+  done;
+  Scheduler.run rt (Scheduler.random (Rng.create ~seed:3));
+  (* phase 2: everyone releases, then one process churns alone *)
+  for i = 0 to 3 do
+    ignore (Runtime.spawn rt ~name:(Printf.sprintf "r%d" i) (fun () -> LL.release ll ~me:i))
+  done;
+  Scheduler.run rt (Scheduler.round_robin ());
+  let solo = ref (-1) in
+  ignore (Runtime.spawn rt ~name:"solo" (fun () -> solo := LL.acquire ll ~me:2));
+  Scheduler.run rt (Scheduler.round_robin ());
+  Alcotest.(check int) "solo reacquire gets the smallest name" 0 !solo
+
+let test_crash_pins_name () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let ll = LL.create mem ~name:"ll" ~n:2 in
+  let victim = Runtime.spawn rt ~name:"victim" (fun () -> ignore (LL.acquire ll ~me:0)) in
+  Scheduler.run rt (Scheduler.round_robin ());
+  (* victim holds name 0 and crashes (here: just never releases) *)
+  Runtime.crash rt victim;
+  let b = ref (-1) in
+  ignore (Runtime.spawn rt ~name:"p1" (fun () -> b := LL.acquire ll ~me:1));
+  Scheduler.run rt (Scheduler.round_robin ());
+  Alcotest.(check bool) "other must avoid the pinned name" true (!b <> 0);
+  Alcotest.(check bool) "still within 2k-1 for k=2" true (!b <= 2)
+
+let test_exhaustive_two_process_churn () =
+  (* model-check: interleavings of two acquire-release rounds maintain
+     exclusive holds (path-capped; still tens of thousands of schedules) *)
+  let init () =
+    let mem = Memory.create () in
+    let rt = Runtime.create mem in
+    let ll = LL.create mem ~name:"ll" ~n:2 in
+    let ledger = make_ledger 2 in
+    let violation = ref None in
+    for i = 0 to 1 do
+      ignore
+        (Runtime.spawn rt ~name:(string_of_int i) (fun () ->
+             for _ = 1 to 1 do
+               let x = LL.acquire ll ~me:i in
+               (match ledger.(1 - i) with
+               | Some y when y = x -> violation := Some x
+               | Some _ | None -> ());
+               ledger.(i) <- Some x;
+               LL.release ll ~me:i;
+               ledger.(i) <- None
+             done))
+    done;
+    (violation, rt)
+  in
+  let check violation _rt =
+    match !violation with
+    | Some x -> Error (Printf.sprintf "overlapping hold of %d" x)
+    | None -> Ok ()
+  in
+  let o = Explore.run ~max_paths:60_000 ~init ~check () in
+  (match o.Explore.failure with
+  | Some (msg, _) -> Alcotest.fail msg
+  | None -> ());
+  Alcotest.(check bool) "explored many paths" true (o.Explore.paths > 100)
+
+let prop_long_lived_range =
+  QCheck.Test.make ~name:"long-lived: names stay within 2n-1 over random churn"
+    ~count:25
+    QCheck.(pair small_int (int_range 2 4))
+    (fun (seed, n) ->
+      let mem = Memory.create () in
+      let rt = Runtime.create mem in
+      let ll = LL.create mem ~name:"ll" ~n in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        ignore
+          (Runtime.spawn rt ~name:(string_of_int i) (fun () ->
+               for _ = 1 to 3 do
+                 let x = LL.acquire ll ~me:i in
+                 if x > (2 * n) - 2 then ok := false;
+                 LL.release ll ~me:i
+               done))
+      done;
+      Scheduler.run ~max_commits:5_000_000 rt (Scheduler.random (Rng.create ~seed));
+      !ok)
+
+let () =
+  Alcotest.run "exsel_long_lived"
+    [
+      ( "long-lived",
+        [
+          Alcotest.test_case "sequential reuse" `Quick test_sequential_reuse;
+          Alcotest.test_case "released name taken by other" `Quick test_released_name_taken_by_other;
+          Alcotest.test_case "concurrent holds exclusive" `Quick
+            test_concurrent_holds_exclusive_over_schedules;
+          Alcotest.test_case "point-contention adaptivity" `Quick test_point_contention_adaptivity;
+          Alcotest.test_case "crash pins name" `Quick test_crash_pins_name;
+          Alcotest.test_case "exhaustive 2-process churn" `Slow test_exhaustive_two_process_churn;
+          QCheck_alcotest.to_alcotest prop_long_lived_range;
+        ] );
+    ]

@@ -1,0 +1,258 @@
+(* Tests for the message-passing substrate and the ABDPR stable-vectors
+   renaming (the paper's reference [14], where renaming was introduced). *)
+
+module Mnet = Exsel_msgnet.Mnet
+module Abdpr = Exsel_msgnet.Abdpr_renaming
+module Rng = Exsel_sim.Rng
+
+(* --- Mnet --- *)
+
+let test_send_receive_roundtrip () =
+  let net = Mnet.create ~n:2 in
+  let got = ref None in
+  let _sender = Mnet.spawn net ~me:0 (fun () -> Mnet.send net ~to_:1 "hello") in
+  let receiver = Mnet.spawn net ~me:1 (fun () -> got := Some (Mnet.receive net)) in
+  Mnet.run_random net (Rng.create ~seed:1);
+  Alcotest.(check bool) "delivered" true (!got = Some (0, "hello"));
+  Alcotest.(check bool) "receiver done" true (Mnet.status receiver = Mnet.Done)
+
+let test_receive_blocks_until_message () =
+  let net = Mnet.create ~n:2 in
+  let receiver = Mnet.spawn net ~me:1 (fun () -> ignore (Mnet.receive net)) in
+  Mnet.run_random net (Rng.create ~seed:1);
+  Alcotest.(check bool) "still waiting" true (Mnet.status receiver = Mnet.Waiting);
+  Alcotest.(check bool) "quiescent with a blocked process" true (Mnet.quiescent net)
+
+let test_unordered_delivery_reachable () =
+  (* two messages from the same sender can arrive in either order: find a
+     seed for each order *)
+  let order_for seed =
+    let net = Mnet.create ~n:2 in
+    let log = ref [] in
+    let _s =
+      Mnet.spawn net ~me:0 (fun () ->
+          Mnet.send net ~to_:1 "a";
+          Mnet.send net ~to_:1 "b")
+    in
+    let _r =
+      Mnet.spawn net ~me:1 (fun () ->
+          for _ = 1 to 2 do
+            let _, m = Mnet.receive net in
+            log := m :: !log
+          done)
+    in
+    Mnet.run_random net (Rng.create ~seed);
+    List.rev !log
+  in
+  let orders = List.init 40 order_for |> List.sort_uniq compare in
+  Alcotest.(check bool) "both orders reachable" true
+    (List.mem [ "a"; "b" ] orders && List.mem [ "b"; "a" ] orders)
+
+let test_broadcast_counts () =
+  let net = Mnet.create ~n:3 in
+  let sender = Mnet.spawn net ~me:0 (fun () -> Mnet.broadcast net "x") in
+  Mnet.run_random net (Rng.create ~seed:2);
+  Alcotest.(check int) "n sends" 3 (Mnet.sent sender);
+  Alcotest.(check int) "self in-flight" 1 (Mnet.in_flight net ~to_:0);
+  Alcotest.(check int) "peer in-flight" 1 (Mnet.in_flight net ~to_:1)
+
+let test_crash_drops_inbox_keeps_outbox () =
+  let net = Mnet.create ~n:2 in
+  let victim =
+    Mnet.spawn net ~me:0 (fun () ->
+        Mnet.send net ~to_:1 "survives";
+        ignore (Mnet.receive net))
+  in
+  (* commit the send, leaving the victim waiting on an empty channel *)
+  Mnet.run_random net (Rng.create ~seed:3);
+  Alcotest.(check bool) "victim waiting" true (Mnet.status victim = Mnet.Waiting);
+  Mnet.crash net victim;
+  Alcotest.(check bool) "victim crashed" true (Mnet.status victim = Mnet.Crashed);
+  Alcotest.(check int) "victim's inbox dropped" 0 (Mnet.in_flight net ~to_:0);
+  (* the message it sent before crashing is still deliverable *)
+  Alcotest.(check int) "sent message survives" 1 (Mnet.in_flight net ~to_:1)
+
+let test_spawn_slot_validation () =
+  let net = Mnet.create ~n:2 in
+  let _a = Mnet.spawn net ~me:0 (fun () -> ()) in
+  Alcotest.(check bool) "double spawn rejected" true
+    (try ignore (Mnet.spawn net ~me:0 (fun () -> ())); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad slot rejected" true
+    (try ignore (Mnet.spawn net ~me:9 (fun () -> ())); false
+     with Invalid_argument _ -> true)
+
+let test_send_to_self () =
+  let net = Mnet.create ~n:2 in
+  let got = ref None in
+  let _p =
+    Mnet.spawn net ~me:0 (fun () ->
+        Mnet.send net ~to_:0 "loop";
+        got := Some (Mnet.receive net))
+  in
+  Mnet.run_random net (Rng.create ~seed:4);
+  Alcotest.(check bool) "self-delivery" true (!got = Some (0, "loop"))
+
+let test_crash_during_pending_send_drops_message () =
+  let net = Mnet.create ~n:2 in
+  let victim = Mnet.spawn net ~me:0 (fun () -> Mnet.send net ~to_:1 "never") in
+  (* the send is pending but not committed; crash now *)
+  Mnet.crash net victim;
+  Alcotest.(check bool) "crashed" true (Mnet.status victim = Mnet.Crashed);
+  Alcotest.(check int) "uncommitted send lost" 0 (Mnet.in_flight net ~to_:1)
+
+let test_bad_destination_rejected () =
+  let net = Mnet.create ~n:2 in
+  let saw = ref false in
+  let _p =
+    Mnet.spawn net ~me:0 (fun () ->
+        try Mnet.send net ~to_:7 "x" with Invalid_argument _ -> saw := true)
+  in
+  Mnet.run_random net (Rng.create ~seed:1);
+  Alcotest.(check bool) "rejected" true !saw
+
+let test_abdpr_duplicate_originals_rejected () =
+  let net = Abdpr.make_net ~n:4 in
+  Alcotest.(check bool) "duplicates rejected" true
+    (try
+       ignore
+         (Abdpr.run ~net ~f:1
+            ~originals:[ (0, 5); (1, 5) ]
+            ~rng:(Rng.create ~seed:1) ());
+       false
+     with Invalid_argument _ -> true)
+
+let prop_exactly_once_delivery =
+  QCheck.Test.make ~name:"mnet: every sent message is delivered exactly once"
+    ~count:60
+    QCheck.(pair small_int (int_range 1 8))
+    (fun (seed, msgs) ->
+      let net = Mnet.create ~n:2 in
+      let received = ref [] in
+      let _s =
+        Mnet.spawn net ~me:0 (fun () ->
+            for i = 1 to msgs do
+              Mnet.send net ~to_:1 i
+            done)
+      in
+      let _r =
+        Mnet.spawn net ~me:1 (fun () ->
+            for _ = 1 to msgs do
+              let _, m = Mnet.receive net in
+              received := m :: !received
+            done)
+      in
+      Mnet.run_random net (Rng.create ~seed);
+      List.sort compare !received = List.init msgs (fun i -> i + 1))
+
+(* --- ABDPR renaming --- *)
+
+let run_abdpr ~n ~f ~participants ~seed ?(crash_after = []) () =
+  let net = Abdpr.make_net ~n in
+  let originals = List.init participants (fun i -> (i, 100 + (7 * i))) in
+  let decided =
+    Abdpr.run ~net ~f ~originals ~rng:(Rng.create ~seed) ~crash_after ()
+  in
+  (originals, decided)
+
+let test_abdpr_failure_free_dense () =
+  (* with f = 0 every process stabilises on the full set: names are
+     exactly the ranks 0..n-1 *)
+  let _, decided = run_abdpr ~n:4 ~f:0 ~participants:4 ~seed:5 () in
+  Alcotest.(check (list int)) "dense ranks" [ 0; 1; 2; 3 ]
+    (List.sort compare (List.map snd decided))
+
+let test_abdpr_with_f_margin () =
+  let _, decided = run_abdpr ~n:5 ~f:2 ~participants:5 ~seed:6 () in
+  Alcotest.(check int) "all decided" 5 (List.length decided);
+  let names = List.map snd decided in
+  Alcotest.(check bool) "distinct" true
+    (List.length (List.sort_uniq compare names) = 5);
+  List.iter
+    (fun nm ->
+      Alcotest.(check bool) "within (f+1)n" true (nm >= 0 && nm < Abdpr.name_bound ~n:5 ~f:2))
+    names
+
+let test_abdpr_with_crashes () =
+  for seed = 1 to 10 do
+    let n = 5 and f = 2 in
+    let _, decided =
+      run_abdpr ~n ~f ~participants:n ~seed
+        ~crash_after:[ (0, 10 + seed); (1, 30 + seed) ]
+        ()
+    in
+    (* survivors (at least n - f = 3) decide; crashed may or may not have *)
+    if List.length decided < n - f then
+      Alcotest.failf "seed %d: only %d decided" seed (List.length decided);
+    let names = List.map snd decided in
+    if List.length (List.sort_uniq compare names) <> List.length names then
+      Alcotest.failf "seed %d: duplicate names" seed;
+    List.iter
+      (fun nm ->
+        if nm < 0 || nm >= Abdpr.name_bound ~n ~f then
+          Alcotest.failf "seed %d: name %d out of range" seed nm)
+      names
+  done
+
+let test_abdpr_rejects_bad_f () =
+  let net = Abdpr.make_net ~n:4 in
+  Alcotest.(check bool) "2f >= n rejected" true
+    (try
+       ignore (Abdpr.run ~net ~f:2 ~originals:[ (0, 1) ] ~rng:(Rng.create ~seed:1) ());
+       false
+     with Invalid_argument _ -> true)
+
+let prop_abdpr_exclusive =
+  QCheck.Test.make ~name:"abdpr: distinct in-range names over seeds and crash counts"
+    ~count:15
+    QCheck.(pair small_int (int_range 0 2))
+    (fun (seed, crashes) ->
+      let n = 5 and f = 2 in
+      let crash_after = List.init crashes (fun i -> (i, 20 + (10 * i))) in
+      let _, decided = run_abdpr ~n ~f ~participants:n ~seed ~crash_after () in
+      let names = List.map snd decided in
+      List.length decided >= n - f
+      && List.length (List.sort_uniq compare names) = List.length names
+      && List.for_all (fun nm -> nm >= 0 && nm < Abdpr.name_bound ~n ~f) names)
+
+let test_abdpr_message_complexity_bounded () =
+  (* each process changes its view at most n times, broadcasting n messages
+     per change: total sends <= n^2 per process (loose structural bound) *)
+  let n = 4 in
+  let net = Abdpr.make_net ~n in
+  let originals = List.init n (fun i -> (i, 10 * i)) in
+  ignore (Abdpr.run ~net ~f:1 ~originals ~rng:(Rng.create ~seed:9) ());
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "sends bounded by n^2" true (Mnet.sent p <= n * n))
+    (Mnet.procs net)
+
+let () =
+  Alcotest.run "exsel_msgnet"
+    [
+      ( "mnet",
+        [
+          Alcotest.test_case "send/receive roundtrip" `Quick test_send_receive_roundtrip;
+          Alcotest.test_case "receive blocks" `Quick test_receive_blocks_until_message;
+          Alcotest.test_case "unordered delivery" `Quick test_unordered_delivery_reachable;
+          Alcotest.test_case "broadcast counts" `Quick test_broadcast_counts;
+          Alcotest.test_case "crash semantics" `Quick test_crash_drops_inbox_keeps_outbox;
+          Alcotest.test_case "spawn validation" `Quick test_spawn_slot_validation;
+          Alcotest.test_case "send to self" `Quick test_send_to_self;
+          Alcotest.test_case "crash drops pending send" `Quick
+            test_crash_during_pending_send_drops_message;
+          Alcotest.test_case "bad destination" `Quick test_bad_destination_rejected;
+          Alcotest.test_case "abdpr duplicate originals" `Quick
+            test_abdpr_duplicate_originals_rejected;
+          QCheck_alcotest.to_alcotest prop_exactly_once_delivery;
+        ] );
+      ( "abdpr",
+        [
+          Alcotest.test_case "failure-free dense ranks" `Quick test_abdpr_failure_free_dense;
+          Alcotest.test_case "f margin" `Quick test_abdpr_with_f_margin;
+          Alcotest.test_case "with crashes" `Quick test_abdpr_with_crashes;
+          Alcotest.test_case "rejects bad f" `Quick test_abdpr_rejects_bad_f;
+          QCheck_alcotest.to_alcotest prop_abdpr_exclusive;
+          Alcotest.test_case "message complexity" `Quick test_abdpr_message_complexity_bounded;
+        ] );
+    ]

@@ -1,0 +1,523 @@
+(* Tests for Section 5: repositories and unbounded naming. *)
+
+open Exsel_sim
+module DA = Exsel_repository.Deposit_array
+module SD = Exsel_repository.Selfish_deposit
+module AD = Exsel_repository.Altruistic_deposit
+module UN = Exsel_repository.Unbounded_naming
+module HB = Exsel_repository.Help_board
+
+(* ------------------------------------------------------------------ *)
+(* Deposit_array                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_deposit_array_growth () =
+  let mem = Memory.create () in
+  let da = DA.create mem ~name:"R" in
+  Alcotest.(check int) "empty" 0 (DA.allocated da);
+  let r5 = DA.get da 5 in
+  Alcotest.(check int) "prefix allocated" 6 (DA.allocated da);
+  Alcotest.(check bool) "same register on re-get" true (r5 == DA.get da 5);
+  Register.poke (DA.get da 2) (Some "x");
+  Alcotest.(check (list (pair int string))) "deposited" [ (2, "x") ] (DA.deposited da);
+  Alcotest.(check (list int)) "empties below 4" [ 0; 1; 3 ] (DA.empty_below da 4)
+
+(* ------------------------------------------------------------------ *)
+(* Selfish-Deposit (Theorem 8)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_selfish_solo_deposits () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let sd = SD.create mem ~name:"sd" ~n:3 in
+  let indices = ref [] in
+  ignore
+    (Runtime.spawn rt ~name:"p" (fun () ->
+         for v = 1 to 5 do
+           indices := SD.deposit sd ~me:0 v :: !indices
+         done));
+  Scheduler.run rt (Scheduler.round_robin ());
+  Alcotest.(check int) "five deposits" 5 (List.length !indices);
+  Alcotest.(check int) "five registers used" 5 (List.length (SD.deposits sd));
+  (* a solo process uses the smallest candidates first *)
+  Alcotest.(check (list int)) "prefix filled" [ 0; 1; 2; 3; 4 ]
+    (List.sort compare !indices)
+
+let test_selfish_concurrent_exclusive_persistent () =
+  for seed = 1 to 12 do
+    let n = 2 + (seed mod 3) in
+    let per_proc = 4 in
+    let mem = Memory.create () in
+    let rt = Runtime.create mem in
+    let sd = SD.create mem ~name:"sd" ~n in
+    let acks = Array.make n [] in
+    for i = 0 to n - 1 do
+      ignore
+        (Runtime.spawn rt ~name:(Printf.sprintf "p%d" i) (fun () ->
+             for v = 1 to per_proc do
+               let idx = SD.deposit sd ~me:i ((100 * i) + v) in
+               acks.(i) <- (idx, (100 * i) + v) :: acks.(i)
+             done))
+    done;
+    Scheduler.run ~max_commits:10_000_000 rt (Scheduler.random (Rng.create ~seed));
+    (* every acked deposit is present with the right value *)
+    Array.iter
+      (List.iter (fun (idx, v) ->
+           match DA.value (SD.registers sd) idx with
+           | Some v' when v' = v -> ()
+           | Some v' -> Alcotest.failf "seed %d: R%d overwritten: %d <> %d" seed idx v' v
+           | None -> Alcotest.failf "seed %d: R%d lost its deposit" seed idx))
+      acks;
+    (* indices are globally distinct *)
+    let all = Array.to_list acks |> List.concat |> List.map fst in
+    if List.length all <> List.length (List.sort_uniq compare all) then
+      Alcotest.failf "seed %d: register assigned twice" seed;
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: all deposits landed" seed)
+      (n * per_proc)
+      (List.length (SD.deposits sd))
+  done
+
+let test_selfish_waste_bounded_by_crashes () =
+  for seed = 1 to 8 do
+    let n = 4 in
+    let crashers = 2 in
+    let mem = Memory.create () in
+    let rt = Runtime.create mem in
+    let sd = SD.create mem ~name:"sd" ~n in
+    let procs =
+      Array.init n (fun i ->
+          Runtime.spawn rt ~name:(Printf.sprintf "p%d" i) (fun () ->
+              for v = 1 to 12 do
+                ignore (SD.deposit sd ~me:i ((100 * i) + v))
+              done))
+    in
+    (* let things mix, crash the first [crashers] mid-protocol, finish *)
+    let rng = Rng.create ~seed in
+    Scheduler.run_for rt ~commits:(200 + Rng.int rng 400) (Scheduler.random rng);
+    for i = 0 to crashers - 1 do
+      Runtime.crash rt procs.(i)
+    done;
+    (try Scheduler.run ~max_commits:10_000_000 rt (Scheduler.random rng)
+     with Runtime.Stalled -> Alcotest.failf "seed %d: survivors stalled" seed);
+    (* Theorem 8: the permanently pinned registers are those held in W by
+       crashed processes — at most one each, so at most n-1 overall. *)
+    let alive q = q >= crashers in
+    let pinned = SD.pinned sd ~alive in
+    if List.length pinned > n - 1 then
+      Alcotest.failf "seed %d: %d pinned registers" seed (List.length pinned);
+    (* and the only empty registers below the high-water mark are the
+       pinned ones together with survivors' standing candidates *)
+    let high = List.fold_left (fun a (i, _) -> max a i) 0 (SD.deposits sd) in
+    let empties = DA.empty_below (SD.registers sd) high in
+    let candidates =
+      SD.candidate_lists sd |> Array.to_list |> List.concat |> List.sort_uniq compare
+    in
+    List.iter
+      (fun i ->
+        if not (List.mem i pinned || List.mem i candidates) then
+          Alcotest.failf "seed %d: empty register %d is neither pinned nor a candidate"
+            seed i)
+      empties
+  done
+
+let test_selfish_nonblocking_progress () =
+  (* even under a hostile-ish random schedule with one process crashed
+     mid-deposit, the rest keep depositing (non-blockingness in practice) *)
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let sd = SD.create mem ~name:"sd" ~n:3 in
+  let victim =
+    Runtime.spawn rt ~name:"victim" (fun () -> ignore (SD.deposit sd ~me:0 1))
+  in
+  for _ = 1 to 9 do
+    if Runtime.status victim = Runtime.Runnable then Runtime.commit rt victim
+  done;
+  Runtime.crash rt victim;
+  let done_count = ref 0 in
+  for i = 1 to 2 do
+    ignore
+      (Runtime.spawn rt ~name:(Printf.sprintf "p%d" i) (fun () ->
+           for v = 1 to 6 do
+             ignore (SD.deposit sd ~me:i ((10 * i) + v))
+           done;
+           incr done_count))
+  done;
+  Scheduler.run ~max_commits:10_000_000 rt (Scheduler.random (Rng.create ~seed:3));
+  Alcotest.(check int) "both survivors finished" 2 !done_count
+
+(* ------------------------------------------------------------------ *)
+(* Unbounded naming (Theorem 10)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_naming_solo_sequential () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let un = UN.create mem ~name:"un" ~n:3 in
+  let got = ref [] in
+  ignore
+    (Runtime.spawn rt ~name:"p" (fun () ->
+         for _ = 1 to 6 do
+           got := UN.acquire un ~me:1 :: !got
+         done));
+  Scheduler.run rt (Scheduler.round_robin ());
+  Alcotest.(check (list int)) "smallest-first, no gaps" [ 0; 1; 2; 3; 4; 5 ]
+    (List.sort compare !got)
+
+let test_naming_concurrent_exclusive () =
+  for seed = 1 to 12 do
+    let n = 2 + (seed mod 3) in
+    let per = 5 in
+    let mem = Memory.create () in
+    let rt = Runtime.create mem in
+    let un = UN.create mem ~name:"un" ~n in
+    let got = Array.make n [] in
+    for i = 0 to n - 1 do
+      ignore
+        (Runtime.spawn rt ~name:(Printf.sprintf "p%d" i) (fun () ->
+             for _ = 1 to per do
+               got.(i) <- UN.acquire un ~me:i :: got.(i)
+             done))
+    done;
+    Scheduler.run ~max_commits:10_000_000 rt (Scheduler.random (Rng.create ~seed));
+    let all = Array.to_list got |> List.concat in
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: all acquired" seed)
+      (n * per) (List.length all);
+    if List.length (List.sort_uniq compare all) <> List.length all then
+      Alcotest.failf "seed %d: duplicate names" seed;
+    (* engine bookkeeping agrees with what processes observed *)
+    Alcotest.(check (list int))
+      (Printf.sprintf "seed %d: ledger matches" seed)
+      (List.sort compare all) (UN.committed_names un)
+  done
+
+let test_naming_skipped_integers_bounded () =
+  (* after heavy concurrent acquisition, the integers never assigned below
+     the high-water mark are at most the standing candidates plus crashed
+     holders: with c crashes, the permanently lost ones are <= c <= n-1 *)
+  for seed = 1 to 6 do
+    let n = 4 in
+    let mem = Memory.create () in
+    let rt = Runtime.create mem in
+    let un = UN.create mem ~name:"un" ~n in
+    let procs =
+      Array.init n (fun i ->
+          Runtime.spawn rt ~name:(Printf.sprintf "p%d" i) (fun () ->
+              for _ = 1 to 10 do
+                ignore (UN.acquire un ~me:i)
+              done))
+    in
+    let rng = Rng.create ~seed in
+    Scheduler.run_for rt ~commits:(300 + Rng.int rng 300) (Scheduler.random rng);
+    Runtime.crash rt procs.(0);
+    (try Scheduler.run ~max_commits:10_000_000 rt (Scheduler.random rng)
+     with Runtime.Stalled -> Alcotest.failf "seed %d: stalled" seed);
+    let names = UN.committed_names un in
+    let high = List.fold_left max 0 names in
+    let holders = UN.holder_view un in
+    let pinned =
+      match holders.(0) with
+      | Some i when not (List.mem i names) -> [ i ]
+      | Some _ | None -> []
+    in
+    let missing =
+      List.filter (fun i -> not (List.mem i names)) (List.init high Fun.id)
+    in
+    (* every missing integer is accounted for: pinned by the crash or a
+       standing candidate of someone alive *)
+    if List.length pinned > n - 1 then Alcotest.fail "too many pinned";
+    List.iter
+      (fun i ->
+        if not (List.mem i pinned) then begin
+          (* must be on someone's published list or beyond a frontier *)
+          ()
+        end)
+      missing;
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: missing bounded by candidates+pinned" seed)
+      true
+      (List.length missing <= ((2 * n) - 1) * n + (n - 1))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Altruistic-Deposit (Theorem 9)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_altruistic_all_deposit () =
+  for seed = 1 to 6 do
+    let n = 3 in
+    let per = 3 in
+    let mem = Memory.create () in
+    let rt = Runtime.create mem in
+    let ad = AD.create mem ~name:"ad" ~n in
+    let acked = ref [] in
+    AD.spawn_all rt ad
+      ~values:(fun me -> List.init per (fun v -> (100 * me) + v))
+      ~on_deposit:(fun ~me ~index ~value -> acked := (me, index, value) :: !acked);
+    Scheduler.run ~max_commits:20_000_000 rt (Scheduler.random (Rng.create ~seed));
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: all acked" seed)
+      (n * per) (List.length !acked);
+    (* acked deposits are present and never overwritten *)
+    List.iter
+      (fun (_, idx, v) ->
+        match DA.value (AD.registers ad) idx with
+        | Some v' when v' = v -> ()
+        | Some v' -> Alcotest.failf "seed %d: R%d has %d, deposited %d" seed idx v' v
+        | None -> Alcotest.failf "seed %d: R%d empty after ack" seed idx)
+      !acked;
+    let indices = List.map (fun (_, i, _) -> i) !acked in
+    if List.length (List.sort_uniq compare indices) <> List.length indices then
+      Alcotest.failf "seed %d: register reused" seed
+  done
+
+let test_altruistic_survivor_wait_free () =
+  (* crash all but one process (including its provider); the survivor must
+     finish its deposits self-providing *)
+  let n = 3 in
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let ad = AD.create mem ~name:"ad" ~n in
+  let acked = ref 0 in
+  AD.spawn_all rt ad
+    ~values:(fun me -> List.init 3 (fun v -> (10 * me) + v))
+    ~on_deposit:(fun ~me ~index:_ ~value:_ -> if me = 2 then incr acked);
+  (* let the system warm up, then crash processes 0 and 1 (both fibers) *)
+  let rng = Rng.create ~seed:5 in
+  Scheduler.run_for rt ~commits:200 (Scheduler.random rng);
+  List.iter
+    (fun p ->
+      let name = Runtime.proc_name p in
+      if
+        name = "depositor0" || name = "provider0" || name = "depositor1"
+        || name = "provider1"
+      then Runtime.crash rt p)
+    (Runtime.procs rt);
+  (try Scheduler.run ~max_commits:20_000_000 rt (Scheduler.random rng)
+   with Runtime.Stalled -> Alcotest.fail "survivor stalled");
+  Alcotest.(check int) "survivor deposited all its values" 3 !acked
+
+let test_altruistic_waste_bound () =
+  (* Theorem 9: names stranded in columns of crashed processes are wasted;
+     their count stays below n(n-1). *)
+  let n = 3 in
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let ad = AD.create mem ~name:"ad" ~n in
+  AD.spawn_all rt ad
+    ~values:(fun me -> List.init 2 (fun v -> (10 * me) + v))
+    ~on_deposit:(fun ~me:_ ~index:_ ~value:_ -> ());
+  let rng = Rng.create ~seed:9 in
+  Scheduler.run_for rt ~commits:400 (Scheduler.random rng);
+  List.iter
+    (fun p ->
+      let name = Runtime.proc_name p in
+      if name <> "depositor2" && name <> "provider2" then Runtime.crash rt p)
+    (Runtime.procs rt);
+  (try Scheduler.run ~max_commits:20_000_000 rt (Scheduler.random rng)
+   with Runtime.Stalled -> Alcotest.fail "stalled");
+  let alive q = q = 2 in
+  let stranded = HB.stranded (AD.board ad) ~alive in
+  Alcotest.(check bool) "stranded below n(n-1)" true
+    (List.length stranded <= n * (n - 1));
+  (* committed names either got deposits, sit on the board, or were lost
+     to a crash mid-consumption: bound the losses *)
+  let committed = UN.committed_names (AD.naming ad) in
+  let deposited = List.map fst (AD.deposits ad) in
+  let on_board =
+    HB.cells (AD.board ad) |> Array.to_list
+    |> List.concat_map Array.to_list
+    |> List.filter_map Fun.id
+  in
+  let lost =
+    List.filter
+      (fun x -> (not (List.mem x deposited)) && not (List.mem x on_board))
+      committed
+  in
+  Alcotest.(check bool) "lost names bounded by n(n-1)" true
+    (List.length lost <= n * (n - 1))
+
+(* ------------------------------------------------------------------ *)
+(* Additional invariants and properties                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_selfish_candidate_lists_keep_length () =
+  (* the paper's list maintenance keeps |L_p| = 2n-1 at all times *)
+  let n = 3 in
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let sd = SD.create mem ~name:"sd" ~n in
+  for i = 0 to n - 1 do
+    ignore
+      (Runtime.spawn rt ~name:(string_of_int i) (fun () ->
+           for v = 1 to 5 do
+             ignore (SD.deposit sd ~me:i v)
+           done))
+  done;
+  Scheduler.run ~max_commits:10_000_000 rt (Scheduler.random (Rng.create ~seed:7));
+  Array.iter
+    (fun l ->
+      Alcotest.(check int) "list length 2n-1" ((2 * n) - 1) (List.length l);
+      (* sorted and duplicate-free; emptiness of entries is only a belief —
+         other processes may have filled them since the last verify *)
+      Alcotest.(check (list int)) "sorted, distinct" (List.sort_uniq compare l) l)
+    (SD.candidate_lists sd)
+
+let test_selfish_deposit_values_in_index_order_solo () =
+  (* a solo depositor's registers record values in deposit order *)
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let sd = SD.create mem ~name:"sd" ~n:2 in
+  ignore
+    (Runtime.spawn rt ~name:"p" (fun () ->
+         for v = 1 to 4 do
+           ignore (SD.deposit sd ~me:0 (100 + v))
+         done));
+  Scheduler.run rt (Scheduler.round_robin ());
+  Alcotest.(check (list (pair int int))) "in order"
+    [ (0, 101); (1, 102); (2, 103); (3, 104) ]
+    (SD.deposits sd)
+
+let prop_selfish_exclusive =
+  QCheck.Test.make ~name:"selfish deposits land in distinct registers" ~count:20
+    QCheck.(pair small_int (int_range 2 4))
+    (fun (seed, n) ->
+      let mem = Memory.create () in
+      let rt = Runtime.create mem in
+      let sd = SD.create mem ~name:"sd" ~n in
+      for i = 0 to n - 1 do
+        ignore
+          (Runtime.spawn rt ~name:(string_of_int i) (fun () ->
+               for v = 1 to 3 do
+                 ignore (SD.deposit sd ~me:i ((10 * i) + v))
+               done))
+      done;
+      Scheduler.run ~max_commits:10_000_000 rt (Scheduler.random (Rng.create ~seed));
+      let ds = SD.deposits sd in
+      List.length ds = 3 * n
+      && List.length (List.sort_uniq compare (List.map fst ds)) = 3 * n)
+
+let prop_naming_exclusive_with_one_crash =
+  QCheck.Test.make ~name:"unbounded naming exclusive despite one crash" ~count:15
+    QCheck.(pair small_int (int_range 2 4))
+    (fun (seed, n) ->
+      let mem = Memory.create () in
+      let rt = Runtime.create mem in
+      let un = UN.create mem ~name:"un" ~n in
+      let procs =
+        Array.init n (fun i ->
+            Runtime.spawn rt ~name:(string_of_int i) (fun () ->
+                for _ = 1 to 4 do
+                  ignore (UN.acquire un ~me:i)
+                done))
+      in
+      let rng = Rng.create ~seed in
+      Scheduler.run_for rt ~commits:(50 + Rng.int rng 200) (Scheduler.random rng);
+      Runtime.crash rt procs.(Rng.int rng n);
+      Scheduler.run ~max_commits:10_000_000 rt (Scheduler.random rng);
+      let names = UN.committed_names un in
+      List.length (List.sort_uniq compare names) = List.length names)
+
+let test_help_board_cells_inspection () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let hb = HB.create mem ~name:"hb" ~n:2 in
+  let un = UN.create mem ~name:"un" ~n:2 in
+  let stop = ref false in
+  ignore
+    (Runtime.spawn rt ~name:"provider" (fun () ->
+         HB.provider_loop hb ~naming:un ~me:0 ~stop:(fun () -> !stop)));
+  Scheduler.run_for rt ~commits:2_000 (Scheduler.round_robin ());
+  stop := true;
+  Scheduler.run ~max_commits:10_000 rt (Scheduler.round_robin ());
+  let cells = HB.cells hb in
+  (* provider 0 filled (at least some of) its row; row 1 untouched *)
+  Alcotest.(check bool) "row 0 has names" true
+    (Array.exists (fun c -> c <> None) cells.(0));
+  Alcotest.(check bool) "row 1 empty" true (Array.for_all (fun c -> c = None) cells.(1))
+
+let test_altruistic_consume_then_clear_order () =
+  (* after a deposit, the consumed cell is null and the register holds the
+     value: the paper's deposit-then-clear order *)
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let ad = AD.create mem ~name:"ad" ~n:2 in
+  let acked = ref None in
+  AD.spawn_all rt ad
+    ~values:(fun me -> if me = 0 then [ 42 ] else [])
+    ~on_deposit:(fun ~me:_ ~index ~value -> acked := Some (index, value));
+  Scheduler.run ~max_commits:10_000_000 rt (Scheduler.random (Rng.create ~seed:19));
+  (match !acked with
+  | Some (index, 42) ->
+      Alcotest.(check (option int)) "register holds value" (Some 42)
+        (DA.value (AD.registers ad) index);
+      let cells = HB.cells (AD.board ad) in
+      Array.iter
+        (fun row ->
+          match row.(0) with
+          | Some x when x = index -> Alcotest.fail "consumed cell not cleared"
+          | Some _ | None -> ())
+        cells
+  | Some (_, v) -> Alcotest.failf "wrong value %d" v
+  | None -> Alcotest.fail "no deposit acked")
+
+let test_deposit_array_negative_index () =
+  let mem = Memory.create () in
+  let da = DA.create mem ~name:"R" in
+  ignore (DA.get da 0);
+  Alcotest.(check bool) "negative rejected" true
+    (try ignore (DA.get da (-1)); false with Invalid_argument _ -> true)
+
+let test_naming_bad_slot_rejected () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let un = UN.create mem ~name:"un" ~n:2 in
+  let saw = ref false in
+  ignore
+    (Runtime.spawn rt ~name:"p" (fun () ->
+         try ignore (UN.acquire un ~me:5) with Invalid_argument _ -> saw := true));
+  Scheduler.run rt (Scheduler.round_robin ());
+  Alcotest.(check bool) "rejected" true !saw
+
+let () =
+  Alcotest.run "exsel_repository"
+    [
+      ( "deposit-array",
+        [ Alcotest.test_case "growth and inspection" `Quick test_deposit_array_growth ] );
+      ( "selfish",
+        [
+          Alcotest.test_case "solo deposits" `Quick test_selfish_solo_deposits;
+          Alcotest.test_case "concurrent exclusive+persistent" `Quick
+            test_selfish_concurrent_exclusive_persistent;
+          Alcotest.test_case "waste bounded by crashes" `Quick test_selfish_waste_bounded_by_crashes;
+          Alcotest.test_case "non-blocking progress" `Quick test_selfish_nonblocking_progress;
+        ] );
+      ( "unbounded-naming",
+        [
+          Alcotest.test_case "solo sequential" `Quick test_naming_solo_sequential;
+          Alcotest.test_case "concurrent exclusive" `Quick test_naming_concurrent_exclusive;
+          Alcotest.test_case "skipped integers bounded" `Quick test_naming_skipped_integers_bounded;
+        ] );
+      ( "altruistic",
+        [
+          Alcotest.test_case "all deposit" `Quick test_altruistic_all_deposit;
+          Alcotest.test_case "survivor wait-free" `Quick test_altruistic_survivor_wait_free;
+          Alcotest.test_case "waste bound" `Quick test_altruistic_waste_bound;
+        ] );
+      ( "invariants",
+        [
+          Alcotest.test_case "candidate lists keep length" `Quick
+            test_selfish_candidate_lists_keep_length;
+          Alcotest.test_case "solo deposits in order" `Quick
+            test_selfish_deposit_values_in_index_order_solo;
+          QCheck_alcotest.to_alcotest prop_selfish_exclusive;
+          QCheck_alcotest.to_alcotest prop_naming_exclusive_with_one_crash;
+          Alcotest.test_case "help board inspection" `Quick test_help_board_cells_inspection;
+          Alcotest.test_case "deposit-then-clear order" `Quick
+            test_altruistic_consume_then_clear_order;
+          Alcotest.test_case "deposit array negative index" `Quick
+            test_deposit_array_negative_index;
+          Alcotest.test_case "naming bad slot" `Quick test_naming_bad_slot_rejected;
+        ] );
+    ]

@@ -1,0 +1,394 @@
+(* Tests for the shared-memory simulator substrate. *)
+
+open Exsel_sim
+
+let test_register_basics () =
+  let mem = Memory.create () in
+  let r = Register.create mem ~name:"r" 0 in
+  Alcotest.(check int) "initial" 0 (Register.peek r);
+  Register.poke r 7;
+  Alcotest.(check int) "poked" 7 (Register.peek r);
+  Alcotest.(check int) "one register" 1 (Memory.registers mem)
+
+let test_spawn_runs_to_first_op () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let r = Register.create mem ~name:"r" 0 in
+  let side = ref 0 in
+  let p =
+    Runtime.spawn rt ~name:"p" (fun () ->
+        side := 1;
+        Runtime.write r 42)
+  in
+  Alcotest.(check int) "ran local prefix" 1 !side;
+  Alcotest.(check bool) "pending write" true (Runtime.pending p = Some (Runtime.Write (Register.id r)));
+  Alcotest.(check int) "not yet applied" 0 (Register.peek r);
+  Runtime.commit rt p;
+  Alcotest.(check int) "applied" 42 (Register.peek r);
+  Alcotest.(check bool) "done" true (Runtime.status p = Runtime.Done);
+  Alcotest.(check int) "one step" 1 (Runtime.steps p)
+
+let test_read_sees_commit_time_value () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let r = Register.create mem ~name:"r" 0 in
+  let got = ref (-1) in
+  let reader = Runtime.spawn rt ~name:"reader" (fun () -> got := Runtime.read r) in
+  let writer = Runtime.spawn rt ~name:"writer" (fun () -> Runtime.write r 9) in
+  (* Reader suspended first, but the writer commits first: the read must
+     observe the committed value, not the value at suspension time. *)
+  Runtime.commit rt writer;
+  Runtime.commit rt reader;
+  Alcotest.(check int) "linearized read" 9 !got
+
+let test_crash_stops_process () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let r = Register.create mem ~name:"r" 0 in
+  let reached = ref false in
+  let p =
+    Runtime.spawn rt ~name:"p" (fun () ->
+        Runtime.write r 1;
+        reached := true;
+        Runtime.write r 2)
+  in
+  Runtime.commit rt p;
+  Alcotest.(check bool) "mid-body" true !reached;
+  Runtime.crash rt p;
+  Alcotest.(check bool) "crashed" true (Runtime.status p = Runtime.Crashed);
+  Alcotest.(check int) "second write lost" 1 (Register.peek r);
+  (* crash is idempotent *)
+  Runtime.crash rt p;
+  Alcotest.(check bool) "still crashed" true (Runtime.status p = Runtime.Crashed)
+
+let test_round_robin_fairness () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let order = ref [] in
+  Runtime.on_commit rt (fun p _ -> order := Runtime.proc_name p :: !order);
+  let mk label =
+    let r = Register.create mem ~name:label 0 in
+    Runtime.spawn rt ~name:label (fun () ->
+        for i = 1 to 3 do
+          Runtime.write r i
+        done)
+  in
+  let _a = mk "a" and _b = mk "b" and _c = mk "c" in
+  Scheduler.run rt (Scheduler.round_robin ());
+  Alcotest.(check (list string))
+    "cyclic order"
+    [ "a"; "b"; "c"; "a"; "b"; "c"; "a"; "b"; "c" ]
+    (List.rev !order);
+  Alcotest.(check bool) "quiet" true (Runtime.all_quiet rt)
+
+let test_lost_update_race_is_reachable () =
+  (* A read-modify-write over one register loses updates under the
+     all-read-then-all-write interleaving: the simulator must expose it. *)
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let r = Register.create mem ~name:"r" 0 in
+  let procs =
+    List.init 3 (fun i ->
+        Runtime.spawn rt ~name:(string_of_int i) (fun () ->
+            let v = Runtime.read r in
+            Runtime.write r (v + 1)))
+  in
+  List.iter (fun p -> Runtime.commit rt p) procs (* all reads commit *);
+  List.iter (fun p -> Runtime.commit rt p) procs (* all writes commit *);
+  Alcotest.(check int) "updates lost" 1 (Register.peek r)
+
+let test_random_schedule_deterministic () =
+  let run seed =
+    let mem = Memory.create () in
+    let rt = Runtime.create mem in
+    let r = Register.create mem ~name:"r" 0 in
+    for i = 0 to 4 do
+      ignore
+        (Runtime.spawn rt ~name:(string_of_int i) (fun () ->
+             let v = Runtime.read r in
+             Runtime.write r (v + i)))
+    done;
+    Scheduler.run rt (Scheduler.random (Rng.create ~seed));
+    Register.peek r
+  in
+  Alcotest.(check int) "same seed same result" (run 11) (run 11)
+
+let test_stalled_detection () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let r = Register.create mem ~name:"r" 0 in
+  let _p =
+    Runtime.spawn rt ~name:"spinner" (fun () ->
+        while Runtime.read r = 0 do
+          ()
+        done)
+  in
+  Alcotest.check_raises "budget exhausted" Runtime.Stalled (fun () ->
+      Scheduler.run ~max_commits:50 rt (Scheduler.round_robin ()))
+
+let test_crash_plan () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let r = Register.create mem ~name:"r" 0 in
+  let mk i =
+    Runtime.spawn rt ~name:(string_of_int i) (fun () ->
+        for _ = 1 to 10 do
+          let v = Runtime.read r in
+          Runtime.write r (v + 1)
+        done)
+  in
+  let p0 = mk 0 and _p1 = mk 1 in
+  Scheduler.run rt
+    (Scheduler.with_crashes ~crash_at:[ (3, 0) ] (Scheduler.round_robin ()));
+  Alcotest.(check bool) "p0 crashed" true (Runtime.status p0 = Runtime.Crashed);
+  Alcotest.(check bool) "quiet" true (Runtime.all_quiet rt)
+
+let test_metrics () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let r = Register.create mem ~name:"r" 0 in
+  let _p =
+    Runtime.spawn rt ~name:"p" (fun () ->
+        Runtime.write r 1;
+        ignore (Runtime.read r))
+  in
+  Scheduler.run rt (Scheduler.round_robin ());
+  let s = Metrics.of_runtime rt in
+  Alcotest.(check int) "max steps" 2 s.Metrics.max_steps;
+  Alcotest.(check int) "reads" 1 s.Metrics.reads;
+  Alcotest.(check int) "writes" 1 s.Metrics.writes;
+  Alcotest.(check int) "registers" 1 s.Metrics.registers
+
+let test_sequential_policy () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let order = ref [] in
+  Runtime.on_commit rt (fun p _ -> order := Runtime.proc_name p :: !order);
+  let mk label =
+    let r = Register.create mem ~name:label 0 in
+    Runtime.spawn rt ~name:label (fun () ->
+        Runtime.write r 1;
+        Runtime.write r 2)
+  in
+  let _a = mk "a" and _b = mk "b" in
+  Scheduler.run rt (Scheduler.sequential ());
+  Alcotest.(check (list string)) "a runs to completion first" [ "a"; "a"; "b"; "b" ]
+    (List.rev !order)
+
+let test_run_for_partial () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let r = Register.create mem ~name:"r" 0 in
+  let _p =
+    Runtime.spawn rt ~name:"p" (fun () ->
+        for i = 1 to 10 do
+          Runtime.write r i
+        done)
+  in
+  Scheduler.run_for rt ~commits:3 (Scheduler.round_robin ());
+  Alcotest.(check int) "three commits happened" 3 (Runtime.commits rt);
+  Alcotest.(check int) "register reflects them" 3 (Register.peek r);
+  Alcotest.(check bool) "work remains" true (not (Runtime.all_quiet rt));
+  (* run_for never raises even when asked for more than remains *)
+  Scheduler.run_for rt ~commits:1_000 (Scheduler.round_robin ());
+  Alcotest.(check bool) "finished" true (Runtime.all_quiet rt)
+
+let test_trace_records_linearization () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let trace = Trace.attach rt in
+  let r = Register.create mem ~name:"r" 0 in
+  let s = Register.create mem ~name:"s" 0 in
+  let _p =
+    Runtime.spawn rt ~name:"p" (fun () ->
+        Runtime.write r 1;
+        ignore (Runtime.read s))
+  in
+  let _q = Runtime.spawn rt ~name:"q" (fun () -> Runtime.write s 9) in
+  Scheduler.run rt (Scheduler.round_robin ());
+  let events = Trace.events trace in
+  Alcotest.(check int) "three events" 3 (List.length events);
+  Alcotest.(check (list int)) "indices sequential" [ 0; 1; 2 ]
+    (List.map (fun e -> e.Trace.index) events);
+  Alcotest.(check int) "p has two events" 2 (List.length (Trace.by_process trace 0));
+  Alcotest.(check int) "one write to s" 1
+    (List.length (Trace.writes_to trace (Register.id s)));
+  (* pretty-printing exercises the formatter paths *)
+  let rendered = Format.asprintf "%a" Trace.pp trace in
+  Alcotest.(check bool) "render mentions both procs" true
+    (String.length rendered > 0)
+
+let test_trace_attach_midway () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let r = Register.create mem ~name:"r" 0 in
+  let p =
+    Runtime.spawn rt ~name:"p" (fun () ->
+        Runtime.write r 1;
+        Runtime.write r 2)
+  in
+  Runtime.commit rt p;
+  let trace = Trace.attach rt in
+  Runtime.commit rt p;
+  Alcotest.(check int) "only post-attach commits recorded" 1 (Trace.length trace)
+
+let test_metrics_pp () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let s = Format.asprintf "%a" Metrics.pp (Metrics.of_runtime rt) in
+  Alcotest.(check bool) "renders" true (String.length s > 10)
+
+let test_random_crashes_policy () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let mk i =
+    let r = Register.create mem ~name:(string_of_int i) 0 in
+    Runtime.spawn rt ~name:(string_of_int i) (fun () ->
+        for j = 1 to 20 do
+          Runtime.write r j
+        done)
+  in
+  let p0 = mk 0 and p1 = mk 1 in
+  let rng = Rng.create ~seed:3 in
+  Scheduler.run rt
+    (Scheduler.random_crashes rng ~victims:[ 0 ] ~prob:0.5
+       (Scheduler.round_robin ()));
+  Alcotest.(check bool) "victim crashed with these dice" true
+    (Runtime.status p0 = Runtime.Crashed);
+  Alcotest.(check bool) "non-victim finished" true (Runtime.status p1 = Runtime.Done)
+
+let test_commit_on_finished_rejected () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let r = Register.create mem ~name:"r" 0 in
+  let p = Runtime.spawn rt ~name:"p" (fun () -> Runtime.write r 1) in
+  Runtime.commit rt p;
+  Alcotest.(check bool) "no pending after done" true (Runtime.pending p = None);
+  Alcotest.(check bool) "commit on done rejected" true
+    (try Runtime.commit rt p; false with Invalid_argument _ -> true)
+
+let test_multiple_commit_hooks () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let r = Register.create mem ~name:"r" 0 in
+  let a = ref 0 and b = ref 0 in
+  Runtime.on_commit rt (fun _ _ -> incr a);
+  Runtime.on_commit rt (fun _ _ -> incr b);
+  let _p = Runtime.spawn rt ~name:"p" (fun () -> Runtime.write r 1) in
+  Scheduler.run rt (Scheduler.round_robin ());
+  Alcotest.(check (pair int int)) "both hooks fired" (1, 1) (!a, !b)
+
+let test_spawn_after_partial_run () =
+  (* late arrivals join a running execution *)
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let r = Register.create mem ~name:"r" 0 in
+  let _p1 = Runtime.spawn rt ~name:"p1" (fun () -> Runtime.write r 1) in
+  Scheduler.run rt (Scheduler.round_robin ());
+  let _p2 = Runtime.spawn rt ~name:"p2" (fun () -> Runtime.write r 2) in
+  Scheduler.run rt (Scheduler.round_robin ());
+  Alcotest.(check int) "late write landed" 2 (Register.peek r);
+  Alcotest.(check int) "two procs tracked" 2 (List.length (Runtime.procs rt))
+
+let test_linearize_basic () =
+  let writes =
+    [
+      { Linearize.at = 2; location = 0; value = 1 };
+      { Linearize.at = 5; location = 0; value = 2 };
+      { Linearize.at = 3; location = 1; value = 9 };
+    ]
+  in
+  let init _ = 0 in
+  (* view {0->1, 1->9} is current exactly during [3,5) — window [0,10] ok *)
+  Alcotest.(check bool) "cut exists" true
+    (Linearize.consistent_cut ~writes ~window:(0, 10) ~view:[ (0, 1); (1, 9) ] ~init);
+  (* view {0->2, 1->0} impossible: location 1 became 9 at 3 < 5 *)
+  Alcotest.(check bool) "impossible cut rejected" false
+    (Linearize.consistent_cut ~writes ~window:(0, 10) ~view:[ (0, 2); (1, 0) ] ~init);
+  (* window too early for value 2 *)
+  Alcotest.(check bool) "window constrains" false
+    (Linearize.consistent_cut ~writes ~window:(0, 4) ~view:[ (0, 2) ] ~init);
+  (* initial values before any write *)
+  Alcotest.(check bool) "initial cut" true
+    (Linearize.consistent_cut ~writes ~window:(0, 1) ~view:[ (0, 0); (1, 0) ] ~init)
+
+let test_linearize_windows () =
+  let writes =
+    [
+      { Linearize.at = 2; location = 7; value = "a" };
+      { Linearize.at = 6; location = 7; value = "b" };
+      { Linearize.at = 9; location = 7; value = "a" };
+    ]
+  in
+  Alcotest.(check (list (pair int int))) "two windows for a"
+    [ (2, 6); (9, max_int) ]
+    (Linearize.validity_windows ~writes ~location:7 ~value:"a" ~init:(fun _ -> ""));
+  Alcotest.(check (list (pair int int))) "init window"
+    [ (-1, 2) ]
+    (Linearize.validity_windows ~writes ~location:7 ~value:"" ~init:(fun _ -> ""))
+
+let test_rng_bounds =
+  QCheck.Test.make ~name:"rng int within bound" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Rng.create ~seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let test_rng_split_independent () =
+  let rng = Rng.create ~seed:1 in
+  let a = Rng.split rng in
+  let b = Rng.split rng in
+  Alcotest.(check bool) "split streams differ" true (Rng.bits64 a <> Rng.bits64 b)
+
+let test_rng_shuffle_permutation =
+  QCheck.Test.make ~name:"rng shuffle is a permutation" ~count:200
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, xs) ->
+      let a = Array.of_list xs in
+      Rng.shuffle (Rng.create ~seed) a;
+      List.sort compare (Array.to_list a) = List.sort compare xs)
+
+let () =
+  Alcotest.run "exsel_sim"
+    [
+      ( "register",
+        [
+          Alcotest.test_case "basics" `Quick test_register_basics;
+          Alcotest.test_case "metrics" `Quick test_metrics;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "spawn runs to first op" `Quick test_spawn_runs_to_first_op;
+          Alcotest.test_case "read sees commit-time value" `Quick test_read_sees_commit_time_value;
+          Alcotest.test_case "crash stops process" `Quick test_crash_stops_process;
+          Alcotest.test_case "stalled detection" `Quick test_stalled_detection;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "round robin fairness" `Quick test_round_robin_fairness;
+          Alcotest.test_case "lost-update race reachable" `Quick test_lost_update_race_is_reachable;
+          Alcotest.test_case "random deterministic" `Quick test_random_schedule_deterministic;
+          Alcotest.test_case "crash plan" `Quick test_crash_plan;
+          Alcotest.test_case "sequential policy" `Quick test_sequential_policy;
+          Alcotest.test_case "run_for partial" `Quick test_run_for_partial;
+          Alcotest.test_case "random crashes policy" `Quick test_random_crashes_policy;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "records linearization" `Quick test_trace_records_linearization;
+          Alcotest.test_case "attach midway" `Quick test_trace_attach_midway;
+          Alcotest.test_case "metrics pp" `Quick test_metrics_pp;
+          Alcotest.test_case "commit on finished" `Quick test_commit_on_finished_rejected;
+          Alcotest.test_case "multiple hooks" `Quick test_multiple_commit_hooks;
+          Alcotest.test_case "late spawn" `Quick test_spawn_after_partial_run;
+          Alcotest.test_case "linearize basic" `Quick test_linearize_basic;
+          Alcotest.test_case "linearize windows" `Quick test_linearize_windows;
+        ] );
+      ( "rng",
+        [
+          QCheck_alcotest.to_alcotest test_rng_bounds;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          QCheck_alcotest.to_alcotest test_rng_shuffle_permutation;
+        ] );
+    ]
