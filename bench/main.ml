@@ -8,36 +8,31 @@
    table/figure (the full experiment as the measured unit) and prints the
    OLS estimate of its execution time.
 
-   --only <ID> restricts either mode to a single experiment. *)
+   --json <file> writes every selected table plus the per-run
+   observations (metrics summary, register contention profile, phase-span
+   aggregates) as one exsel-bench/1 document — see DESIGN.md §7.
+
+   --only <ID> restricts any mode to a single experiment. *)
 
 module E = Exsel_harness.Experiments
+module Report = Exsel_harness.Report
 module Table = Exsel_harness.Table
 
-let experiments : (string * (unit -> Table.t)) list =
-  [
-    ("T1", E.t1_comparison);
-    ("T2", E.t2_polylog);
-    ("T3", E.t3_efficient);
-    ("T4", E.t4_almost_adaptive);
-    ("T5", E.t5_adaptive);
-    ("T6", E.t6_store_collect);
-    ("T7", E.t7_lower_bound);
-    ("T8", E.t8_repositories);
-    ("T9", E.t9_unbounded_naming);
-    ("F1", E.f1_majority_progress);
-    ("F2", E.f2_crossover);
-    ("A1", E.a1_expander_constants);
-    ("A2", E.a2_certification);
-    ("A3", E.a3_reserve_lane);
-    ("X1", E.x1_long_lived);
-    ("X2", E.x2_message_passing);
-    ("X3", E.x3_randomized);
-  ]
+let experiments = E.all_named
+
+let valid_ids () = String.concat " " (List.map fst experiments)
 
 let selected only =
   match only with
   | None -> experiments
-  | Some id -> List.filter (fun (i, _) -> String.uppercase_ascii id = i) experiments
+  | Some id -> (
+      let id = String.uppercase_ascii id in
+      match List.filter (fun (i, _) -> i = id) experiments with
+      | [] ->
+          Printf.eprintf "unknown experiment id %S; valid ids: %s\n" id
+            (valid_ids ());
+          exit 2
+      | sel -> sel)
 
 let print_tables only =
   List.iter
@@ -46,6 +41,12 @@ let print_tables only =
       Table.print t;
       flush stdout)
     (selected only)
+
+let write_json only path =
+  let entries = Report.observe (selected only) in
+  List.iter (fun e -> Table.print e.Report.table; flush stdout) entries;
+  Report.write_file path entries;
+  Printf.printf "wrote %s (%d experiments)\n" path (List.length entries)
 
 let run_bechamel only =
   let open Bechamel in
@@ -78,16 +79,26 @@ let run_bechamel only =
       Printf.printf "%-12s  %14s  %8.4f\n" name human r2)
     (List.sort compare rows)
 
+let usage () =
+  Printf.eprintf
+    "usage: %s [--bechamel] [--json <file>] [--only <T1..T9|F1|F2|A1..A3|X1..X3>]\n"
+    Sys.argv.(0);
+  exit 2
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let rec parse bech only = function
-    | [] -> (bech, only)
-    | "--bechamel" :: rest -> parse true only rest
-    | "--only" :: id :: rest -> parse bech (Some id) rest
+  let rec parse bech only json = function
+    | [] -> (bech, only, json)
+    | "--bechamel" :: rest -> parse true only json rest
+    | "--only" :: id :: rest -> parse bech (Some id) json rest
+    | "--json" :: path :: rest -> parse bech only (Some path) rest
     | arg :: _ ->
-        Printf.eprintf "usage: %s [--bechamel] [--only <T1..T9|F1|F2|A1..A3|X1..X3>] (got %s)\n"
-          Sys.argv.(0) arg;
-        exit 2
+        Printf.eprintf "unexpected argument %S\n" arg;
+        usage ()
   in
-  let bech, only = parse false None args in
-  if bech then run_bechamel only else print_tables only
+  let bech, only, json = parse false None None args in
+  match json with
+  | Some path ->
+      if bech then usage ();
+      write_json only path
+  | None -> if bech then run_bechamel only else print_tables only

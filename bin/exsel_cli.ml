@@ -9,7 +9,11 @@ module AD = Exsel_repository.Altruistic_deposit
 module UN = Exsel_repository.Unbounded_naming
 module Adversary = Exsel_lowerbound.Adversary
 module E = Exsel_harness.Experiments
+module Report = Exsel_harness.Report
 module Table = Exsel_harness.Table
+module Json = Exsel_obs.Json
+module Probe = Exsel_obs.Probe
+module Span = Exsel_obs.Span
 
 let spread ~count ~bound = List.init count (fun i -> i * (max 1 (bound / count)) mod bound)
 
@@ -91,11 +95,15 @@ let build_renamer algo mem ~k ~n ~n_names ~seed =
       let c = R.Chain_rename.create mem ~name:"ch" ~m:((2 * k) - 1) in
       ((fun ~me -> R.Chain_rename.rename c ~me), R.Chain_rename.names c)
 
-let run_rename algo k n n_names procs seed crashes =
+let run_rename algo k n n_names procs seed crashes profile json =
   let mem = Memory.create () in
   let rt = Runtime.create mem in
   let rename, _m = build_renamer algo mem ~k ~n ~n_names ~seed in
   let ids = spread ~count:procs ~bound:n_names in
+  let observing = profile || json <> None in
+  (* span sink before spawning (bodies may open spans at spawn time),
+     probe after, so its initial scan sees the whole pending burst *)
+  let span = if observing then Some (Span.attach rt) else None in
   let results = Array.make procs None in
   List.iteri
     (fun i me ->
@@ -103,11 +111,13 @@ let run_rename algo k n n_names procs seed crashes =
         (Runtime.spawn rt ~name:(Printf.sprintf "p%d" i) (fun () ->
              results.(i) <- rename ~me)))
     ids;
+  let probe = if observing then Some (Probe.attach rt) else None in
   let policy = Scheduler.random (Rng.create ~seed:(seed + 1)) in
   let policy =
     if crashes = [] then policy else Scheduler.with_crashes ~crash_at:crashes policy
   in
   Scheduler.run ~max_commits:500_000_000 rt policy;
+  let summary = Metrics.of_runtime rt in
   Printf.printf "process  original  new-name  steps  status\n";
   List.iteri
     (fun i (p, me) ->
@@ -121,10 +131,62 @@ let run_rename algo k n n_names procs seed crashes =
     (List.combine (Runtime.procs rt) ids);
   let names = Array.to_list results |> List.filter_map Fun.id in
   let distinct = List.length (List.sort_uniq compare names) = List.length names in
-  Format.printf "%a@." Metrics.pp (Metrics.of_runtime rt);
+  Format.printf "%a@." Metrics.pp summary;
   Printf.printf "exclusive: %s  max-name: %d\n"
     (if distinct then "yes" else "NO (BUG)")
     (List.fold_left max (-1) names);
+  (match (span, probe) with
+  | Some sp, Some pr ->
+      let report = Probe.report pr in
+      let aggs = Span.aggregate sp in
+      if profile then begin
+        Format.printf "%a@." Probe.pp report;
+        Format.printf "%a@." Span.pp_aggregate aggs
+      end;
+      (match json with
+      | Some path ->
+          let assignment =
+            List.mapi
+              (fun i (p, me) ->
+                Json.Obj
+                  [
+                    ("process", Json.String (Printf.sprintf "p%d" i));
+                    ("original", Json.Int me);
+                    ( "name",
+                      match results.(i) with Some nm -> Json.Int nm | None -> Json.Null );
+                    ("steps", Json.Int (Runtime.steps p));
+                    ( "status",
+                      Json.String
+                        (match Runtime.status p with
+                        | Runtime.Done -> "done"
+                        | Runtime.Crashed -> "crashed"
+                        | Runtime.Runnable -> "runnable") );
+                  ])
+              (List.combine (Runtime.procs rt) ids)
+          in
+          let doc =
+            Json.Obj
+              [
+                ("schema", Json.String "exsel-rename/1");
+                ( "algorithm",
+                  Json.String
+                    (Format.asprintf "%a" (Cmdliner.Arg.conv_printer algo_conv) algo) );
+                ("seed", Json.Int seed);
+                ("assignment", Json.List assignment);
+                ("summary", Json.of_summary summary);
+                ("probe", Probe.to_json report);
+                ("spans", Span.aggregate_to_json aggs);
+                ("span_trees", Span.to_json sp);
+              ]
+          in
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> Json.output oc doc);
+          Printf.printf "wrote %s\n" path
+      | None -> ());
+      Span.detach sp
+  | _ -> ());
   if not distinct then exit 1
 
 (* ------------------------------------------------------------------ *)
@@ -357,15 +419,26 @@ let run_explore target contenders crashes reduce =
 (* experiments subcommand                                              *)
 (* ------------------------------------------------------------------ *)
 
-let run_experiments only =
-  let tables = E.all () in
-  let tables =
+let run_experiments only json =
+  let named =
     match only with
-    | None -> tables
-    | Some id ->
-        List.filter (fun t -> String.uppercase_ascii id = t.Table.id) tables
+    | None -> E.all_named
+    | Some id -> (
+        let id = String.uppercase_ascii id in
+        match List.filter (fun (i, _) -> i = id) E.all_named with
+        | [] ->
+            Printf.eprintf "unknown experiment id %S; valid ids: %s\n" id
+              (String.concat " " (List.map fst E.all_named));
+            exit 2
+        | sel -> sel)
   in
-  List.iter Table.print tables
+  match json with
+  | Some path ->
+      let entries = Report.observe named in
+      List.iter (fun e -> Table.print e.Report.table) entries;
+      Report.write_file path entries;
+      Printf.printf "wrote %s (%d experiments)\n" path (List.length entries)
+  | None -> List.iter (fun (_, f) -> Table.print (f ())) named
 
 (* ------------------------------------------------------------------ *)
 (* cmdliner wiring                                                     *)
@@ -407,10 +480,27 @@ let algo_t =
         ~doc:
           "Algorithm: ma, snapshot, majority, basic, polylog, efficient, almost-adaptive, adaptive, chain.")
 
+let profile_t =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Print the per-register contention profile and the per-phase span \
+           aggregates after the run.")
+
+let json_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Also write the run's metrics, contention profile and span trees to $(docv).")
+
 let rename_cmd =
   let doc = "run a renaming algorithm and print the assignment" in
   Cmd.v (Cmd.info "rename" ~doc)
-    Term.(const run_rename $ algo_t $ k_t $ n_t $ n_names_t $ procs_t $ seed_t $ crash_t)
+    Term.(
+      const run_rename $ algo_t $ k_t $ n_t $ n_names_t $ procs_t $ seed_t $ crash_t
+      $ profile_t $ json_t)
 
 let deposit_cmd =
   let doc = "run a repository (Selfish- or Altruistic-Deposit) with crashes" in
@@ -456,9 +546,18 @@ let explore_cmd =
 let experiments_cmd =
   let doc = "regenerate the paper-reproduction tables and figures" in
   let only =
-    Arg.(value & opt (some string) None & info [ "only" ] ~docv:"ID" ~doc:"Run a single experiment (T1..T9, F1, F2).")
+    Arg.(value & opt (some string) None & info [ "only" ] ~docv:"ID" ~doc:"Run a single experiment (T1..T9, F1, F2, A1..A3, X1..X3).")
   in
-  Cmd.v (Cmd.info "experiments" ~doc) Term.(const run_experiments $ only)
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write every selected table plus per-run observations as one \
+             exsel-bench/1 document to $(docv).")
+  in
+  Cmd.v (Cmd.info "experiments" ~doc) Term.(const run_experiments $ only $ json)
 
 let () =
   let doc = "asynchronous exclusive selection (Chlebus & Kowalski, PODC 2008)" in

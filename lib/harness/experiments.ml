@@ -13,9 +13,46 @@ type outcome = {
   failures : int;  (* processes that reported overflow *)
 }
 
+(* ------------------------------------------------------------------ *)
+(* Observation capture: when observing is on, every run executed through
+   [run_renaming] attaches a register probe and a span sink and queues a
+   structured record; the bench / CLI JSON exports drain the queue after
+   each experiment. *)
+
+type observation = {
+  obs_label : string;
+  obs_summary : Metrics.summary;
+  obs_probe : Exsel_obs.Probe.report;
+  obs_spans : Exsel_obs.Span.agg list;
+}
+
+let observing = ref false
+let observations_rev : observation list ref = ref []
+
+let set_observing b = observing := b
+
+let drain_observations () =
+  let obs = List.rev !observations_rev in
+  observations_rev := [];
+  obs
+
+let observation_to_json o =
+  Exsel_obs.Json.Obj
+    [
+      ("label", Exsel_obs.Json.String o.obs_label);
+      ("summary", Exsel_obs.Json.of_summary o.obs_summary);
+      ("probe", Exsel_obs.Probe.to_json o.obs_probe);
+      ("spans", Exsel_obs.Span.aggregate_to_json o.obs_spans);
+    ]
+
 (* Run [ids] as concurrent contenders, each calling [rename] with its
-   identifier, under a seeded random schedule. *)
-let run_renaming ~seed ~ids rename mem rt =
+   identifier, under a seeded random schedule.  [label] tags the queued
+   observation when observing is on.  Sink order matters: spans must be
+   live before spawning (bodies run to their first suspension at spawn
+   time), the probe attaches after spawning so its initial scan sees the
+   whole pending burst. *)
+let run_renaming ?(label = "") ~seed ~ids rename mem rt =
+  let span = if !observing then Some (Exsel_obs.Span.attach rt) else None in
   let results = Array.make (List.length ids) None in
   List.iteri
     (fun i me ->
@@ -23,14 +60,24 @@ let run_renaming ~seed ~ids rename mem rt =
         (Runtime.spawn rt ~name:(Printf.sprintf "p%d" i) (fun () ->
              results.(i) <- rename ~me)))
     ids;
+  let probe = if !observing then Some (Exsel_obs.Probe.attach rt) else None in
   Scheduler.run ~max_commits:200_000_000 rt (Scheduler.random (Rng.create ~seed));
   ignore mem;
   let names = Array.to_list results |> List.filter_map Fun.id in
-  {
-    summary = Metrics.of_runtime rt;
-    names;
-    failures = List.length ids - List.length names;
-  }
+  let summary = Metrics.of_runtime rt in
+  (match (span, probe) with
+  | Some sp, Some pr ->
+      observations_rev :=
+        {
+          obs_label = label;
+          obs_summary = summary;
+          obs_probe = Exsel_obs.Probe.report pr;
+          obs_spans = Exsel_obs.Span.aggregate sp;
+        }
+        :: !observations_rev;
+      Exsel_obs.Span.detach sp
+  | _ -> ());
+  { summary; names; failures = List.length ids - List.length names }
 
 let max_name names = List.fold_left max (-1) names
 
@@ -51,7 +98,11 @@ let t1_comparison () =
     let mem = Memory.create () in
     let rt = Runtime.create mem in
     let rename = build mem in
-    let o = run_renaming ~seed:(100 + k) ~ids:(ids_spread ~count:k ~bound:n_names) rename mem rt in
+    let o =
+      run_renaming
+        ~label:(Printf.sprintf "algo=%s,k=%d" algo k)
+        ~seed:(100 + k) ~ids:(ids_spread ~count:k ~bound:n_names) rename mem rt
+    in
     check_distinct "T1" o.names;
     [
       algo;
@@ -116,7 +167,9 @@ let t2_polylog () =
                 ~name:"pl" ~k ~inputs:n_names
             in
             let o =
-              run_renaming ~seed:(3 * k) ~ids:(ids_spread ~count:k ~bound:n_names)
+              run_renaming
+                ~label:(Printf.sprintf "k=%d,N=%d" k n_names)
+                ~seed:(3 * k) ~ids:(ids_spread ~count:k ~bound:n_names)
                 (fun ~me -> R.Polylog_rename.rename p ~me)
                 mem rt
             in
@@ -154,7 +207,9 @@ let t3_efficient () =
         let rt = Runtime.create mem in
         let e = R.Efficient_rename.create ~rng:(Rng.create ~seed:(13 * k)) mem ~name:"ef" ~k in
         let o =
-          run_renaming ~seed:k ~ids:(List.init k (fun i -> 1000 + (257 * i)))
+          run_renaming
+            ~label:(Printf.sprintf "k=%d" k)
+            ~seed:k ~ids:(List.init k (fun i -> 1000 + (257 * i)))
             (fun ~me -> R.Efficient_rename.rename e ~me)
             mem rt
         in
@@ -195,7 +250,9 @@ let t4_almost_adaptive () =
         in
         let levels = ref [] in
         let o =
-          run_renaming ~seed:(19 + k) ~ids:(ids_spread ~count:k ~bound:n_names)
+          run_renaming
+            ~label:(Printf.sprintf "k=%d" k)
+            ~seed:(19 + k) ~ids:(ids_spread ~count:k ~bound:n_names)
             (fun ~me ->
               let name, level = R.Almost_adaptive.rename_leveled a ~me in
               levels := level :: !levels;
@@ -234,7 +291,9 @@ let t5_adaptive () =
         let rt = Runtime.create mem in
         let a = R.Adaptive_rename.create ~rng:(Rng.create ~seed:(23 * k)) mem ~name:"ad" ~n in
         let o =
-          run_renaming ~seed:(29 + k) ~ids:(List.init k (fun i -> 777 + (13 * i)))
+          run_renaming
+            ~label:(Printf.sprintf "k=%d" k)
+            ~seed:(29 + k) ~ids:(List.init k (fun i -> 777 + (13 * i)))
             (fun ~me -> Some (R.Adaptive_rename.rename a ~me))
             mem rt
         in
@@ -585,23 +644,27 @@ let f2_crossover () =
     List.map
       (fun n_names ->
         let ids = ids_spread ~count:k ~bound:n_names in
-        let measure build =
+        let measure algo build =
           let mem = Memory.create () in
           let rt = Runtime.create mem in
           let rename = build mem in
-          let o = run_renaming ~seed:(n_names + 5) ~ids rename mem rt in
+          let o =
+            run_renaming
+              ~label:(Printf.sprintf "algo=%s,N=%d" algo n_names)
+              ~seed:(n_names + 5) ~ids rename mem rt
+          in
           o.summary.Metrics.max_steps
         in
         let snapshot_steps =
           if n_names > 4096 then None
           else
             Some
-              (measure (fun mem ->
+              (measure "snapshot" (fun mem ->
                    let a = R.Attiya_renaming.create mem ~name:"at" ~slots:n_names () in
                    fun ~me -> R.Attiya_renaming.rename a ~slot:me))
         in
         let basic =
-          measure (fun mem ->
+          measure "basic" (fun mem ->
               let b =
                 R.Basic_rename.create ~rng:(Rng.create ~seed:(n_names + 1)) mem
                   ~name:"bas" ~k ~inputs:n_names
@@ -609,7 +672,7 @@ let f2_crossover () =
               fun ~me -> R.Basic_rename.rename b ~me)
         in
         let polylog =
-          measure (fun mem ->
+          measure "polylog" (fun mem ->
               let p =
                 R.Polylog_rename.create ~rng:(Rng.create ~seed:(n_names + 2)) mem
                   ~name:"pl" ~k ~inputs:n_names
@@ -617,7 +680,7 @@ let f2_crossover () =
               fun ~me -> R.Polylog_rename.rename p ~me)
         in
         let efficient =
-          measure (fun mem ->
+          measure "efficient" (fun mem ->
               let e =
                 R.Efficient_rename.create ~rng:(Rng.create ~seed:(n_names + 3)) mem
                   ~name:"ef" ~k
@@ -674,7 +737,9 @@ let a1_expander_constants () =
             ~inputs:n_names
         in
         let o =
-          run_renaming ~seed:7 ~ids:(ids_spread ~count:l ~bound:n_names)
+          run_renaming
+            ~label:(Printf.sprintf "preset=%s" label)
+            ~seed:7 ~ids:(ids_spread ~count:l ~bound:n_names)
             (fun ~me -> R.Majority.rename m ~me)
             mem rt
         in
@@ -769,7 +834,9 @@ let a3_reserve_lane () =
         let reserve = R.Moir_anderson.create mem ~name:"rsv" ~side:contenders in
         let rescued = ref 0 in
         let o =
-          run_renaming ~seed:(factor + 40)
+          run_renaming
+            ~label:(Printf.sprintf "contenders=%d" contenders)
+            ~seed:(factor + 40)
             ~ids:(ids_spread ~count:contenders ~bound:n_names)
             (fun ~me ->
               match R.Polylog_rename.rename p ~me with
@@ -907,7 +974,9 @@ let x3_randomized () =
           let rt = Runtime.create mem in
           let rename = build mem in
           let o =
-            run_renaming ~seed:(700 + k) ~ids:(List.init k (fun i -> 31 * i)) rename mem rt
+            run_renaming
+              ~label:(Printf.sprintf "algo=%s,k=%d" label k)
+              ~seed:(700 + k) ~ids:(List.init k (fun i -> 31 * i)) rename mem rt
           in
           check_distinct "X3" o.names;
           [
@@ -954,23 +1023,25 @@ let x3_randomized () =
       ]
     rows
 
-let all () =
+let all_named =
   [
-    t1_comparison ();
-    t2_polylog ();
-    t3_efficient ();
-    t4_almost_adaptive ();
-    t5_adaptive ();
-    t6_store_collect ();
-    t7_lower_bound ();
-    t8_repositories ();
-    t9_unbounded_naming ();
-    f1_majority_progress ();
-    f2_crossover ();
-    a1_expander_constants ();
-    a2_certification ();
-    a3_reserve_lane ();
-    x1_long_lived ();
-    x2_message_passing ();
-    x3_randomized ();
+    ("T1", t1_comparison);
+    ("T2", t2_polylog);
+    ("T3", t3_efficient);
+    ("T4", t4_almost_adaptive);
+    ("T5", t5_adaptive);
+    ("T6", t6_store_collect);
+    ("T7", t7_lower_bound);
+    ("T8", t8_repositories);
+    ("T9", t9_unbounded_naming);
+    ("F1", f1_majority_progress);
+    ("F2", f2_crossover);
+    ("A1", a1_expander_constants);
+    ("A2", a2_certification);
+    ("A3", a3_reserve_lane);
+    ("X1", x1_long_lived);
+    ("X2", x2_message_passing);
+    ("X3", x3_randomized);
   ]
+
+let all () = List.map (fun (_, f) -> f ()) all_named

@@ -61,5 +61,32 @@ val x2_message_passing : unit -> Table.t
 val x3_randomized : unit -> Table.t
 (** Extension: randomized loose renaming vs deterministic primitives. *)
 
+val all_named : (string * (unit -> Table.t)) list
+(** Every experiment keyed by its table id ("T1" … "X3"), in order.  The
+    shared registry behind both the bench driver and [exsel_cli
+    experiments], so id filtering and validation agree everywhere. *)
+
 val all : unit -> Table.t list
 (** Every table, figure and ablation, in order. *)
+
+(** {1 Observation capture}
+
+    When observing is on, every run executed through the internal
+    renaming driver attaches an {!Exsel_obs.Probe} and an
+    {!Exsel_obs.Span} sink and queues an {!observation}; drain the queue
+    after each experiment to associate observations with their table.
+    Experiments that drive the scheduler directly (T6–T9, F1, A2, X1,
+    X2) produce no observations. *)
+
+type observation = {
+  obs_label : string;  (** run parameters, e.g. ["k=8,N=16384"] *)
+  obs_summary : Exsel_sim.Metrics.summary;
+  obs_probe : Exsel_obs.Probe.report;
+  obs_spans : Exsel_obs.Span.agg list;
+}
+
+val set_observing : bool -> unit
+val drain_observations : unit -> observation list
+
+val observation_to_json : observation -> Exsel_obs.Json.t
+(** Object with [label summary probe spans]. *)

@@ -1,0 +1,40 @@
+(* Assembles the structured export the bench driver and the CLI write
+   with --json: every experiment table plus the per-run observations
+   captured while it executed. *)
+
+module Json = Exsel_obs.Json
+
+type entry = { table : Table.t; runs : Experiments.observation list }
+
+let observe named =
+  Experiments.set_observing true;
+  ignore (Experiments.drain_observations ());
+  Fun.protect
+    ~finally:(fun () -> Experiments.set_observing false)
+    (fun () ->
+      List.map
+        (fun (_, f) ->
+          let table = f () in
+          { table; runs = Experiments.drain_observations () })
+        named)
+
+let entry_to_json e =
+  Json.Obj
+    [
+      ("id", Json.String e.table.Table.id);
+      ("table", Table.to_json e.table);
+      ("runs", Json.List (List.map Experiments.observation_to_json e.runs));
+    ]
+
+let document entries =
+  Json.Obj
+    [
+      ("schema", Json.String "exsel-bench/1");
+      ("experiments", Json.List (List.map entry_to_json entries));
+    ]
+
+let write_file path entries =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Json.output oc (document entries))

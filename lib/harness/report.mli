@@ -1,0 +1,25 @@
+(** JSON export of experiment results (DESIGN.md, Section 7).
+
+    Schema ["exsel-bench/1"]: a top-level object with
+
+    {v
+    { "schema": "exsel-bench/1",
+      "experiments": [ { "id": "T1", "table": {...}, "runs": [...] } ] }
+    v}
+
+    where ["table"] is {!Table.to_json} and each element of ["runs"] is
+    {!Experiments.observation_to_json} — the run's metrics summary,
+    per-register contention profile and phase-span aggregates. *)
+
+type entry = { table : Table.t; runs : Experiments.observation list }
+
+val observe : (string * (unit -> Table.t)) list -> entry list
+(** Run the given experiments (a sublist of {!Experiments.all_named})
+    with observation capture on, pairing each table with the
+    observations its runs produced.  Observation state is restored even
+    if an experiment raises. *)
+
+val entry_to_json : entry -> Exsel_obs.Json.t
+val document : entry list -> Exsel_obs.Json.t
+val write_file : string -> entry list -> unit
+(** Write [document entries] to [path], newline-terminated. *)

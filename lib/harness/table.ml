@@ -44,5 +44,16 @@ let render t =
 
 let print t = print_string (render t); print_newline ()
 
+let to_json t =
+  let strings l = Exsel_obs.Json.List (List.map (fun s -> Exsel_obs.Json.String s) l) in
+  Exsel_obs.Json.Obj
+    [
+      ("id", Exsel_obs.Json.String t.id);
+      ("title", Exsel_obs.Json.String t.title);
+      ("header", strings t.header);
+      ("rows", Exsel_obs.Json.List (List.map strings t.rows));
+      ("notes", strings t.notes);
+    ]
+
 let cell_int = string_of_int
 let cell_float f = Printf.sprintf "%.2f" f

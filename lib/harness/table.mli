@@ -17,6 +17,10 @@ val render : t -> string
 
 val print : t -> unit
 
+val to_json : t -> Exsel_obs.Json.t
+(** Object with [id title header rows notes]; cells stay strings so the
+    rendering is exactly what the text table shows. *)
+
 val cell_int : int -> string
 val cell_float : float -> string
 (** Two-decimal rendering. *)

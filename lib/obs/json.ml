@@ -1,0 +1,104 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_to buf f =
+  if Float.is_finite f then begin
+    (* %.12g keeps round trips faithful while avoiding 0.1000000000001
+       noise; JSON numbers must carry a digit, not an OCaml "1." *)
+    let s = Printf.sprintf "%.12g" f in
+    Buffer.add_string buf s;
+    if String.for_all (fun c -> c = '-' || (c >= '0' && c <= '9')) s then
+      Buffer.add_string buf ".0"
+  end
+  else Buffer.add_string buf "null"
+
+let rec write buf ~indent ~level v =
+  let nl sep lvl =
+    if indent = 0 then Buffer.add_string buf sep
+    else begin
+      Buffer.add_string buf (String.trim sep);
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make (indent * lvl) ' ')
+    end
+  in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> float_to buf f
+  | String s -> escape_to buf s
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          nl (if i = 0 then "" else ",") (level + 1);
+          write buf ~indent ~level:(level + 1) item)
+        items;
+      nl "" level;
+      Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, item) ->
+          nl (if i = 0 then "" else ",") (level + 1);
+          escape_to buf k;
+          Buffer.add_string buf (if indent = 0 then ":" else ": ");
+          write buf ~indent ~level:(level + 1) item)
+        fields;
+      nl "" level;
+      Buffer.add_char buf '}'
+
+let render ~indent v =
+  let buf = Buffer.create 1024 in
+  write buf ~indent ~level:0 v;
+  Buffer.contents buf
+
+let to_string v = render ~indent:0 v
+let to_string_pretty v = render ~indent:2 v
+
+let output oc v =
+  output_string oc (to_string v);
+  output_char oc '\n'
+
+let of_summary (s : Exsel_sim.Metrics.summary) =
+  Obj
+    [
+      ("processes", Int s.Exsel_sim.Metrics.processes);
+      ("completed", Int s.Exsel_sim.Metrics.completed);
+      ("crashed", Int s.Exsel_sim.Metrics.crashed);
+      ("max_steps", Int s.Exsel_sim.Metrics.max_steps);
+      ("total_steps", Int s.Exsel_sim.Metrics.total_steps);
+      ("registers", Int s.Exsel_sim.Metrics.registers);
+      ("reads", Int s.Exsel_sim.Metrics.reads);
+      ("writes", Int s.Exsel_sim.Metrics.writes);
+    ]
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None

@@ -1,0 +1,35 @@
+(** Dependency-free JSON encoding for the observability layer.
+
+    The bench trajectory ([BENCH_*.json]), the CLI's [--json] mode and the
+    test suite all consume this representation; it is deliberately tiny —
+    a value type, an escaping-correct serializer, and renderers for the
+    simulator's {!Exsel_sim.Metrics.summary}.  Emitted documents are
+    strict RFC 8259 JSON: strings are escaped, non-finite floats are
+    rendered as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering. *)
+
+val to_string_pretty : t -> string
+(** Two-space-indented rendering for human eyes. *)
+
+val output : out_channel -> t -> unit
+(** Write the compact rendering followed by a newline. *)
+
+val of_summary : Exsel_sim.Metrics.summary -> t
+(** Render an execution summary as an object with the fields
+    [processes completed crashed max_steps total_steps registers reads
+    writes]. *)
+
+val member : string -> t -> t option
+(** [member key (Obj _)] looks a field up; [None] on absent keys or
+    non-objects.  Convenience for tests and consumers. *)

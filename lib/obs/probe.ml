@@ -1,0 +1,236 @@
+module Runtime = Exsel_sim.Runtime
+module Memory = Exsel_sim.Memory
+
+type reg_profile = {
+  id : int;
+  reads : int;
+  writes : int;
+  writers : int;
+  peak_pending : int;
+}
+
+type report = {
+  registers : int;
+  touched : int;
+  max_writers : int;
+  peak_pending : int;
+  profiles : reg_profile list;
+  steps_histogram : (int * int) list;
+  processes : (int * string * int) list;
+}
+
+type reg_stat = {
+  mutable st_reads : int;
+  mutable st_writes : int;
+  mutable writer_set : (int, unit) Hashtbl.t option;  (* lazily allocated *)
+}
+
+type t = {
+  rt : Runtime.t;
+  mutable stats : reg_stat option array;  (* register id -> access stats *)
+  mutable live : int array;  (* register id -> processes pending on it now *)
+  mutable peak : int array;  (* register id -> max of [live] over time *)
+  mutable counted : int array;  (* pid -> register its pending op is counted on, -1 none *)
+}
+
+let grow_int arr n fill =
+  if n <= Array.length !arr then ()
+  else begin
+    let bigger = Array.make (max n (2 * Array.length !arr)) fill in
+    Array.blit !arr 0 bigger 0 (Array.length !arr);
+    arr := bigger
+  end
+
+let grow_stats t n =
+  if n > Array.length t.stats then begin
+    let bigger = Array.make (max n (2 * Array.length t.stats)) None in
+    Array.blit t.stats 0 bigger 0 (Array.length t.stats);
+    t.stats <- bigger
+  end
+
+let reg_of = function Runtime.Read id | Runtime.Write id -> id
+
+let bump_live t id =
+  let live = ref t.live and peak = ref t.peak in
+  grow_int live (id + 1) 0;
+  grow_int peak (id + 1) 0;
+  t.live <- !live;
+  t.peak <- !peak;
+  t.live.(id) <- t.live.(id) + 1;
+  if t.live.(id) > t.peak.(id) then t.peak.(id) <- t.live.(id)
+
+let stat_for t id =
+  grow_stats t (id + 1);
+  match t.stats.(id) with
+  | Some s -> s
+  | None ->
+      let s = { st_reads = 0; st_writes = 0; writer_set = None } in
+      t.stats.(id) <- Some s;
+      s
+
+let on_commit t p op =
+  let id = reg_of op in
+  let pid = Runtime.pid p in
+  let s = stat_for t id in
+  (match op with
+  | Runtime.Read _ -> s.st_reads <- s.st_reads + 1
+  | Runtime.Write _ ->
+      s.st_writes <- s.st_writes + 1;
+      let set =
+        match s.writer_set with
+        | Some set -> set
+        | None ->
+            let set = Hashtbl.create 4 in
+            s.writer_set <- Some set;
+            set
+      in
+      Hashtbl.replace set pid ());
+  (* Contention bookkeeping: the committed operation was pending on [id]
+     until this instant.  A process first seen here (spawned after
+     attach) is back-credited so the pre-commit peak is exact. *)
+  let counted = ref t.counted in
+  grow_int counted (pid + 1) (-1);
+  t.counted <- !counted;
+  let prev =
+    match t.counted.(pid) with
+    | -1 ->
+        bump_live t id;
+        id
+    | r -> r
+  in
+  t.live.(prev) <- t.live.(prev) - 1;
+  (match Runtime.pending p with
+  | Some op' ->
+      let id' = reg_of op' in
+      t.counted.(pid) <- id';
+      bump_live t id'
+  | None -> t.counted.(pid) <- -1)
+
+let attach rt =
+  let t =
+    {
+      rt;
+      stats = Array.make 64 None;
+      live = Array.make 64 0;
+      peak = Array.make 64 0;
+      counted = Array.make 16 (-1);
+    }
+  in
+  List.iter
+    (fun p ->
+      match Runtime.pending p with
+      | Some op ->
+          let id = reg_of op in
+          let counted = ref t.counted in
+          grow_int counted (Runtime.pid p + 1) (-1);
+          t.counted <- !counted;
+          t.counted.(Runtime.pid p) <- id;
+          bump_live t id
+      | None -> ())
+    (Runtime.procs rt);
+  Runtime.on_commit rt (on_commit t);
+  t
+
+let report t =
+  let registers = Memory.registers (Runtime.memory t.rt) in
+  let profiles = ref [] in
+  for id = min (Array.length t.stats) registers - 1 downto 0 do
+    match t.stats.(id) with
+    | None -> ()
+    | Some s ->
+        let peak = if id < Array.length t.peak then t.peak.(id) else 0 in
+        profiles :=
+          {
+            id;
+            reads = s.st_reads;
+            writes = s.st_writes;
+            writers =
+              (match s.writer_set with Some set -> Hashtbl.length set | None -> 0);
+            peak_pending = peak;
+          }
+          :: !profiles
+  done;
+  let profiles = !profiles in
+  let procs = Runtime.procs t.rt in
+  let processes =
+    List.map (fun p -> (Runtime.pid p, Runtime.proc_name p, Runtime.steps p)) procs
+  in
+  let hist = Hashtbl.create 16 in
+  List.iter
+    (fun (_, _, steps) ->
+      Hashtbl.replace hist steps (1 + Option.value ~default:0 (Hashtbl.find_opt hist steps)))
+    processes;
+  {
+    registers;
+    touched = List.length profiles;
+    max_writers = List.fold_left (fun acc p -> max acc p.writers) 0 profiles;
+    peak_pending =
+      List.fold_left (fun acc (p : reg_profile) -> max acc p.peak_pending) 0 profiles;
+    profiles;
+    steps_histogram =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) hist [] |> List.sort compare;
+    processes;
+  }
+
+let to_json r =
+  Json.Obj
+    [
+      ("registers", Json.Int r.registers);
+      ("touched", Json.Int r.touched);
+      ("max_writers", Json.Int r.max_writers);
+      ("peak_pending", Json.Int r.peak_pending);
+      ( "profiles",
+        Json.List
+          (List.map
+             (fun p ->
+               Json.Obj
+                 [
+                   ("id", Json.Int p.id);
+                   ("reads", Json.Int p.reads);
+                   ("writes", Json.Int p.writes);
+                   ("writers", Json.Int p.writers);
+                   ("peak_pending", Json.Int p.peak_pending);
+                 ])
+             r.profiles) );
+      ( "steps_histogram",
+        Json.List
+          (List.map
+             (fun (steps, count) ->
+               Json.Obj [ ("steps", Json.Int steps); ("processes", Json.Int count) ])
+             r.steps_histogram) );
+      ( "processes",
+        Json.List
+          (List.map
+             (fun (pid, name, steps) ->
+               Json.Obj
+                 [
+                   ("pid", Json.Int pid);
+                   ("name", Json.String name);
+                   ("steps", Json.Int steps);
+                 ])
+             r.processes) );
+    ]
+
+let pp ppf r =
+  Format.fprintf ppf
+    "probe: %d registers (%d touched), max distinct writers %d, peak pending %d@."
+    r.registers r.touched r.max_writers r.peak_pending;
+  let hot =
+    List.sort
+      (fun (a : reg_profile) (b : reg_profile) ->
+        compare (b.peak_pending, b.writes) (a.peak_pending, a.writes))
+      r.profiles
+  in
+  let shown = List.filteri (fun i _ -> i < 16) hot in
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "  reg %-5d r/w=%d/%d writers=%d peak-pending=%d@." p.id
+        p.reads p.writes p.writers p.peak_pending)
+    shown;
+  if List.length hot > List.length shown then
+    Format.fprintf ppf "  ... %d more registers@." (List.length hot - List.length shown);
+  Format.fprintf ppf "  steps histogram:";
+  List.iter
+    (fun (steps, count) -> Format.fprintf ppf " %dx%d" count steps)
+    r.steps_histogram;
+  Format.fprintf ppf "@."

@@ -1,0 +1,61 @@
+(** Per-register access profiler.
+
+    Attaches to a {!Exsel_sim.Runtime} through the public
+    [on_commit]/[pending] API — no simulator cooperation needed — and
+    records, per register id:
+
+    - committed reads and writes,
+    - the number of {e distinct} writer processes (the write-contention
+      measure of Alistarh–Gelashvili–Nadiradze's lower bounds), and
+    - the {e peak pending contention}: the maximum number of processes
+      that were simultaneously suspended on the register, sampled exactly
+      at every commit boundary (the pending set only changes at spawns
+      and commits).
+
+    It also keeps the per-process step histogram, giving the paper's
+    local-step and register-count measures in one report.
+
+    Attach discipline: call {!attach} {e after} spawning the contending
+    processes and {e before} running the scheduler — the initial scan
+    then captures the full pre-run pending burst.  A process spawned
+    after attach is accounted from its first commit (its pre-commit
+    pending operation is back-credited exactly at that commit).  A
+    process that crashes while suspended keeps contributing its pending
+    operation to the live count until the report; none of the
+    experiment paths crash profiled runs, and peaks recorded before the
+    crash are always exact. *)
+
+type reg_profile = {
+  id : int;  (** register id within the memory *)
+  reads : int;  (** committed reads *)
+  writes : int;  (** committed writes *)
+  writers : int;  (** distinct processes that committed a write *)
+  peak_pending : int;  (** max processes simultaneously suspended on it *)
+}
+
+type report = {
+  registers : int;
+      (** registers allocated in the memory — equals the [registers]
+          field of {!Exsel_sim.Metrics.summary} for the same run *)
+  touched : int;  (** registers with at least one committed access *)
+  max_writers : int;  (** max {!reg_profile.writers} over all registers *)
+  peak_pending : int;  (** max {!reg_profile.peak_pending} over all registers *)
+  profiles : reg_profile list;  (** touched registers, ascending id *)
+  steps_histogram : (int * int) list;
+      (** (local steps, number of processes), ascending steps *)
+  processes : (int * string * int) list;  (** (pid, name, steps) per process *)
+}
+
+type t
+
+val attach : Exsel_sim.Runtime.t -> t
+(** Install the profiler: scan the current pending set, then observe
+    every commit.  Constant work per commit. *)
+
+val report : t -> report
+(** Snapshot the profile (the probe keeps observing afterwards). *)
+
+val to_json : report -> Json.t
+val pp : Format.formatter -> report -> unit
+(** Human-readable rendering: header line plus one line per hot register
+    (sorted by peak pending contention, then writes). *)

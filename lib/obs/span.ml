@@ -1,0 +1,300 @@
+module Runtime = Exsel_sim.Runtime
+
+type node = {
+  label : string;
+  pid : int;
+  mutable steps : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable complete : bool;
+  mutable children_rev : node list;
+}
+
+let children n = List.rev n.children_rev
+
+type agg = {
+  agg_label : string;
+  count : int;
+  incomplete : int;
+  steps_total : int;
+  steps_max : int;
+  agg_reads : int;
+  agg_writes : int;
+}
+
+type frame = {
+  node : node;
+  proc : Runtime.proc;
+  s0 : int;
+  mutable r0 : int;
+  mutable w0 : int;
+}
+
+(* [Runtime.commit] resumes the fiber before firing the commit hooks, so
+   a span opened or closed during that resume sees read/write counters
+   that lag the in-flight operation by exactly one (steps do not lag:
+   they are bumped before the resume).  Each lagging open/close registers
+   a fixup that the same commit's hook — which fires as soon as the
+   resume returns — drains with the operation's kind. *)
+type fixup = Fix_open of frame | Fix_closed of node
+
+type t = {
+  rt : Runtime.t;
+  mutable reads_of : int array;  (* pid -> committed reads *)
+  mutable writes_of : int array;
+  mutable stacks : frame list array;  (* pid -> open frames, innermost first *)
+  mutable roots_rev : node list array;  (* pid -> closed root spans *)
+  mutable fixups : fixup list array;  (* pid -> lag corrections to drain *)
+}
+
+let grow t pid =
+  let n = pid + 1 in
+  let extend arr fill =
+    if n <= Array.length arr then arr
+    else begin
+      let bigger = Array.make (max n (2 * Array.length arr)) fill in
+      Array.blit arr 0 bigger 0 (Array.length arr);
+      bigger
+    end
+  in
+  t.reads_of <- extend t.reads_of 0;
+  t.writes_of <- extend t.writes_of 0;
+  t.stacks <- extend t.stacks [];
+  t.roots_rev <- extend t.roots_rev [];
+  t.fixups <- extend t.fixups []
+
+let installed : t option ref = ref None
+
+let attach rt =
+  let t =
+    {
+      rt;
+      reads_of = Array.make 16 0;
+      writes_of = Array.make 16 0;
+      stacks = Array.make 16 [];
+      roots_rev = Array.make 16 [];
+      fixups = Array.make 16 [];
+    }
+  in
+  Runtime.on_commit rt (fun p op ->
+      let pid = Runtime.pid p in
+      grow t pid;
+      let is_read = match op with Runtime.Read _ -> true | Runtime.Write _ -> false in
+      (match t.fixups.(pid) with
+      | [] -> ()
+      | fixes ->
+          t.fixups.(pid) <- [];
+          List.iter
+            (fun fix ->
+              match (fix, is_read) with
+              (* the lagging op predates the span: fold it into the baseline *)
+              | Fix_open f, true -> f.r0 <- f.r0 + 1
+              | Fix_open f, false -> f.w0 <- f.w0 + 1
+              (* the lagging op is the span's own last step: add it back *)
+              | Fix_closed n, true -> n.reads <- n.reads + 1
+              | Fix_closed n, false -> n.writes <- n.writes + 1)
+            fixes);
+      if is_read then t.reads_of.(pid) <- t.reads_of.(pid) + 1
+      else t.writes_of.(pid) <- t.writes_of.(pid) + 1);
+  installed := Some t;
+  t
+
+let detach t = match !installed with Some s when s == t -> installed := None | _ -> ()
+
+let push t p label =
+  let pid = Runtime.pid p in
+  grow t pid;
+  let node =
+    { label; pid; steps = 0; reads = 0; writes = 0; complete = false; children_rev = [] }
+  in
+  let frame =
+    { node; proc = p; s0 = Runtime.steps p; r0 = t.reads_of.(pid); w0 = t.writes_of.(pid) }
+  in
+  if frame.s0 > t.reads_of.(pid) + t.writes_of.(pid) then
+    t.fixups.(pid) <- Fix_open frame :: t.fixups.(pid);
+  t.stacks.(pid) <- frame :: t.stacks.(pid);
+  node
+
+let close t frame ~complete =
+  let pid = frame.node.pid in
+  frame.node.steps <- Runtime.steps frame.proc - frame.s0;
+  frame.node.reads <- t.reads_of.(pid) - frame.r0;
+  frame.node.writes <- t.writes_of.(pid) - frame.w0;
+  frame.node.complete <- complete;
+  if frame.node.steps > frame.node.reads + frame.node.writes then
+    t.fixups.(pid) <- Fix_closed frame.node :: t.fixups.(pid);
+  match t.stacks.(pid) with
+  | parent :: _ -> parent.node.children_rev <- frame.node :: parent.node.children_rev
+  | [] -> t.roots_rev.(pid) <- frame.node :: t.roots_rev.(pid)
+
+(* Pop frames down to and including [node]; frames above it (leaked by an
+   unmatched [enter]) are closed as incomplete. *)
+let pop_until t pid node ~complete =
+  let rec go () =
+    match t.stacks.(pid) with
+    | [] -> ()
+    | frame :: rest ->
+        t.stacks.(pid) <- rest;
+        if frame.node == node then close t frame ~complete
+        else begin
+          close t frame ~complete:false;
+          go ()
+        end
+  in
+  go ()
+
+let pop_one t pid =
+  match t.stacks.(pid) with
+  | [] -> ()
+  | frame :: rest ->
+      t.stacks.(pid) <- rest;
+      close t frame ~complete:true
+
+let wrap label f =
+  match !installed with
+  | None -> f ()
+  | Some t -> (
+      match Runtime.current_proc () with
+      | None -> f ()
+      | Some p -> (
+          let node = push t p label in
+          (* not [Fun.protect]: a crash unwind must mark the span
+             incomplete, which the finalizer could not distinguish *)
+          match f () with
+          | v ->
+              pop_until t (Runtime.pid p) node ~complete:true;
+              v
+          | exception e ->
+              pop_until t (Runtime.pid p) node ~complete:false;
+              raise e))
+
+let enter label =
+  match !installed with
+  | None -> ()
+  | Some t -> (
+      match Runtime.current_proc () with
+      | None -> ()
+      | Some p -> ignore (push t p label))
+
+let exit () =
+  match !installed with
+  | None -> ()
+  | Some t -> (
+      match Runtime.current_proc () with
+      | None -> ()
+      | Some p -> pop_one t (Runtime.pid p))
+
+(* Close anything still open (crashed or abandoned processes) so reports
+   see every span. *)
+let finalize t =
+  Array.iteri
+    (fun pid stack ->
+      List.iter
+        (fun frame ->
+          t.stacks.(pid) <- List.tl t.stacks.(pid);
+          close t frame ~complete:false)
+        stack)
+    t.stacks
+
+let per_process t =
+  finalize t;
+  let name_of =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun p -> Hashtbl.replace tbl (Runtime.pid p) (Runtime.proc_name p))
+      (Runtime.procs t.rt);
+    fun pid -> Option.value ~default:(Printf.sprintf "p%d" pid) (Hashtbl.find_opt tbl pid)
+  in
+  let out = ref [] in
+  for pid = Array.length t.roots_rev - 1 downto 0 do
+    match t.roots_rev.(pid) with
+    | [] -> ()
+    | roots_rev -> out := (pid, name_of pid, List.rev roots_rev) :: !out
+  done;
+  !out
+
+let aggregate t =
+  finalize t;
+  let tbl : (string, agg) Hashtbl.t = Hashtbl.create 32 in
+  let rec visit n =
+    let prev =
+      Option.value
+        ~default:
+          {
+            agg_label = n.label;
+            count = 0;
+            incomplete = 0;
+            steps_total = 0;
+            steps_max = 0;
+            agg_reads = 0;
+            agg_writes = 0;
+          }
+        (Hashtbl.find_opt tbl n.label)
+    in
+    Hashtbl.replace tbl n.label
+      {
+        prev with
+        count = prev.count + 1;
+        incomplete = (prev.incomplete + if n.complete then 0 else 1);
+        steps_total = prev.steps_total + n.steps;
+        steps_max = max prev.steps_max n.steps;
+        agg_reads = prev.agg_reads + n.reads;
+        agg_writes = prev.agg_writes + n.writes;
+      };
+    List.iter visit n.children_rev
+  in
+  Array.iter (fun roots -> List.iter visit roots) t.roots_rev;
+  Hashtbl.fold (fun _ a acc -> a :: acc) tbl []
+  |> List.sort (fun a b -> compare a.agg_label b.agg_label)
+
+let rec node_to_json n =
+  Json.Obj
+    [
+      ("label", Json.String n.label);
+      ("steps", Json.Int n.steps);
+      ("reads", Json.Int n.reads);
+      ("writes", Json.Int n.writes);
+      ("complete", Json.Bool n.complete);
+      ("children", Json.List (List.map node_to_json (children n)));
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ( "processes",
+        Json.List
+          (List.map
+             (fun (pid, name, roots) ->
+               Json.Obj
+                 [
+                   ("pid", Json.Int pid);
+                   ("proc", Json.String name);
+                   ("spans", Json.List (List.map node_to_json roots));
+                 ])
+             (per_process t)) );
+    ]
+
+let aggregate_to_json aggs =
+  Json.List
+    (List.map
+       (fun a ->
+         Json.Obj
+           [
+             ("label", Json.String a.agg_label);
+             ("count", Json.Int a.count);
+             ("incomplete", Json.Int a.incomplete);
+             ("steps_total", Json.Int a.steps_total);
+             ("steps_max", Json.Int a.steps_max);
+             ("reads", Json.Int a.agg_reads);
+             ("writes", Json.Int a.agg_writes);
+           ])
+       aggs)
+
+let pp_aggregate ppf aggs =
+  Format.fprintf ppf "spans: %d labels@." (List.length aggs);
+  List.iter
+    (fun a ->
+      Format.fprintf ppf "  %-36s count=%-4d steps=%d/max %d  r/w=%d/%d%s@."
+        a.agg_label a.count a.steps_total a.steps_max a.agg_reads a.agg_writes
+        (if a.incomplete > 0 then Printf.sprintf "  (%d incomplete)" a.incomplete else ""))
+    aggs

@@ -1,0 +1,94 @@
+(** Algorithm phase spans.
+
+    A span brackets a paper-level phase of an algorithm — one
+    [Majority(ℓ,N)] traversal, one Basic-Rename stage, one PolyLog epoch,
+    one doubling level — and measures the local steps and register
+    traffic the issuing process spent inside it.  Spans nest: a PolyLog
+    epoch contains Basic stages which contain Majority traversals, so
+    each process produces a span {e tree}.
+
+    Label convention: [<algorithm>:<key>=<value>[:<key>=<value>…]], e.g.
+    ["majority:budget=8"], ["basic:stage=3:budget=2"],
+    ["polylog:epoch=1"], ["efficient:phase=final"],
+    ["adaptive:level=2"], ["adaptive:reserve"].
+
+    Instrumentation is ambient: algorithm code calls {!wrap} (or
+    {!enter}/{!exit}) unconditionally; the calls are no-ops — one ref
+    read — unless a sink is {!attach}ed.  Attribution uses
+    {!Exsel_sim.Runtime.current_proc}, so spans opened in process bodies
+    land on the right process even though the harness never threads a
+    handle through the algorithms.  Attach the sink {e before} spawning:
+    bodies run to their first suspension at spawn time and may already
+    open spans there.
+
+    A crash unwinds the process fiber through {!wrap}'s protection, so
+    crashed spans are closed (and marked incomplete where the unwind
+    skipped them); spans left open at {!per_process}/{!aggregate} time
+    are closed as incomplete. *)
+
+type t
+(** A span sink bound to one runtime. *)
+
+type node = {
+  label : string;
+  pid : int;
+  mutable steps : int;  (** committed ops of the process inside the span *)
+  mutable reads : int;
+  mutable writes : int;
+  mutable complete : bool;  (** [false] if closed by crash or report *)
+  mutable children_rev : node list;  (** sub-spans, reverse order *)
+}
+
+val children : node -> node list
+(** Sub-spans in open order. *)
+
+type agg = {
+  agg_label : string;
+  count : int;  (** spans with this label, across all processes *)
+  incomplete : int;
+  steps_total : int;
+  steps_max : int;
+  agg_reads : int;
+  agg_writes : int;
+}
+
+(** {2 Sink lifecycle (harness side)} *)
+
+val attach : Exsel_sim.Runtime.t -> t
+(** Create a sink for this runtime and install it as the ambient
+    recorder (replacing any previous one). *)
+
+val detach : t -> unit
+(** Uninstall the sink if it is the ambient one; its recorded spans
+    remain readable.  Idempotent. *)
+
+(** {2 Recording (algorithm side)} *)
+
+val wrap : string -> (unit -> 'a) -> 'a
+(** [wrap label f] runs [f] inside a span.  Exception- and crash-safe;
+    free when no sink is attached. *)
+
+val enter : string -> unit
+(** Open a span explicitly.  Prefer {!wrap}. *)
+
+val exit : unit -> unit
+(** Close the innermost open span of the current process.  No-op with no
+    sink or no open span. *)
+
+(** {2 Reports} *)
+
+val per_process : t -> (int * string * node list) list
+(** [(pid, process name, span roots in open order)] per process that
+    recorded at least one span. *)
+
+val aggregate : t -> agg list
+(** Per-label totals over every recorded span (nested spans count their
+    own traffic, which their ancestors also include), sorted by label. *)
+
+val to_json : t -> Json.t
+(** Span trees: [{"processes": [{"pid", "proc", "spans": [...]}]}]. *)
+
+val aggregate_to_json : agg list -> Json.t
+
+val pp_aggregate : Format.formatter -> agg list -> unit
+(** One line per label: count, steps (total/max), reads/writes. *)

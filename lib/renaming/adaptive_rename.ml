@@ -1,6 +1,9 @@
 module Memory = Exsel_sim.Memory
+module Span = Exsel_obs.Span
 
-type level = { eff : Efficient_rename.t; range : Name_range.range }
+let span_reserve = "adaptive:reserve"
+
+type level = { eff : Efficient_rename.t; range : Name_range.range; span_label : string }
 
 type t = {
   levels : level array;
@@ -24,7 +27,11 @@ let create ?params ~rng mem ~name ~n =
             ~name:(Printf.sprintf "%s.lvl%d" name i)
             ~k
         in
-        { eff; range = Name_range.take ranges (Efficient_rename.names eff) })
+        {
+          eff;
+          range = Name_range.take ranges (Efficient_rename.names eff);
+          span_label = Printf.sprintf "adaptive:level=%d" i;
+        })
   in
   let reserve = Moir_anderson.create mem ~name:(name ^ ".reserve") ~side:n in
   let reserve_range = Name_range.take ranges (Moir_anderson.capacity reserve) in
@@ -36,7 +43,7 @@ let rename_leveled t ~me =
   let rec go i =
     if i >= Array.length t.levels then begin
       t.reserve_uses <- t.reserve_uses + 1;
-      match Moir_anderson.rename t.reserve ~me with
+      match Span.wrap span_reserve (fun () -> Moir_anderson.rename t.reserve ~me) with
       | Some w -> (Name_range.global t.reserve_range w, i)
       | None ->
           (* unreachable: the reserve grid has side n >= contention *)
@@ -44,7 +51,7 @@ let rename_leveled t ~me =
     end
     else
       let lvl = t.levels.(i) in
-      match Efficient_rename.rename lvl.eff ~me with
+      match Span.wrap lvl.span_label (fun () -> Efficient_rename.rename lvl.eff ~me) with
       | Some w -> (Name_range.global lvl.range w, i)
       | None -> go (i + 1)
   in

@@ -1,6 +1,9 @@
 module Memory = Exsel_sim.Memory
+module Span = Exsel_obs.Span
 
-type level = { polylog : Polylog_rename.t; range : Name_range.range }
+let span_reserve = "almost-adaptive:reserve"
+
+type level = { polylog : Polylog_rename.t; range : Name_range.range; span_label : string }
 
 type t = {
   levels : level array;
@@ -25,7 +28,11 @@ let create ?params ~rng mem ~name ~n ~inputs =
             ~name:(Printf.sprintf "%s.lvl%d" name i)
             ~k ~inputs
         in
-        { polylog; range = Name_range.take ranges (Polylog_rename.names polylog) })
+        {
+          polylog;
+          range = Name_range.take ranges (Polylog_rename.names polylog);
+          span_label = Printf.sprintf "almost-adaptive:level=%d" i;
+        })
   in
   let reserve = Moir_anderson.create mem ~name:(name ^ ".reserve") ~side:n in
   let reserve_range = Name_range.take ranges (Moir_anderson.capacity reserve) in
@@ -37,7 +44,7 @@ let rename_leveled t ~me =
   let rec go i =
     if i >= Array.length t.levels then begin
       t.reserve_uses <- t.reserve_uses + 1;
-      match Moir_anderson.rename t.reserve ~me with
+      match Span.wrap span_reserve (fun () -> Moir_anderson.rename t.reserve ~me) with
       | Some w -> (Name_range.global t.reserve_range w, i)
       | None ->
           (* unreachable: the reserve grid has side n >= contention *)
@@ -45,7 +52,7 @@ let rename_leveled t ~me =
     end
     else
       let lvl = t.levels.(i) in
-      match Polylog_rename.rename lvl.polylog ~me with
+      match Span.wrap lvl.span_label (fun () -> Polylog_rename.rename lvl.polylog ~me) with
       | Some w -> (Name_range.global lvl.range w, i)
       | None -> go (i + 1)
   in

@@ -1,6 +1,7 @@
 module Memory = Exsel_sim.Memory
+module Span = Exsel_obs.Span
 
-type stage = { majority : Majority.t; range : Name_range.range }
+type stage = { majority : Majority.t; range : Name_range.range; span_label : string }
 
 type t = { stages : stage array; names : int }
 
@@ -28,7 +29,11 @@ let create ?params ~rng mem ~name ~k ~inputs =
                ~name:(Printf.sprintf "%s.stage%d" name i)
                ~l ~inputs
            in
-           { majority; range = Name_range.take ranges (Majority.names majority) })
+           {
+             majority;
+             range = Name_range.take ranges (Majority.names majority);
+             span_label = Printf.sprintf "basic:stage=%d:budget=%d" i l;
+           })
     |> Array.of_list
   in
   { stages; names = Name_range.used ranges }
@@ -44,7 +49,7 @@ let rename_traced t ~me =
     if i >= Array.length t.stages then (None, i)
     else
       let s = t.stages.(i) in
-      match Majority.rename s.majority ~me with
+      match Span.wrap s.span_label (fun () -> Majority.rename s.majority ~me) with
       | Some w -> (Some (Name_range.global s.range w), i)
       | None -> go (i + 1)
   in

@@ -1,4 +1,9 @@
 module Memory = Exsel_sim.Memory
+module Span = Exsel_obs.Span
+
+let span_ma = "efficient:phase=ma"
+let span_polylog = "efficient:phase=polylog"
+let span_final = "efficient:phase=final"
 
 type t = {
   k : int;
@@ -27,12 +32,12 @@ let names t = (2 * t.k) - 1
 let intermediate_names t = Polylog_rename.names t.polylog
 
 let rename t ~me =
-  match Moir_anderson.rename t.ma ~me with
+  match Span.wrap span_ma (fun () -> Moir_anderson.rename t.ma ~me) with
   | None -> None
   | Some ma_name -> (
-      match Polylog_rename.rename t.polylog ~me:ma_name with
+      match Span.wrap span_polylog (fun () -> Polylog_rename.rename t.polylog ~me:ma_name) with
       | None -> None
-      | Some mid -> Attiya_renaming.rename t.final ~slot:mid)
+      | Some mid -> Span.wrap span_final (fun () -> Attiya_renaming.rename t.final ~slot:mid))
 
 let steps_bound t =
   (* The final stage's step count is data dependent; we report the

@@ -3,10 +3,13 @@ module Bipartite = Exsel_expander.Bipartite
 module Gen = Exsel_expander.Gen
 module Params = Exsel_expander.Params
 
+module Span = Exsel_obs.Span
+
 type t = {
   graph : Bipartite.t;
   l : int;
   competitions : Compete.t array;  (* one per output *)
+  span_label : string;
 }
 
 module Check = Exsel_expander.Check
@@ -38,7 +41,7 @@ let create ?(params = Params.practical) ~rng mem ~name ~l ~inputs =
     Array.init (Bipartite.outputs graph) (fun w ->
         Compete.create mem ~name:(Printf.sprintf "%s.out%d" name w))
   in
-  { graph; l; competitions }
+  { graph; l; competitions; span_label = Printf.sprintf "majority:budget=%d" l }
 
 let graph t = t.graph
 let contention_budget t = t.l
@@ -47,13 +50,14 @@ let names t = Bipartite.outputs t.graph
 let rename t ~me =
   if me < 0 || me >= Bipartite.inputs t.graph then
     invalid_arg "Majority.rename: name out of range";
-  let adj = Bipartite.neighbours t.graph me in
-  let rec try_from i =
-    if i >= Array.length adj then None
-    else if Compete.compete t.competitions.(adj.(i)) ~me then Some adj.(i)
-    else try_from (i + 1)
-  in
-  try_from 0
+  Span.wrap t.span_label (fun () ->
+      let adj = Bipartite.neighbours t.graph me in
+      let rec try_from i =
+        if i >= Array.length adj then None
+        else if Compete.compete t.competitions.(adj.(i)) ~me then Some adj.(i)
+        else try_from (i + 1)
+      in
+      try_from 0)
 
 let steps_bound t = Compete.steps_bound * Bipartite.degree t.graph
 let registers t = Compete.registers_per_instance * names t

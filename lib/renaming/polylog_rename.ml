@@ -1,7 +1,9 @@
 module Memory = Exsel_sim.Memory
+module Span = Exsel_obs.Span
 
 type t = {
   epochs : Basic_rename.t array;
+  epoch_labels : string array;
   inputs : int;
   names : int;
 }
@@ -23,7 +25,14 @@ let create ?params ~rng mem ~name ~k ~inputs =
       go (j + 1) (Basic_rename.names basic) (basic :: acc)
   in
   let names, epochs = go 1 inputs [] in
-  { epochs = Array.of_list epochs; inputs; names }
+  let epochs = Array.of_list epochs in
+  {
+    epochs;
+    epoch_labels =
+      Array.init (Array.length epochs) (fun i -> Printf.sprintf "polylog:epoch=%d" (i + 1));
+    inputs;
+    names;
+  }
 
 let epochs t = Array.length t.epochs
 
@@ -36,7 +45,9 @@ let rename t ~me =
   let rec go i current =
     if i >= Array.length t.epochs then Some current
     else
-      match Basic_rename.rename t.epochs.(i) ~me:current with
+      match
+        Span.wrap t.epoch_labels.(i) (fun () -> Basic_rename.rename t.epochs.(i) ~me:current)
+      with
       | Some next -> go (i + 1) next
       | None -> None
   in

@@ -35,6 +35,18 @@ let create memory = { memory; procs_rev = []; nprocs = 0; commits = 0; hooks = [
 
 let memory t = t.memory
 
+(* The process whose body is executing right now.  The simulator is
+   single-threaded and only ever runs one fiber at a time, so a single
+   save/restore slot suffices even across nested runtimes. *)
+let active : proc option ref = ref None
+
+let current_proc () = !active
+
+let with_active p f =
+  let saved = !active in
+  active := Some p;
+  Fun.protect ~finally:(fun () -> active := saved) f
+
 let read r = Effect.perform (E_read r)
 let write r v = Effect.perform (E_write (r, v))
 
@@ -73,8 +85,8 @@ let spawn t ~name body =
                             p.pending_op <- None;
                             p.steps <- p.steps + 1;
                             let v = Register.commit_read r in
-                            continue k v);
-                        kill = (fun () -> discontinue k Crash_signal);
+                            with_active p (fun () -> continue k v));
+                        kill = (fun () -> with_active p (fun () -> discontinue k Crash_signal));
                       })
           | E_write (r, v) ->
               Some
@@ -88,13 +100,13 @@ let spawn t ~name body =
                             p.pending_op <- None;
                             p.steps <- p.steps + 1;
                             Register.commit_write r v;
-                            continue k ());
-                        kill = (fun () -> discontinue k Crash_signal);
+                            with_active p (fun () -> continue k ()));
+                        kill = (fun () -> with_active p (fun () -> discontinue k Crash_signal));
                       })
           | _ -> None);
     }
   in
-  match_with body () handler;
+  with_active p (fun () -> match_with body () handler);
   p
 
 let procs t = List.rev t.procs_rev

@@ -105,3 +105,11 @@ val run : ?max_commits:int -> t -> (t -> proc option) -> unit
 
 val on_commit : t -> (proc -> op_kind -> unit) -> unit
 (** Install a callback invoked after every commit (tracing, invariants). *)
+
+val current_proc : unit -> proc option
+(** The process whose body is executing right now, if any: set while a
+    spawned body runs to its first suspension and while a committed
+    operation resumes it (including crash unwinding).  Observability
+    layers use this to attribute in-body events — e.g. phase-span
+    enter/exit calls — to the process that issued them.  [None] outside
+    any process body (scheduler code, harness code). *)

@@ -1,0 +1,480 @@
+(* Tests for the observability layer: Metrics.of_runtime against a
+   hand-scheduled execution, the register probe against a deliberately
+   contended schedule, the span sink, and the JSON encoder (escaping
+   plus shape checks through a tiny in-test parser). *)
+
+open Exsel_sim
+module Json = Exsel_obs.Json
+module Probe = Exsel_obs.Probe
+module Span = Exsel_obs.Span
+
+(* ------------------------------------------------------------------ *)
+(* a tiny JSON parser, just enough to round-trip what the encoder emits *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse of string
+
+let parse_json s =
+  let pos = ref 0 in
+  let len = String.length s in
+  let peek () = if !pos < len then s.[!pos] else raise (Parse "eof") in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    if !pos < len && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    then (advance (); skip_ws ())
+  in
+  let expect c =
+    skip_ws ();
+    if peek () <> c then raise (Parse (Printf.sprintf "expected %c at %d" c !pos));
+    advance ()
+  in
+  let literal word v =
+    if !pos + String.length word <= len && String.sub s !pos (String.length word) = word
+    then (pos := !pos + String.length word; v)
+    else raise (Parse ("bad literal at " ^ string_of_int !pos))
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance (); Buffer.contents buf
+      | '\\' ->
+          advance ();
+          (match peek () with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'u' ->
+              let hex = String.sub s (!pos + 1) 4 in
+              pos := !pos + 4;
+              Buffer.add_char buf (Char.chr (int_of_string ("0x" ^ hex)))
+          | c -> raise (Parse (Printf.sprintf "bad escape %c" c)));
+          advance ();
+          go ()
+      | c -> advance (); Buffer.add_char buf c; go ()
+    in
+    go ()
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then (advance (); Json.Obj [])
+        else
+          let rec fields acc =
+            let key = parse_string () in
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' -> advance (); fields ((key, v) :: acc)
+            | '}' -> advance (); Json.Obj (List.rev ((key, v) :: acc))
+            | c -> raise (Parse (Printf.sprintf "bad obj char %c" c))
+          in
+          fields []
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then (advance (); Json.List [])
+        else
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' -> advance (); items (v :: acc)
+            | ']' -> advance (); Json.List (List.rev (v :: acc))
+            | c -> raise (Parse (Printf.sprintf "bad list char %c" c))
+          in
+          items []
+    | '"' -> Json.String (parse_string ())
+    | 't' -> literal "true" (Json.Bool true)
+    | 'f' -> literal "false" (Json.Bool false)
+    | 'n' -> literal "null" Json.Null
+    | _ ->
+        let start = !pos in
+        let rec scan () =
+          if !pos < len
+             && (match s.[!pos] with
+                | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+                | _ -> false)
+          then (advance (); scan ())
+        in
+        scan ();
+        let tok = String.sub s start (!pos - start) in
+        (match int_of_string_opt tok with
+        | Some i -> Json.Int i
+        | None -> Json.Float (float_of_string tok))
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then raise (Parse "trailing input");
+  v
+
+let roundtrip v = parse_json (Json.to_string v)
+
+let get_int key j =
+  match Json.member key j with
+  | Some (Json.Int i) -> i
+  | _ -> Alcotest.failf "missing int field %s" key
+
+let get_list key j =
+  match Json.member key j with
+  | Some (Json.List l) -> l
+  | _ -> Alcotest.failf "missing list field %s" key
+
+let get_string key j =
+  match Json.member key j with
+  | Some (Json.String s) -> s
+  | _ -> Alcotest.failf "missing string field %s" key
+
+(* ------------------------------------------------------------------ *)
+(* Metrics.of_runtime on a hand-scheduled execution                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_hand_scheduled () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let a = Register.create mem ~name:"a" 0 in
+  let b = Register.create mem ~name:"b" 0 in
+  (* p0: write a; read b  — 2 steps, completes
+     p1: write a; write b — 1 step committed, then crashes
+     p2: read a           — 1 step, completes *)
+  let p0 =
+    Runtime.spawn rt ~name:"p0" (fun () ->
+        Runtime.write a 1;
+        ignore (Runtime.read b))
+  in
+  let p1 =
+    Runtime.spawn rt ~name:"p1" (fun () ->
+        Runtime.write a 2;
+        Runtime.write b 9)
+  in
+  let p2 = Runtime.spawn rt ~name:"p2" (fun () -> ignore (Runtime.read a)) in
+  Runtime.commit rt p1;
+  Runtime.commit rt p0;
+  Runtime.crash rt p1;
+  Runtime.commit rt p2;
+  Runtime.commit rt p0;
+  let s = Metrics.of_runtime rt in
+  Alcotest.(check int) "processes" 3 s.Metrics.processes;
+  Alcotest.(check int) "completed" 2 s.Metrics.completed;
+  Alcotest.(check int) "crashed" 1 s.Metrics.crashed;
+  Alcotest.(check int) "max steps" 2 s.Metrics.max_steps;
+  Alcotest.(check int) "total steps" 4 s.Metrics.total_steps;
+  Alcotest.(check int) "registers" 2 s.Metrics.registers;
+  Alcotest.(check int) "reads" 2 s.Metrics.reads;
+  Alcotest.(check int) "writes" 2 s.Metrics.writes
+
+(* ------------------------------------------------------------------ *)
+(* Probe                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_probe_peak_contention () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let hot = Register.create mem ~name:"hot" 0 in
+  let cold = Register.create mem ~name:"cold" 0 in
+  (* all three suspend on [hot] first: peak pending contention 3, sampled
+     by the probe's initial scan; then they separate *)
+  let p0 =
+    Runtime.spawn rt ~name:"p0" (fun () ->
+        Runtime.write hot 1;
+        ignore (Runtime.read cold))
+  in
+  let p1 = Runtime.spawn rt ~name:"p1" (fun () -> Runtime.write hot 2) in
+  let p2 = Runtime.spawn rt ~name:"p2" (fun () -> ignore (Runtime.read hot)) in
+  let probe = Probe.attach rt in
+  Runtime.commit rt p0;
+  Runtime.commit rt p1;
+  Runtime.commit rt p2;
+  Runtime.commit rt p0;
+  let r = Probe.report probe in
+  Alcotest.(check int) "registers = memory registers" (Memory.registers mem) r.Probe.registers;
+  Alcotest.(check int) "touched" 2 r.Probe.touched;
+  Alcotest.(check int) "peak pending" 3 r.Probe.peak_pending;
+  Alcotest.(check int) "max distinct writers" 2 r.Probe.max_writers;
+  let hot_p =
+    List.find (fun (p : Probe.reg_profile) -> p.Probe.id = Register.id hot) r.Probe.profiles
+  in
+  Alcotest.(check int) "hot reads" 1 hot_p.Probe.reads;
+  Alcotest.(check int) "hot writes" 2 hot_p.Probe.writes;
+  Alcotest.(check int) "hot writers" 2 hot_p.Probe.writers;
+  Alcotest.(check int) "hot peak" 3 hot_p.Probe.peak_pending;
+  let cold_p =
+    List.find (fun (p : Probe.reg_profile) -> p.Probe.id = Register.id cold) r.Probe.profiles
+  in
+  Alcotest.(check int) "cold peak" 1 cold_p.Probe.peak_pending;
+  Alcotest.(check (list (pair int int))) "steps histogram" [ (1, 2); (2, 1) ]
+    r.Probe.steps_histogram
+
+let test_probe_totals_match_summary () =
+  (* a real algorithm run under a random schedule: every committed access
+     must land in exactly one register profile *)
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let e =
+    Exsel_renaming.Efficient_rename.create ~rng:(Rng.create ~seed:17) mem ~name:"ef" ~k:6
+  in
+  List.iteri
+    (fun i me ->
+      ignore
+        (Runtime.spawn rt ~name:(Printf.sprintf "p%d" i) (fun () ->
+             ignore (Exsel_renaming.Efficient_rename.rename e ~me))))
+    [ 3; 14; 15; 92; 65; 35 ];
+  let probe = Probe.attach rt in
+  Scheduler.run rt (Scheduler.random (Rng.create ~seed:18));
+  let s = Metrics.of_runtime rt in
+  let r = Probe.report probe in
+  let reads = List.fold_left (fun acc (p : Probe.reg_profile) -> acc + p.Probe.reads) 0 r.Probe.profiles in
+  let writes = List.fold_left (fun acc (p : Probe.reg_profile) -> acc + p.Probe.writes) 0 r.Probe.profiles in
+  Alcotest.(check int) "probe reads = summary reads" s.Metrics.reads reads;
+  Alcotest.(check int) "probe writes = summary writes" s.Metrics.writes writes;
+  Alcotest.(check int) "probe registers = summary registers" s.Metrics.registers
+    r.Probe.registers
+
+(* ------------------------------------------------------------------ *)
+(* Span                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_tree_and_deltas () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let r = Register.create mem ~name:"r" 0 in
+  let sink = Span.attach rt in
+  let p =
+    Runtime.spawn rt ~name:"p" (fun () ->
+        Span.wrap "outer:phase=a" (fun () ->
+            Runtime.write r 1;
+            Span.wrap "inner:phase=b" (fun () -> ignore (Runtime.read r));
+            Runtime.write r 2))
+  in
+  Runtime.commit rt p;
+  Runtime.commit rt p;
+  Runtime.commit rt p;
+  (match Span.per_process sink with
+  | [ (pid, name, [ outer ]) ] ->
+      Alcotest.(check int) "pid" (Runtime.pid p) pid;
+      Alcotest.(check string) "proc name" "p" name;
+      Alcotest.(check string) "outer label" "outer:phase=a" outer.Span.label;
+      Alcotest.(check int) "outer steps" 3 outer.Span.steps;
+      Alcotest.(check int) "outer reads" 1 outer.Span.reads;
+      Alcotest.(check int) "outer writes" 2 outer.Span.writes;
+      Alcotest.(check bool) "outer complete" true outer.Span.complete;
+      (match Span.children outer with
+      | [ inner ] ->
+          Alcotest.(check string) "inner label" "inner:phase=b" inner.Span.label;
+          Alcotest.(check int) "inner steps" 1 inner.Span.steps;
+          Alcotest.(check int) "inner reads" 1 inner.Span.reads;
+          Alcotest.(check int) "inner writes" 0 inner.Span.writes
+      | l -> Alcotest.failf "expected one child, got %d" (List.length l))
+  | _ -> Alcotest.fail "expected one process with one root span");
+  Span.detach sink
+
+let test_span_incomplete_on_crash () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let r = Register.create mem ~name:"r" 0 in
+  let sink = Span.attach rt in
+  let p =
+    Runtime.spawn rt ~name:"p" (fun () ->
+        Span.wrap "doomed:phase=x" (fun () ->
+            Runtime.write r 1;
+            Runtime.write r 2))
+  in
+  Runtime.commit rt p;
+  Runtime.crash rt p;
+  (match Span.per_process sink with
+  | [ (_, _, [ node ]) ] ->
+      Alcotest.(check string) "label" "doomed:phase=x" node.Span.label;
+      Alcotest.(check bool) "incomplete" false node.Span.complete;
+      Alcotest.(check int) "steps before crash" 1 node.Span.steps
+  | _ -> Alcotest.fail "expected one crashed span");
+  let aggs = Span.aggregate sink in
+  (match aggs with
+  | [ a ] ->
+      Alcotest.(check string) "agg label" "doomed:phase=x" a.Span.agg_label;
+      Alcotest.(check int) "agg count" 1 a.Span.count;
+      Alcotest.(check int) "agg incomplete" 1 a.Span.incomplete
+  | _ -> Alcotest.fail "expected one aggregate");
+  Span.detach sink
+
+let test_span_noop_without_sink () =
+  (* wrap must be transparent when no sink is attached *)
+  Alcotest.(check int) "value" 42 (Span.wrap "whatever" (fun () -> 42))
+
+(* ------------------------------------------------------------------ *)
+(* JSON encoder                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_escaping () =
+  let v =
+    Json.Obj
+      [
+        ("plain", Json.String "hello");
+        ("quote", Json.String "say \"hi\"");
+        ("backslash", Json.String "a\\b");
+        ("control", Json.String "line1\nline2\ttab");
+        ("unit", Json.String "\001");
+      ]
+  in
+  let contains ~sub s =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  let s = Json.to_string v in
+  Alcotest.(check bool) "escapes quote" true (contains ~sub:{|say \"hi\"|} s);
+  Alcotest.(check bool) "escapes backslash" true (contains ~sub:{|a\\b|} s);
+  Alcotest.(check bool) "escapes newline" true (contains ~sub:{|line1\nline2\ttab|} s);
+  Alcotest.(check bool) "escapes control" true (contains ~sub:{|\u0001|} s);
+  (* the authoritative check: our parser round-trips the strings *)
+  match roundtrip v with
+  | Json.Obj fields ->
+      List.iter
+        (fun (k, expected) ->
+          match (List.assoc k fields, expected) with
+          | Json.String got, Json.String want ->
+              Alcotest.(check string) ("roundtrip " ^ k) want got
+          | _ -> Alcotest.fail "non-string field")
+        (match v with Json.Obj f -> f | _ -> []);
+  | _ -> Alcotest.fail "expected object"
+
+let test_json_values_roundtrip () =
+  let v =
+    Json.List
+      [
+        Json.Null;
+        Json.Bool true;
+        Json.Bool false;
+        Json.Int (-3);
+        Json.Int 0;
+        Json.Float 2.5;
+        Json.List [];
+        Json.Obj [];
+      ]
+  in
+  Alcotest.(check string) "compact form"
+    "[null,true,false,-3,0,2.5,[],{}]" (Json.to_string v);
+  Alcotest.(check bool) "pretty parses too"
+    true (parse_json (Json.to_string_pretty v) = v);
+  Alcotest.(check bool) "roundtrip" true (roundtrip v = v)
+
+let test_json_nonfinite_floats () =
+  Alcotest.(check string) "nan is null" "null" (Json.to_string (Json.Float nan));
+  Alcotest.(check string) "inf is null" "null" (Json.to_string (Json.Float infinity))
+
+let test_json_of_summary_shape () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let r = Register.create mem ~name:"r" 0 in
+  let p = Runtime.spawn rt ~name:"p" (fun () -> Runtime.write r 5) in
+  Runtime.commit rt p;
+  let s = Metrics.of_runtime rt in
+  let j = roundtrip (Json.of_summary s) in
+  Alcotest.(check int) "processes" 1 (get_int "processes" j);
+  Alcotest.(check int) "completed" 1 (get_int "completed" j);
+  Alcotest.(check int) "crashed" 0 (get_int "crashed" j);
+  Alcotest.(check int) "registers" 1 (get_int "registers" j);
+  Alcotest.(check int) "writes" 1 (get_int "writes" j)
+
+let test_json_probe_shape () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let r = Register.create mem ~name:"r" 0 in
+  let p0 = Runtime.spawn rt ~name:"p0" (fun () -> Runtime.write r 1) in
+  let p1 = Runtime.spawn rt ~name:"p1" (fun () -> Runtime.write r 2) in
+  let probe = Probe.attach rt in
+  Runtime.commit rt p0;
+  Runtime.commit rt p1;
+  let j = roundtrip (Probe.to_json (Probe.report probe)) in
+  Alcotest.(check int) "registers" 1 (get_int "registers" j);
+  Alcotest.(check int) "peak_pending" 2 (get_int "peak_pending" j);
+  match get_list "profiles" j with
+  | [ prof ] ->
+      Alcotest.(check int) "profile id" (Register.id r) (get_int "id" prof);
+      Alcotest.(check int) "profile writes" 2 (get_int "writes" prof);
+      Alcotest.(check int) "profile writers" 2 (get_int "writers" prof)
+  | l -> Alcotest.failf "expected one profile, got %d" (List.length l)
+
+let test_json_span_tree_shape () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let r = Register.create mem ~name:"r" 0 in
+  let sink = Span.attach rt in
+  let p =
+    Runtime.spawn rt ~name:"p" (fun () ->
+        Span.wrap "outer:phase=a" (fun () ->
+            Span.wrap "inner:phase=b" (fun () -> Runtime.write r 1)))
+  in
+  Runtime.commit rt p;
+  let j = roundtrip (Span.to_json sink) in
+  Span.detach sink;
+  match get_list "processes" j with
+  | [ proc ] -> (
+      Alcotest.(check string) "proc" "p" (get_string "proc" proc);
+      match get_list "spans" proc with
+      | [ outer ] -> (
+          Alcotest.(check string) "outer label" "outer:phase=a" (get_string "label" outer);
+          match get_list "children" outer with
+          | [ inner ] ->
+              Alcotest.(check string) "inner label" "inner:phase=b"
+                (get_string "label" inner);
+              Alcotest.(check int) "inner writes" 1 (get_int "writes" inner)
+          | l -> Alcotest.failf "expected one child, got %d" (List.length l))
+      | l -> Alcotest.failf "expected one root span, got %d" (List.length l))
+  | l -> Alcotest.failf "expected one process, got %d" (List.length l)
+
+let test_json_table_shape () =
+  let t =
+    Exsel_harness.Table.make ~id:"T0" ~title:"a \"quoted\" title"
+      ~header:[ "k"; "steps" ]
+      ~notes:[ "note" ]
+      [ [ "1"; "10" ]; [ "2"; "20" ] ]
+  in
+  let j = roundtrip (Exsel_harness.Table.to_json t) in
+  Alcotest.(check string) "id" "T0" (get_string "id" j);
+  Alcotest.(check string) "title" "a \"quoted\" title" (get_string "title" j);
+  (match get_list "header" j with
+  | [ Json.String "k"; Json.String "steps" ] -> ()
+  | _ -> Alcotest.fail "bad header");
+  match get_list "rows" j with
+  | [ Json.List [ Json.String "1"; Json.String "10" ]; Json.List _ ] -> ()
+  | _ -> Alcotest.fail "bad rows"
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [ Alcotest.test_case "hand-scheduled summary" `Quick test_metrics_hand_scheduled ] );
+      ( "probe",
+        [
+          Alcotest.test_case "peak contention" `Quick test_probe_peak_contention;
+          Alcotest.test_case "totals match summary" `Quick test_probe_totals_match_summary;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "tree and deltas" `Quick test_span_tree_and_deltas;
+          Alcotest.test_case "incomplete on crash" `Quick test_span_incomplete_on_crash;
+          Alcotest.test_case "no-op without sink" `Quick test_span_noop_without_sink;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "escaping" `Quick test_json_escaping;
+          Alcotest.test_case "values roundtrip" `Quick test_json_values_roundtrip;
+          Alcotest.test_case "non-finite floats" `Quick test_json_nonfinite_floats;
+          Alcotest.test_case "summary shape" `Quick test_json_of_summary_shape;
+          Alcotest.test_case "probe shape" `Quick test_json_probe_shape;
+          Alcotest.test_case "span tree shape" `Quick test_json_span_tree_shape;
+          Alcotest.test_case "table shape" `Quick test_json_table_shape;
+        ] );
+    ]
