@@ -12,7 +12,11 @@
    observations (metrics summary, register contention profile, phase-span
    aggregates) as one exsel-bench/1 document — see DESIGN.md §7.
 
-   --only <ID> restricts any mode to a single experiment. *)
+   --perf runs the hot-path microbenchmark suites of bench/perf.ml
+   instead of the experiment tables (combine with --json to emit
+   BENCH_perf.json, and --baseline to gate against a reference file).
+
+   --only <ID> restricts any experiment mode to a single experiment. *)
 
 module E = Exsel_harness.Experiments
 module Report = Exsel_harness.Report
@@ -79,26 +83,55 @@ let run_bechamel only =
       Printf.printf "%-12s  %14s  %8.4f\n" name human r2)
     (List.sort compare rows)
 
-let usage () =
-  Printf.eprintf
-    "usage: %s [--bechamel] [--json <file>] [--only <T1..T9|F1|F2|A1..A3|X1..X3>]\n"
-    Sys.argv.(0);
+let usage_text () =
+  Printf.sprintf
+    "usage: %s [--bechamel | --perf] [--json <file>] [--baseline <file>]\n\
+    \       %*s [--only <T1..T9|F1|F2|A1..A3|X1..X3>]\n\n\
+     modes (mutually exclusive):\n\
+    \  (default)          print the experiment tables\n\
+    \  --bechamel         wall-clock one Bechamel benchmark per experiment\n\
+    \  --perf             run the hot-path microbenchmarks (DESIGN.md \xc2\xa78)\n\n\
+     options:\n\
+    \  --json <file>      write results as an exsel-bench/1 JSON document\n\
+    \                     (tables mode and --perf mode; not --bechamel)\n\
+    \  --baseline <file>  with --perf: fail (exit 1) if any metric drops\n\
+    \                     below half its reference value in <file>\n\
+    \  --only <ID>        restrict to one experiment.  IDs are\n\
+    \                     case-insensitive: they are normalized to upper\n\
+    \                     case before matching, so `--only t3` selects T3\n\
+    \  --help             show this message\n"
+    Sys.argv.(0)
+    (String.length Sys.argv.(0))
+    ""
+
+let usage_error msg =
+  Printf.eprintf "%s: %s\n%s" Sys.argv.(0) msg (usage_text ());
   exit 2
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let rec parse bech only json = function
-    | [] -> (bech, only, json)
-    | "--bechamel" :: rest -> parse true only json rest
-    | "--only" :: id :: rest -> parse bech (Some id) json rest
-    | "--json" :: path :: rest -> parse bech only (Some path) rest
-    | arg :: _ ->
-        Printf.eprintf "unexpected argument %S\n" arg;
-        usage ()
+  let rec parse bech perf only json baseline = function
+    | [] -> (bech, perf, only, json, baseline)
+    | ("--help" | "-help" | "-h") :: _ ->
+        print_string (usage_text ());
+        exit 0
+    | "--bechamel" :: rest -> parse true perf only json baseline rest
+    | "--perf" :: rest -> parse bech true only json baseline rest
+    | "--only" :: id :: rest -> parse bech perf (Some id) json baseline rest
+    | "--json" :: path :: rest -> parse bech perf only (Some path) baseline rest
+    | "--baseline" :: path :: rest -> parse bech perf only json (Some path) rest
+    | [ ("--only" | "--json" | "--baseline") ] as flag ->
+        usage_error (Printf.sprintf "%s requires an argument" (List.hd flag))
+    | arg :: _ -> usage_error (Printf.sprintf "unexpected argument %S" arg)
   in
-  let bech, only, json = parse false None None args in
-  match json with
-  | Some path ->
-      if bech then usage ();
-      write_json only path
-  | None -> if bech then run_bechamel only else print_tables only
+  let bech, perf, only, json, baseline = parse false false None None None args in
+  if bech && perf then usage_error "--bechamel and --perf are mutually exclusive";
+  if bech && json <> None then
+    usage_error "--bechamel and --json are mutually exclusive";
+  if baseline <> None && not perf then usage_error "--baseline requires --perf";
+  if perf && only <> None then usage_error "--only does not apply to --perf";
+  if perf then Perf.run ~json ~baseline
+  else
+    match json with
+    | Some path -> write_json only path
+    | None -> if bech then run_bechamel only else print_tables only

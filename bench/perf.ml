@@ -1,0 +1,251 @@
+(* Performance-regression microbenchmarks (DESIGN.md §8).
+
+   Three suites, each emitted as one table of the exsel-bench/1 document
+   written by `bench --perf --json BENCH_perf.json`:
+
+   P1  commit throughput — commits/sec of the simulator commit loop at
+       n ∈ {16, 64, 256} processes under the round-robin policy;
+   P2  scheduler-policy overhead — commits/sec of the same workload under
+       sequential / round-robin / random, isolating decision cost;
+   P3  explorer throughput — paths/sec of the rewritten explorer on the
+       seed compete/splitter instances, next to the *seed engine*
+       (replay-from-root at every DFS node, reproduced below) on the same
+       instances, and the resulting speedup.
+
+   `--baseline <file>` reads `<metric> <reference>` lines and fails (exit
+   1) if any measured metric drops below reference/2 — the CI regression
+   gate against bench/perf_baseline.txt. *)
+
+module Memory = Exsel_sim.Memory
+module Register = Exsel_sim.Register
+module Runtime = Exsel_sim.Runtime
+module Scheduler = Exsel_sim.Scheduler
+module Explore = Exsel_sim.Explore
+module Rng = Exsel_sim.Rng
+module R = Exsel_renaming
+module Table = Exsel_harness.Table
+module Report = Exsel_harness.Report
+
+(* Repeat [f] (returning a unit count) until [min_seconds] of CPU time
+   elapsed; returns (units/sec, units, seconds). *)
+let rate ?(min_seconds = 0.3) f =
+  let t0 = Sys.time () in
+  let total = ref 0 in
+  let iters = ref 0 in
+  while Sys.time () -. t0 < min_seconds || !iters = 0 do
+    total := !total + f ();
+    incr iters
+  done;
+  let dt = Sys.time () -. t0 in
+  let dt = if dt > 0.0 then dt else 1e-9 in
+  (float_of_int !total /. dt, !total, dt)
+
+(* --- P1/P2: commit-loop workload --------------------------------------- *)
+
+(* n processes, each alternating a read of a shared register with a write
+   to its own — every commit exercises suspend, schedule, resume. *)
+let commit_workload n policy =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let shared = Register.create mem ~name:"shared" 0 in
+  let own = Array.init n (fun i -> Register.create mem ~name:(string_of_int i) 0) in
+  for i = 0 to n - 1 do
+    ignore
+      (Runtime.spawn rt ~name:(string_of_int i) (fun () ->
+           for _ = 1 to 50 do
+             let v = Runtime.read shared in
+             Runtime.write own.(i) (v + 1)
+           done))
+  done;
+  Scheduler.run rt (policy ());
+  Runtime.commits rt
+
+let p1_commit_throughput () =
+  let metrics = ref [] in
+  let rows =
+    List.map
+      (fun n ->
+        let per_sec, commits, dt =
+          rate (fun () -> commit_workload n (fun () -> Scheduler.round_robin ()))
+        in
+        metrics := (Printf.sprintf "commit_throughput_n%d" n, per_sec) :: !metrics;
+        [
+          Table.cell_int n;
+          Table.cell_int commits;
+          Table.cell_float dt;
+          Printf.sprintf "%.0f" per_sec;
+        ])
+      [ 16; 64; 256 ]
+  in
+  ( Table.make ~id:"P1" ~title:"perf: commit throughput (round-robin)"
+      ~header:[ "n"; "commits"; "sec"; "commits/sec" ]
+      ~notes:
+        [
+          "Simulator commit loop: read-shared/write-own, 100 ops per process.";
+          "Tracked across PRs; CI fails if a metric halves vs the baseline.";
+        ]
+      rows,
+    List.rev !metrics )
+
+let p2_scheduler_overhead () =
+  let n = 64 in
+  let metrics = ref [] in
+  let policies =
+    [
+      ("sequential", fun () -> Scheduler.sequential ());
+      ("round_robin", fun () -> Scheduler.round_robin ());
+      ("random", fun () -> Scheduler.random (Rng.create ~seed:42));
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, mk) ->
+        let per_sec, commits, dt = rate (fun () -> commit_workload n mk) in
+        metrics := (Printf.sprintf "scheduler_%s" name, per_sec) :: !metrics;
+        [ name; Table.cell_int commits; Table.cell_float dt; Printf.sprintf "%.0f" per_sec ])
+      policies
+  in
+  ( Table.make ~id:"P2"
+      ~title:(Printf.sprintf "perf: scheduler-policy overhead (n=%d)" n)
+      ~header:[ "policy"; "commits"; "sec"; "commits/sec" ]
+      ~notes:[ "Same workload as P1; differences isolate per-decision policy cost." ]
+      rows,
+    List.rev !metrics )
+
+(* --- P3: explorer ------------------------------------------------------ *)
+
+let compete_init n () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let c = R.Compete.create mem ~name:"c" in
+  let wins = Array.make n false in
+  for i = 0 to n - 1 do
+    ignore
+      (Runtime.spawn rt ~name:(string_of_int i) (fun () ->
+           wins.(i) <- R.Compete.compete c ~me:i))
+  done;
+  ((), rt)
+
+let splitter_init n () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let s = R.Splitter.create mem ~name:"s" in
+  for i = 0 to n - 1 do
+    ignore
+      (Runtime.spawn rt ~name:(string_of_int i) (fun () ->
+           ignore (R.Splitter.enter s ~me:i)))
+  done;
+  ((), rt)
+
+(* The seed explorer engine, reproduced for comparison: re-instantiate the
+   runtime and replay the whole prefix at every DFS node (O(depth^2) work
+   per path, `prefix @ [x]` appends included). *)
+let seed_engine_paths ~init =
+  let paths = ref 0 in
+  let rec explore prefix =
+    let (), rt = init () in
+    List.iter (fun pid -> Runtime.commit rt (Runtime.proc_by_pid rt pid)) prefix;
+    match Runtime.runnable rt with
+    | [] -> incr paths
+    | runnable ->
+        List.iter (fun p -> explore (prefix @ [ Runtime.pid p ])) runnable
+  in
+  explore [];
+  !paths
+
+let rewritten_paths ~init =
+  (Explore.run ~init ~check:(fun () _ -> Ok ()) ()).Explore.paths
+
+let p3_explorer () =
+  let metrics = ref [] in
+  let instances =
+    [ ("compete x3", compete_init 3); ("splitter x2", splitter_init 2) ]
+  in
+  let speedups = ref [] in
+  let rows =
+    List.concat_map
+      (fun (label, init) ->
+        let seed_rate, seed_paths, seed_dt =
+          rate (fun () -> seed_engine_paths ~init)
+        in
+        let new_rate, new_paths, new_dt = rate (fun () -> rewritten_paths ~init) in
+        let speedup = new_rate /. seed_rate in
+        speedups := speedup :: !speedups;
+        let slug =
+          String.map (function ' ' -> '_' | c -> c) label
+        in
+        metrics :=
+          (Printf.sprintf "explorer_%s_paths_per_sec" slug, new_rate)
+          :: (Printf.sprintf "explorer_%s_seed_paths_per_sec" slug, seed_rate)
+          :: !metrics;
+        [
+          [
+            label; "seed engine"; Table.cell_int seed_paths; Table.cell_float seed_dt;
+            Printf.sprintf "%.0f" seed_rate; "-";
+          ];
+          [
+            label; "rewritten"; Table.cell_int new_paths; Table.cell_float new_dt;
+            Printf.sprintf "%.0f" new_rate; Printf.sprintf "%.2fx" speedup;
+          ];
+        ])
+      instances
+  in
+  let min_speedup = List.fold_left min infinity !speedups in
+  metrics := ("explorer_speedup", min_speedup) :: !metrics;
+  ( Table.make ~id:"P3" ~title:"perf: explorer throughput, seed engine vs rewritten"
+      ~header:[ "instance"; "engine"; "paths"; "sec"; "paths/sec"; "speedup" ]
+      ~notes:
+        [
+          "Seed engine replays the full prefix at every DFS node; the rewrite";
+          "replays once per emitted path.  `explorer_speedup` is the minimum";
+          "per-instance ratio and must stay >= 2.";
+        ]
+      rows,
+    List.rev !metrics )
+
+(* --- driver ------------------------------------------------------------ *)
+
+let run ~json ~baseline =
+  let tables_metrics = [ p1_commit_throughput (); p2_scheduler_overhead (); p3_explorer () ] in
+  let entries =
+    List.map (fun (table, _) -> { Report.table; runs = [] }) tables_metrics
+  in
+  let metrics = List.concat_map snd tables_metrics in
+  List.iter (fun e -> Table.print e.Report.table; flush stdout) entries;
+  (match json with
+  | None -> ()
+  | Some path ->
+      Report.write_file path entries;
+      Printf.printf "wrote %s (%d perf suites, %d metrics)\n" path (List.length entries)
+        (List.length metrics));
+  match baseline with
+  | None -> ()
+  | Some path ->
+      let ic = open_in path in
+      let refs = ref [] in
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           if line <> "" && not (String.length line > 0 && line.[0] = '#') then
+             Scanf.sscanf line "%s %f" (fun k v -> refs := (k, v) :: !refs)
+         done
+       with End_of_file -> close_in ic);
+      let failures = ref 0 in
+      List.iter
+        (fun (key, reference) ->
+          match List.assoc_opt key metrics with
+          | None ->
+              incr failures;
+              Printf.eprintf "perf baseline: metric %S missing from this run\n" key
+          | Some measured ->
+              let floor = reference /. 2.0 in
+              if measured < floor then begin
+                incr failures;
+                Printf.eprintf
+                  "perf baseline: %s regressed: measured %.0f < %.0f (reference %.0f / 2)\n"
+                  key measured floor reference
+              end
+              else
+                Printf.printf "perf baseline: %s ok (%.0f >= %.0f)\n" key measured floor)
+        !refs;
+      if !failures > 0 then exit 1

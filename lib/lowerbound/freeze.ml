@@ -67,12 +67,19 @@ let corollary2 ~n ~deposits_per_other ~seed =
              incr completed
            done))
   done;
-  let others p = Runtime.pid p <> Runtime.pid victim in
   let rng = Rng.create ~seed in
+  (* uniform over the runnable processes other than the victim, straight
+     off the runtime's runnable index: O(1) per decision, no list builds,
+     and draw-for-draw identical to filtering [Runtime.runnable] *)
   let policy t =
-    match List.filter others (Runtime.runnable t) with
-    | [] -> None
-    | ps -> Some (List.nth ps (Rng.int rng (List.length ps)))
+    let n = Runtime.num_runnable t in
+    match Runtime.runnable_rank victim with
+    | None -> if n = 0 then None else Some (Runtime.nth_runnable t (Rng.int rng n))
+    | Some vr ->
+        if n <= 1 then None
+        else
+          let k = Rng.int rng (n - 1) in
+          Some (Runtime.nth_runnable t (if k >= vr then k + 1 else k))
   in
   Runtime.run ~max_commits:200_000_000 rt policy;
   let untouched_while_frozen =

@@ -157,6 +157,21 @@ let events t =
 
 let quiescent t = events t = []
 
+(* Same event space as [events t], but as (process, choice-count) buckets
+   in the same enumeration order — lets the random drivers draw one event
+   with [Rng.pick_weighted] without materialising the flattened list.
+   Draw-for-draw identical to picking uniformly from [events t]. *)
+let event_buckets t =
+  List.filter_map
+    (fun p ->
+      match (p.status, p.pending) with
+      | Running, Some (Send_pending _) -> Some (p, 1)
+      | Waiting, Some (Recv_pending { available; _ }) ->
+          let n = available () in
+          if n > 0 then Some (p, n) else None
+      | _ -> None)
+    (procs t)
+
 let commit_event (p, index) =
   match p.pending with
   | Some (Send_pending { commit; _ }) -> commit ()
@@ -164,21 +179,21 @@ let commit_event (p, index) =
   | None -> invalid_arg "Mnet: no pending operation"
 
 let step_random t rng =
-  match events t with
+  match event_buckets t with
   | [] -> false
-  | evs ->
-      commit_event (List.nth evs (Rng.int rng (List.length evs)));
+  | buckets ->
+      commit_event (Rng.pick_weighted rng buckets);
       true
 
 let run_random ?(max_events = 10_000_000) t rng =
   let budget = ref max_events in
   let rec loop () =
-    match events t with
+    match event_buckets t with
     | [] -> ()
-    | evs ->
+    | buckets ->
         if !budget <= 0 then raise Exsel_sim.Runtime.Stalled;
         decr budget;
-        commit_event (List.nth evs (Rng.int rng (List.length evs)));
+        commit_event (Rng.pick_weighted rng buckets);
         loop ()
   in
   loop ()

@@ -1,6 +1,6 @@
 type choice = Step of int | Crash of int
 
-type reduction = [ `None | `Sleep_sets ]
+type reduction = [ `None | `Sleep_sets | `State_hash ]
 
 type outcome = {
   paths : int;
@@ -21,95 +21,189 @@ let independent op1 op2 =
   | Runtime.Read r, Runtime.Write w | Runtime.Write w, Runtime.Read r -> r <> w
   | Runtime.Write a, Runtime.Write b -> a <> b
 
-let proc_by_pid rt pid =
-  match List.find_opt (fun p -> Runtime.pid p = pid) (Runtime.procs rt) with
-  | Some p -> p
-  | None -> invalid_arg (Printf.sprintf "Explore: no process with pid %d" pid)
-
 let apply rt = function
-  | Step pid -> Runtime.commit rt (proc_by_pid rt pid)
-  | Crash pid -> Runtime.crash rt (proc_by_pid rt pid)
+  | Step pid -> Runtime.commit rt (Runtime.proc_by_pid rt pid)
+  | Crash pid -> Runtime.crash rt (Runtime.proc_by_pid rt pid)
 
 let replay rt choices = List.iter (apply rt) choices
 
+(* Depth-first over choice sequences.  One live runtime advances along the
+   current path; alternative children are parked on an explicit frontier
+   stack as (reversed prefix, choice) frames whose prefix tails are shared
+   cons cells.  Backtracking pops the deepest frame, re-instantiates the
+   runtime and replays that frame's prefix — so each prefix is replayed
+   exactly once per emitted path (O(depth) per path) instead of once per
+   DFS node (O(depth^2) per path), and memory use stays flat.  Frames are
+   pushed right-sibling-first so pops preserve the left-to-right DFS order
+   of the historical recursive engine: [paths], [states] and the first
+   counterexample are bit-identical to it. *)
 let run ?(max_crashes = 0) ?(max_paths = 1_000_000) ?(reduction = `None) ~init ~check
     () =
   if reduction = `Sleep_sets && max_crashes > 0 then
     invalid_arg "Explore.run: sleep-set reduction requires max_crashes = 0";
   let paths = ref 0 in
   let states = ref 0 in
-  let finish_path ctx rt prefix =
+  let finish_path ctx rt prefix_rev =
     incr paths;
     (match check ctx rt with
     | Ok () -> ()
     | Error msg ->
         raise
           (Done
-             { paths = !paths; states = !states; truncated = false; failure = Some (msg, prefix) }));
+             {
+               paths = !paths;
+               states = !states;
+               truncated = false;
+               failure = Some (msg, List.rev prefix_rev);
+             }));
     if !paths >= max_paths then
       raise (Done { paths = !paths; states = !states; truncated = true; failure = None })
   in
-  (* Depth-first over choice sequences; each node re-instantiates and
-     replays its prefix, so state reconstruction is exact and memory use
-     stays flat.  [sleep] holds (pid, pending op) pairs whose immediate
-     exploration from this node is provably redundant: executing a
-     sleeping operation first only commutes independent neighbours of an
-     already-explored branch.  A sleeping process wakes (drops out of the
-     set) as soon as a dependent operation executes. *)
-  let rec explore prefix sleep =
-    let ctx, rt = init () in
-    replay rt prefix;
-    match Runtime.runnable rt with
-    | [] -> finish_path ctx rt prefix
-    | runnable ->
-        let enabled =
-          List.map
-            (fun p ->
-              match Runtime.pending p with
-              | Some op -> (Runtime.pid p, op)
-              | None -> assert false (* runnable implies pending *))
-            runnable
-        in
-        let candidates =
-          List.filter (fun (pid, _) -> not (List.mem_assoc pid sleep)) enabled
-        in
-        (* all enabled moves sleeping: this branch is covered elsewhere *)
-        if candidates <> [] then begin
-          let explored = ref [] in
-          List.iter
-            (fun (pid, op) ->
+  (* Unreduced engine, with crash decisions and optional state-hash
+     memoization.  [memo] maps (state signature, crashes used) to (); a
+     node whose key was already expanded has an identical subtree (see
+     DESIGN.md §8) and is pruned. *)
+  let run_full ~memo () =
+    let stack = ref [] in
+    (* frames: (prefix_rev, choice, crashes after taking choice) *)
+    let boot () =
+      let ctx, rt = init () in
+      if memo <> None then Runtime.enable_state_tracking rt;
+      (ctx, rt)
+    in
+    let current = ref (Some (boot (), ([] : choice list), 0)) in
+    let finished = ref false in
+    while not !finished do
+      match !current with
+      | None -> (
+          match !stack with
+          | [] -> finished := true
+          | (prefix_rev, choice, crashes) :: rest ->
+              stack := rest;
+              let ((_, rt) as node) = boot () in
+              replay rt (List.rev prefix_rev);
               incr states;
-              let child_sleep =
-                List.filter (fun (_, op') -> independent op op') (sleep @ !explored)
-              in
-              explore (prefix @ [ Step pid ]) child_sleep;
-              explored := (pid, op) :: !explored)
-            candidates
-        end
+              apply rt choice;
+              current := Some (node, choice :: prefix_rev, crashes))
+      | Some (((ctx, rt) as node), prefix_rev, crashes) ->
+          let skip =
+            match memo with
+            | None -> false
+            | Some seen ->
+                let key = (Runtime.state_signature rt * 31) + crashes in
+                if Hashtbl.mem seen key then true
+                else begin
+                  Hashtbl.add seen key ();
+                  false
+                end
+          in
+          if skip then current := None
+          else if Runtime.num_runnable rt = 0 then begin
+            finish_path ctx rt prefix_rev;
+            current := None
+          end
+          else begin
+            let pids = List.map Runtime.pid (Runtime.runnable rt) in
+            let children =
+              List.map (fun pid -> (Step pid, crashes)) pids
+              @
+              if crashes < max_crashes then
+                List.map (fun pid -> (Crash pid, crashes + 1)) pids
+              else []
+            in
+            match children with
+            | [] -> assert false (* num_runnable > 0 *)
+            | (c0, cr0) :: siblings ->
+                List.iter
+                  (fun (c, cr) -> stack := (prefix_rev, c, cr) :: !stack)
+                  (List.rev siblings);
+                incr states;
+                apply rt c0;
+                current := Some (node, c0 :: prefix_rev, cr0)
+          end
+    done
+  in
+  (* Sleep-set engine.  A sleep set holds (pid, pending op) pairs whose
+     immediate exploration from this node is provably redundant: executing
+     a sleeping operation first only commutes independent neighbours of an
+     already-explored branch.  A sleeping process wakes (drops out of the
+     set) as soon as a dependent operation executes.  Membership tests use
+     a pid-indexed bitset; the entry list is kept for computing child
+     sleep sets. *)
+  let sleep_bits entries =
+    List.fold_left
+      (fun b (pid, _) ->
+        if pid >= Sys.int_size - 2 then
+          invalid_arg "Explore.run: sleep sets support at most 61 pids";
+        b lor (1 lsl pid))
+      0 entries
+  in
+  let run_sleep () =
+    let stack = ref [] in
+    (* frames: (prefix_rev, pid to step, child sleep entries) *)
+    let current = ref (Some (init (), ([] : choice list), [])) in
+    let finished = ref false in
+    while not !finished do
+      match !current with
+      | None -> (
+          match !stack with
+          | [] -> finished := true
+          | (prefix_rev, pid, child_sleep) :: rest ->
+              stack := rest;
+              let ((_, rt) as node) = init () in
+              replay rt (List.rev prefix_rev);
+              incr states;
+              apply rt (Step pid);
+              current := Some (node, Step pid :: prefix_rev, child_sleep))
+      | Some (((ctx, rt) as node), prefix_rev, sleep) ->
+          if Runtime.num_runnable rt = 0 then begin
+            finish_path ctx rt prefix_rev;
+            current := None
+          end
+          else begin
+            let enabled =
+              List.map
+                (fun p ->
+                  match Runtime.pending p with
+                  | Some op -> (Runtime.pid p, op)
+                  | None -> assert false (* runnable implies pending *))
+                (Runtime.runnable rt)
+            in
+            let sleeping = sleep_bits sleep in
+            let candidates =
+              List.filter (fun (pid, _) -> sleeping land (1 lsl pid) = 0) enabled
+            in
+            match candidates with
+            (* all enabled moves sleeping: this branch is covered elsewhere *)
+            | [] -> current := None
+            | (pid0, op0) :: siblings ->
+                (* candidate [i] sleeps on the node's sleep set plus the
+                   candidates explored before it, restricted to ops
+                   independent of its own *)
+                let _, frames =
+                  List.fold_left
+                    (fun (before, acc) (pid, op) ->
+                      let child =
+                        List.filter (fun (_, op') -> independent op op') (sleep @ before)
+                      in
+                      ((pid, op) :: before, (prefix_rev, pid, child) :: acc))
+                    ([ (pid0, op0) ], [])
+                    siblings
+                in
+                stack := List.rev_append frames !stack;
+                incr states;
+                apply rt (Step pid0);
+                let child0 =
+                  List.filter (fun (_, op') -> independent op0 op') sleep
+                in
+                current := Some (node, Step pid0 :: prefix_rev, child0)
+          end
+    done
   in
   try
-    (if reduction = `Sleep_sets then explore [] []
-     else
-       (* unreduced engine: every enabled step, plus crash decisions *)
-       let rec explore_full prefix crashes =
-         let ctx, rt = init () in
-         replay rt prefix;
-         match Runtime.runnable rt with
-         | [] -> finish_path ctx rt prefix
-         | runnable ->
-             let pids = List.map Runtime.pid runnable in
-             List.iter
-               (fun pid ->
-                 incr states;
-                 explore_full (prefix @ [ Step pid ]) crashes)
-               pids;
-             if crashes < max_crashes then
-               List.iter
-                 (fun pid ->
-                   incr states;
-                   explore_full (prefix @ [ Crash pid ]) (crashes + 1))
-                 pids
-       in
-       explore_full [] 0);
+    (match reduction with
+    | `Sleep_sets -> run_sleep ()
+    | `None -> run_full ~memo:None ()
+    | `State_hash -> run_full ~memo:(Some (Hashtbl.create 4096)) ());
     { paths = !paths; states = !states; truncated = false; failure = None }
   with Done o -> o

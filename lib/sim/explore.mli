@@ -11,8 +11,11 @@
     choices taken at each step, and re-running [init] and replaying a
     prefix reconstructs the state exactly (protocol code must be
     deterministic apart from scheduling, which seeded generators ensure).
-    Exploration is depth-first with re-instantiation per path, so memory
-    use is constant; time is O(paths × depth).
+    Exploration is depth-first with one live runtime per path: a fresh
+    runtime is instantiated and its prefix replayed once per {e backtrack}
+    (not once per node), so memory use is flat and time is
+    O(paths × depth) with a single replay per emitted path — see
+    DESIGN.md §8.
 
     {b Partial-order reduction.}  With [reduction = `Sleep_sets] the
     explorer prunes interleavings that only permute {e independent}
@@ -20,7 +23,23 @@
     or both reading).  Every Mazurkiewicz trace — hence every reachable
     quiescent state and every per-process observation sequence — is still
     covered, so invariant checking is unaffected while the path count
-    drops combinatorially.  Reduction currently requires [max_crashes = 0].
+    drops combinatorially.  Reduction currently requires [max_crashes = 0]
+    and at most 61 processes (sleep-set membership is a pid-indexed
+    bitset).
+
+    {b State-hash memoization.}  With [reduction = `State_hash] the
+    explorer additionally prunes any node whose {e global state} —
+    register values plus per-process status and committed-operation
+    signature ({!Runtime.state_signature}) — was already expanded with the
+    same crash budget.  Because protocol bodies are deterministic, two
+    such nodes root identical subtrees, so every reachable quiescent state
+    is still checked (via the first visit) while revisits are cut; [paths]
+    and [states] are therefore {e not} comparable with the other modes,
+    and a counterexample, if any, may be reported via a different (still
+    valid) schedule.  Signatures are 62-bit hashes: a collision could in
+    principle mask a state, so use [`None]/[`Sleep_sets] when a bit-exact
+    proof over the bounded instance is required — see the soundness
+    argument in DESIGN.md §8.  Compatible with [max_crashes > 0].
 
     Choice fan-out grows factorially with processes × operations: keep
     instances small and use [max_paths] as a safety valve. *)
@@ -29,7 +48,7 @@ type choice =
   | Step of int  (** commit the pending operation of process [pid] *)
   | Crash of int  (** crash process [pid] at this point *)
 
-type reduction = [ `None | `Sleep_sets ]
+type reduction = [ `None | `Sleep_sets | `State_hash ]
 
 type outcome = {
   paths : int;  (** complete executions checked *)
@@ -52,9 +71,11 @@ val run :
     and processes, returning any context [check] needs).  [check] runs at
     quiescence of each path.  [max_crashes] (default 0) bounds crash
     decisions per path; [max_paths] (default 1_000_000) bounds the
-    exploration; [reduction] (default [`None]) enables sleep-set pruning.
+    exploration; [reduction] (default [`None]) enables sleep-set pruning
+    or state-hash memoization.
     Exploration stops at the first violation.
-    @raise Invalid_argument if reduction is combined with crashes. *)
+    @raise Invalid_argument if sleep-set reduction is combined with
+    crashes. *)
 
 val independent : Runtime.op_kind -> Runtime.op_kind -> bool
 (** The dependency relation underlying the reduction: two operations of

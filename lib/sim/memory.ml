@@ -2,9 +2,10 @@ type t = {
   mutable next_id : int;
   mutable reads : int;
   mutable writes : int;
+  mutable fingerprints : (unit -> int) list;  (* newest register first *)
 }
 
-let create () = { next_id = 0; reads = 0; writes = 0 }
+let create () = { next_id = 0; reads = 0; writes = 0; fingerprints = [] }
 
 let registers t = t.next_id
 let reads t = t.reads
@@ -17,3 +18,10 @@ let fresh_id t =
 
 let note_read t = t.reads <- t.reads + 1
 let note_write t = t.writes <- t.writes + 1
+
+let register_fingerprint t f = t.fingerprints <- f :: t.fingerprints
+
+let fingerprint t =
+  List.fold_left
+    (fun acc f -> ((acc * 0x01000193) + f ()) land max_int)
+    t.next_id t.fingerprints

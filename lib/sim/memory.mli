@@ -28,3 +28,12 @@ val note_read : t -> unit
 
 val note_write : t -> unit
 (** Record one committed write.  Called by the runtime. *)
+
+val register_fingerprint : t -> (unit -> int) -> unit
+(** Register a thunk hashing one register's current value.  Called by
+    {!Register.create}; protocols do not call this directly. *)
+
+val fingerprint : t -> int
+(** Combined hash of every register's current value (in allocation
+    order), the register-values half of the explorer's [`State_hash]
+    memoization key.  O(registers). *)

@@ -8,7 +8,11 @@ type 'a t = {
 }
 
 let create memory ~name init =
-  { id = Memory.fresh_id memory; name; memory; value = init; reads = 0; writes = 0 }
+  let t =
+    { id = Memory.fresh_id memory; name; memory; value = init; reads = 0; writes = 0 }
+  in
+  Memory.register_fingerprint memory (fun () -> Hashtbl.hash t.value);
+  t
 
 let id t = t.id
 let name t = t.name

@@ -38,4 +38,30 @@ let shuffle t a =
 
 let pick t = function
   | [] -> invalid_arg "Rng.pick: empty list"
-  | xs -> List.nth xs (int t (List.length xs))
+  | xs ->
+      (* one length pass, one draw, one walk — no intermediate lists and
+         the same single generator draw as the historical
+         [List.nth xs (int t (List.length xs))] pattern *)
+      let rec nth k = function
+        | x :: rest -> if k = 0 then x else nth (k - 1) rest
+        | [] -> assert false
+      in
+      nth (int t (List.length xs)) xs
+
+let pick_arr t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick_arr: empty array";
+  a.(int t (Array.length a))
+
+let pick_weighted t xs =
+  let total =
+    List.fold_left
+      (fun acc (_, w) ->
+        if w < 0 then invalid_arg "Rng.pick_weighted: negative weight" else acc + w)
+      0 xs
+  in
+  if total <= 0 then invalid_arg "Rng.pick_weighted: total weight must be positive";
+  let rec go k = function
+    | (x, w) :: rest -> if k < w then (x, k) else go (k - w) rest
+    | [] -> assert false
+  in
+  go (int t total) xs

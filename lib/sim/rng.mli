@@ -32,5 +32,18 @@ val shuffle : t -> 'a array -> unit
 (** [shuffle t a] permutes [a] in place, uniformly at random. *)
 
 val pick : t -> 'a list -> 'a
-(** [pick t xs] returns a uniformly chosen element of [xs].
+(** [pick t xs] returns a uniformly chosen element of [xs], with a single
+    generator draw (so streams match the historical
+    [List.nth xs (int t (List.length xs))] idiom) and no allocation.
     @raise Invalid_argument if [xs] is empty. *)
+
+val pick_arr : t -> 'a array -> 'a
+(** [pick_arr t a] returns a uniformly chosen element of [a] in O(1).
+    @raise Invalid_argument if [a] is empty. *)
+
+val pick_weighted : t -> ('a * int) list -> 'a * int
+(** [pick_weighted t xs] draws element [x] of weight [w] with probability
+    [w / total] and returns [(x, j)] with [j] uniform in [\[0, w)] — the
+    offset lets a caller treat [x] as a bucket of [w] equally likely
+    choices without materialising them.  Single pass, single draw.
+    @raise Invalid_argument on a negative weight or non-positive total. *)

@@ -60,7 +60,15 @@ val write : 'a Register.t -> 'a -> unit
 (** {2 Scheduling interface} *)
 
 val procs : t -> proc list
-(** All processes in spawn order. *)
+(** All processes in spawn order.  Builds a fresh list — prefer
+    {!proc_by_pid}/{!nprocs} on hot paths. *)
+
+val nprocs : t -> int
+(** Number of spawned processes.  O(1). *)
+
+val proc_by_pid : t -> int -> proc
+(** [proc_by_pid t pid] is the process with dense index [pid].  O(1).
+    @raise Invalid_argument if [pid] is out of range. *)
 
 val pid : proc -> int
 (** Dense index of the process (0-based, in spawn order). *)
@@ -85,17 +93,68 @@ val crash : t -> proc -> unit
     Idempotent on finished processes. *)
 
 val runnable : t -> proc list
-(** Processes currently awaiting a commit. *)
+(** Processes currently awaiting a commit, in pid order.  Builds a fresh
+    list in O(runnable); the index queries below avoid even that. *)
 
 val all_quiet : t -> bool
-(** [true] when no process is runnable (all done or crashed). *)
+(** [true] when no process is runnable (all done or crashed).  O(1). *)
+
+(** {2 Runnable-index queries}
+
+    The runtime maintains a dense, pid-sorted index of runnable processes
+    (appended at spawn, shift-removed exactly once when a process leaves
+    [Runnable]), so the queries below are allocation-free and O(1) or
+    O(log runnable) — the scheduler and explorer hot path. *)
+
+val num_runnable : t -> int
+(** Number of runnable processes.  O(1). *)
+
+val nth_runnable : t -> int -> proc
+(** [nth_runnable t k] is the [k]-th runnable process in pid order — the
+    same element as [List.nth (runnable t) k], in O(1).
+    @raise Invalid_argument if [k] is out of range. *)
+
+val first_runnable : t -> proc option
+(** Lowest-pid runnable process.  O(1). *)
+
+val next_runnable_after : t -> int -> proc option
+(** [next_runnable_after t pid] is the runnable process with the least pid
+    strictly greater than [pid], if any.  O(log runnable) binary search —
+    the round-robin cursor step. *)
+
+val runnable_rank : proc -> int option
+(** Position of the process in the pid-sorted runnable index ([Some k] iff
+    [nth_runnable t k] is this process), or [None] if not runnable.  O(1). *)
+
+val iter_runnable : t -> (proc -> unit) -> unit
+(** Apply a function to every runnable process in pid order, without
+    allocating.  The callback must not commit, crash, or spawn. *)
 
 val commits : t -> int
 (** Total operations committed in this runtime. *)
 
 val max_steps : t -> int
 (** Maximum {!steps} over all processes — the paper's worst-case local-step
-    measure for the execution. *)
+    measure for the execution.  Maintained incrementally; O(1). *)
+
+(** {2 State signatures}
+
+    Support for the explorer's [`State_hash] memoization: a cheap integer
+    signature of the global state — register values (via
+    {!Memory.fingerprint}) plus, per process, its status and the signature
+    of the operation/value sequence it has committed so far.  For
+    deterministic protocol bodies two nodes with equal signatures have
+    identical futures (see DESIGN.md §8). *)
+
+val enable_state_tracking : t -> unit
+(** Start maintaining per-process commit signatures.  Must be called
+    before any operation commits (i.e. right after {!create}/spawning);
+    costs a couple of integer mixes plus one [Hashtbl.hash] of the read
+    value per commit. *)
+
+val state_signature : t -> int
+(** Signature of the current global state.  Only meaningful if
+    {!enable_state_tracking} was called before the first commit. *)
 
 val run : ?max_commits:int -> t -> (t -> proc option) -> unit
 (** [run t policy] repeatedly asks [policy] for a runnable process and

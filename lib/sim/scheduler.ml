@@ -3,23 +3,22 @@ type policy = Runtime.t -> Runtime.proc option
 let round_robin () =
   let last = ref (-1) in
   fun t ->
-    match Runtime.runnable t with
-    | [] -> None
-    | rs ->
-        let after =
-          List.filter (fun p -> Runtime.pid p > !last) rs
-        in
-        let p = match after with p :: _ -> p | [] -> List.hd rs in
-        last := Runtime.pid p;
-        Some p
+    if Runtime.num_runnable t = 0 then None
+    else
+      let p =
+        match Runtime.next_runnable_after t !last with
+        | Some p -> p
+        | None -> Runtime.nth_runnable t 0 (* wrap the cursor *)
+      in
+      last := Runtime.pid p;
+      Some p
 
 let random rng t =
-  match Runtime.runnable t with
-  | [] -> None
-  | rs -> Some (List.nth rs (Rng.int rng (List.length rs)))
+  match Runtime.num_runnable t with
+  | 0 -> None
+  | n -> Some (Runtime.nth_runnable t (Rng.int rng n))
 
-let sequential () t =
-  match Runtime.runnable t with [] -> None | p :: _ -> Some p
+let sequential () t = Runtime.first_runnable t
 
 let with_crashes ~crash_at inner =
   let plan = ref crash_at in
@@ -29,21 +28,20 @@ let with_crashes ~crash_at inner =
     plan := later;
     List.iter
       (fun (_, pid) ->
-        match List.find_opt (fun p -> Runtime.pid p = pid) (Runtime.procs t) with
-        | Some p -> Runtime.crash t p
-        | None -> ())
+        if pid >= 0 && pid < Runtime.nprocs t then
+          Runtime.crash t (Runtime.proc_by_pid t pid))
       due;
     inner t
 
 let random_crashes rng ~victims ~prob inner t =
-  List.iter
-    (fun p ->
-      if
-        Runtime.status p = Runtime.Runnable
-        && List.mem (Runtime.pid p) victims
-        && Rng.float rng < prob
-      then Runtime.crash t p)
-    (Runtime.procs t);
+  for pid = 0 to Runtime.nprocs t - 1 do
+    let p = Runtime.proc_by_pid t pid in
+    if
+      Runtime.status p = Runtime.Runnable
+      && List.mem pid victims
+      && Rng.float rng < prob
+    then Runtime.crash t p
+  done;
   inner t
 
 let run ?max_commits t policy = Runtime.run ?max_commits t policy

@@ -11,10 +11,15 @@ type policy = Runtime.t -> Runtime.proc option
     [None] to stop the execution. *)
 
 val round_robin : unit -> policy
-(** Fair cyclic order over runnable processes.  Fresh state per call. *)
+(** Fair cyclic order over runnable processes.  Fresh state per call.
+    Cursor-based over the runtime's runnable index: O(log runnable) per
+    decision, allocation-free. *)
 
 val random : Rng.t -> policy
-(** Uniformly random runnable process at each commit. *)
+(** Uniformly random runnable process at each commit.  One generator
+    draw and one O(1) index lookup per decision; draws (and hence whole
+    executions) are identical to the historical list-based
+    implementation for a given seed. *)
 
 val sequential : unit -> policy
 (** Run the lowest-pid runnable process to completion, then the next.

@@ -291,6 +291,202 @@ let test_chain_exhaustive () =
   in
   no_failure "chain x2" (Explore.run ~max_paths:2_000_000 ~init ~check ())
 
+(* --- Equivalence with the seed engine ---
+
+   The original explorer re-instantiated the runtime and replayed the full
+   prefix at every DFS node.  [reference_run] reproduces that engine
+   verbatim (modulo using the public API); the rewritten [Explore.run]
+   must report identical paths/states counts and the same first
+   counterexample on every instance. *)
+
+let reference_run ?(max_crashes = 0) ?(max_paths = 1_000_000) ~init ~check () =
+  let paths = ref 0 in
+  let states = ref 0 in
+  let exception Done of Explore.outcome in
+  let apply rt = function
+    | Explore.Step pid -> Runtime.commit rt (Runtime.proc_by_pid rt pid)
+    | Explore.Crash pid -> Runtime.crash rt (Runtime.proc_by_pid rt pid)
+  in
+  let finish_path ctx rt prefix =
+    incr paths;
+    (match check ctx rt with
+    | Ok () -> ()
+    | Error msg ->
+        raise
+          (Done
+             {
+               Explore.paths = !paths;
+               states = !states;
+               truncated = false;
+               failure = Some (msg, prefix);
+             }));
+    if !paths >= max_paths then
+      raise
+        (Done
+           { Explore.paths = !paths; states = !states; truncated = true; failure = None })
+  in
+  let rec explore_full prefix crashes =
+    let ctx, rt = init () in
+    List.iter (apply rt) prefix;
+    match Runtime.runnable rt with
+    | [] -> finish_path ctx rt prefix
+    | runnable ->
+        let pids = List.map Runtime.pid runnable in
+        List.iter
+          (fun pid ->
+            incr states;
+            explore_full (prefix @ [ Explore.Step pid ]) crashes)
+          pids;
+        if crashes < max_crashes then
+          List.iter
+            (fun pid ->
+              incr states;
+              explore_full (prefix @ [ Explore.Crash pid ]) (crashes + 1))
+            pids
+  in
+  try
+    explore_full [] 0;
+    { Explore.paths = !paths; states = !states; truncated = false; failure = None }
+  with Done o -> o
+
+let check_equivalent ?(max_crashes = 0) ~label ~init ~check () =
+  let seed = reference_run ~max_crashes ~init ~check () in
+  let rewritten = Explore.run ~max_crashes ~init ~check () in
+  Alcotest.(check int) (label ^ ": identical paths") seed.Explore.paths
+    rewritten.Explore.paths;
+  Alcotest.(check int) (label ^ ": identical states") seed.Explore.states
+    rewritten.Explore.states;
+  Alcotest.(check bool) (label ^ ": identical truncation") seed.Explore.truncated
+    rewritten.Explore.truncated;
+  let show = function
+    | None -> "ok"
+    | Some (msg, sched) ->
+        msg ^ " via ["
+        ^ String.concat "; " (List.map (Format.asprintf "%a" Explore.pp_choice) sched)
+        ^ "]"
+  in
+  Alcotest.(check string)
+    (label ^ ": identical first counterexample")
+    (show seed.Explore.failure)
+    (show rewritten.Explore.failure)
+
+let compete_init n () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let c = R.Compete.create mem ~name:"c" in
+  let wins = Array.make n false in
+  for i = 0 to n - 1 do
+    ignore
+      (Runtime.spawn rt ~name:(string_of_int i) (fun () ->
+           wins.(i) <- R.Compete.compete c ~me:i))
+  done;
+  (wins, rt)
+
+let compete_check wins _rt =
+  let winners = Array.to_list wins |> List.filter Fun.id |> List.length in
+  if winners > 1 then Error "two winners" else Ok ()
+
+let test_equiv_compete_three () =
+  check_equivalent ~label:"compete x3" ~init:(compete_init 3) ~check:compete_check ()
+
+let test_equiv_splitter_two () =
+  check_equivalent ~label:"splitter x2" ~init:(splitter_init 2) ~check:splitter_check ()
+
+let test_equiv_splitter_three () =
+  check_equivalent ~label:"splitter x3" ~init:(splitter_init 3) ~check:splitter_check ()
+
+let test_equiv_crash_facet () =
+  (* the crash-facet instance: compete x2 under single-crash decisions,
+     including the solo-win invariant, so the counterexample machinery is
+     exercised under [Crash] choices too *)
+  let init () =
+    let wins, rt = compete_init 2 () in
+    (wins, rt)
+  in
+  check_equivalent ~max_crashes:1 ~label:"compete x2 +crash" ~init ~check:compete_check ()
+
+let test_equiv_planted_bug_schedule () =
+  (* both engines must report the very same first failing schedule *)
+  let init () =
+    let mem = Memory.create () in
+    let rt = Runtime.create mem in
+    let r = Register.create mem ~name:"r" 0 in
+    for i = 0 to 1 do
+      ignore
+        (Runtime.spawn rt ~name:(string_of_int i) (fun () ->
+             let v = Runtime.read r in
+             Runtime.write r (v + 1)))
+    done;
+    (r, rt)
+  in
+  let check r _rt = if Register.peek r <> 2 then Error "lost update" else Ok () in
+  check_equivalent ~label:"planted bug" ~init ~check ()
+
+(* --- State-hash memoization --- *)
+
+let test_state_hash_prunes_and_preserves_states () =
+  (* same distinct-quiescent-state set as the exact engine, fewer or equal
+     paths: dedup only skips subtrees already rooted at a visited state *)
+  let init = splitter_init 2 in
+  let fingerprint outs _rt =
+    String.concat ","
+      (Array.to_list
+         (Array.map
+            (function
+              | Some R.Splitter.Stop -> "S"
+              | Some R.Splitter.Right -> "R"
+              | Some R.Splitter.Down -> "D"
+              | None -> "-")
+            outs))
+  in
+  let run_mode reduction =
+    let seen = Hashtbl.create 64 in
+    let o =
+      Explore.run ~reduction ~init
+        ~check:(fun ctx rt ->
+          Hashtbl.replace seen (fingerprint ctx rt) ();
+          Ok ())
+        ()
+    in
+    (o, List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) seen []))
+  in
+  let full, full_states = run_mode `None in
+  let memo, memo_states = run_mode `State_hash in
+  Alcotest.(check bool) "no failures" true
+    (full.Explore.failure = None && memo.Explore.failure = None);
+  Alcotest.(check bool) "memoization explores fewer or equal paths" true
+    (memo.Explore.paths <= full.Explore.paths);
+  Alcotest.(check bool) "memoization actually prunes here" true
+    (memo.Explore.paths < full.Explore.paths);
+  Alcotest.(check (list string)) "same quiescent states" full_states memo_states
+
+let test_state_hash_still_finds_violations () =
+  let init () =
+    let mem = Memory.create () in
+    let rt = Runtime.create mem in
+    let r = Register.create mem ~name:"r" 0 in
+    for i = 0 to 1 do
+      ignore
+        (Runtime.spawn rt ~name:(string_of_int i) (fun () ->
+             let v = Runtime.read r in
+             Runtime.write r (v + 1)))
+    done;
+    (r, rt)
+  in
+  let check r _rt = if Register.peek r <> 2 then Error "lost update" else Ok () in
+  let o = Explore.run ~reduction:`State_hash ~init ~check () in
+  Alcotest.(check bool) "memoized exploration finds the race" true
+    (match o.Explore.failure with Some ("lost update", _) -> true | Some _ | None -> false)
+
+let test_state_hash_with_crashes () =
+  (* crash budget is part of the memo key, so exclusiveness still holds
+     over every single-crash schedule *)
+  let o =
+    Explore.run ~reduction:`State_hash ~max_crashes:1 ~init:(compete_init 2)
+      ~check:compete_check ()
+  in
+  no_failure "state-hash +crash" o
+
 (* --- Explore plumbing --- *)
 
 let test_explore_counts_paths () =
@@ -559,6 +755,23 @@ let () =
           Alcotest.test_case "violations still found" `Quick test_por_still_finds_violations;
           Alcotest.test_case "crashes rejected" `Quick test_por_rejects_crashes;
           Alcotest.test_case "independence relation" `Quick test_independence_relation;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "compete x3 vs seed engine" `Quick test_equiv_compete_three;
+          Alcotest.test_case "splitter x2 vs seed engine" `Quick test_equiv_splitter_two;
+          Alcotest.test_case "splitter x3 vs seed engine" `Slow test_equiv_splitter_three;
+          Alcotest.test_case "crash facet vs seed engine" `Quick test_equiv_crash_facet;
+          Alcotest.test_case "planted-bug schedule identical" `Quick
+            test_equiv_planted_bug_schedule;
+        ] );
+      ( "state-hash",
+        [
+          Alcotest.test_case "prunes, same quiescent states" `Quick
+            test_state_hash_prunes_and_preserves_states;
+          Alcotest.test_case "violations still found" `Quick
+            test_state_hash_still_finds_violations;
+          Alcotest.test_case "with crash decisions" `Quick test_state_hash_with_crashes;
         ] );
       ( "plumbing",
         [

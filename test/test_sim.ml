@@ -349,6 +349,119 @@ let test_rng_shuffle_permutation =
       Rng.shuffle (Rng.create ~seed) a;
       List.sort compare (Array.to_list a) = List.sort compare xs)
 
+(* --- runnable index: consistency with proc status across transitions --- *)
+
+let check_runnable_consistent label rt =
+  let by_status =
+    List.filter (fun p -> Runtime.status p = Runtime.Runnable) (Runtime.procs rt)
+  in
+  let expected = List.map Runtime.pid by_status in
+  Alcotest.(check (list int))
+    (label ^ ": runnable matches statuses, in pid order")
+    expected
+    (List.map Runtime.pid (Runtime.runnable rt));
+  Alcotest.(check int) (label ^ ": num_runnable") (List.length expected)
+    (Runtime.num_runnable rt);
+  Alcotest.(check bool) (label ^ ": all_quiet") (expected = []) (Runtime.all_quiet rt);
+  List.iteri
+    (fun k pid ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s: nth_runnable %d" label k)
+        pid
+        (Runtime.pid (Runtime.nth_runnable rt k));
+      Alcotest.(check (option int))
+        (Printf.sprintf "%s: rank of p%d" label pid)
+        (Some k)
+        (Runtime.runnable_rank (Runtime.proc_by_pid rt pid)))
+    expected;
+  List.iter
+    (fun p ->
+      if Runtime.status p <> Runtime.Runnable then
+        Alcotest.(check (option int))
+          (Printf.sprintf "%s: p%d has no rank" label (Runtime.pid p))
+          None
+          (Runtime.runnable_rank p))
+    (Runtime.procs rt)
+
+let test_runnable_index_transitions () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let r = Register.create mem ~name:"r" 0 in
+  check_runnable_consistent "empty" rt;
+  let spawn i =
+    Runtime.spawn rt ~name:(Printf.sprintf "p%d" i) (fun () ->
+        Runtime.write r i;
+        ignore (Runtime.read r);
+        Runtime.write r (i + 10))
+  in
+  let p0 = spawn 0 in
+  check_runnable_consistent "after spawn p0" rt;
+  let p1 = spawn 1 in
+  let p2 = spawn 2 in
+  check_runnable_consistent "after spawn p1 p2" rt;
+  (* a body that finishes inside spawn never enters the index *)
+  let side = ref false in
+  let p3 = Runtime.spawn rt ~name:"p3" (fun () -> side := true) in
+  Alcotest.(check bool) "p3 ran" true !side;
+  Alcotest.(check bool) "p3 done" true (Runtime.status p3 = Runtime.Done);
+  check_runnable_consistent "after no-op spawn" rt;
+  (* commits in arbitrary order keep mid-flight procs runnable *)
+  Runtime.commit rt p1;
+  Runtime.commit rt p0;
+  Runtime.commit rt p2;
+  check_runnable_consistent "mid-flight" rt;
+  (* crash the middle pid: shift-remove must keep pid order and ranks *)
+  Runtime.crash rt p1;
+  Alcotest.(check bool) "p1 crashed" true (Runtime.status p1 = Runtime.Crashed);
+  check_runnable_consistent "after crash p1" rt;
+  (* crash is idempotent and leaves the index alone *)
+  Runtime.crash rt p1;
+  check_runnable_consistent "after double crash" rt;
+  (* run p0 to Done: it must leave the index exactly when status flips *)
+  Runtime.commit rt p0;
+  Runtime.commit rt p0;
+  Alcotest.(check bool) "p0 done" true (Runtime.status p0 = Runtime.Done);
+  check_runnable_consistent "after p0 done" rt;
+  (* late spawn re-enters scheduling after others finished *)
+  let p4 = spawn 4 in
+  check_runnable_consistent "after late spawn" rt;
+  Alcotest.(check (option int))
+    "next_runnable_after cursor"
+    (Some (Runtime.pid p4))
+    (Option.map Runtime.pid (Runtime.next_runnable_after rt (Runtime.pid p2)));
+  Scheduler.run rt (Scheduler.round_robin ());
+  check_runnable_consistent "quiescent" rt;
+  Alcotest.(check int) "max_steps maintained" 3 (Runtime.max_steps rt)
+
+let test_rng_pick_matches_nth =
+  QCheck.Test.make ~name:"rng pick matches historical nth idiom" ~count:300
+    QCheck.(pair small_int (list_of_size Gen.(1 -- 20) small_int))
+    (fun (seed, xs) ->
+      QCheck.assume (xs <> []);
+      let a = Rng.pick (Rng.create ~seed) xs in
+      let rng = Rng.create ~seed in
+      let b = List.nth xs (Rng.int rng (List.length xs)) in
+      a = b)
+
+let test_rng_pick_weighted () =
+  let rng = Rng.create ~seed:7 in
+  let counts = Hashtbl.create 4 in
+  for _ = 1 to 3000 do
+    let x, j = Rng.pick_weighted rng [ ("a", 1); ("b", 0); ("c", 3) ] in
+    Alcotest.(check bool) "offset within weight" true
+      (j >= 0 && j < if x = "a" then 1 else 3);
+    Alcotest.(check bool) "zero-weight never chosen" true (x <> "b");
+    Hashtbl.replace counts x (1 + try Hashtbl.find counts x with Not_found -> 0)
+  done;
+  let c = try Hashtbl.find counts "c" with Not_found -> 0 in
+  let a = try Hashtbl.find counts "a" with Not_found -> 0 in
+  Alcotest.(check bool) "roughly 3:1 ratio" true (c > 2 * a && a > 0);
+  Alcotest.(check bool) "empty rejected" true
+    (try
+       ignore (Rng.pick_weighted rng []);
+       false
+     with Invalid_argument _ -> true)
+
 let () =
   Alcotest.run "exsel_sim"
     [
@@ -390,5 +503,12 @@ let () =
           QCheck_alcotest.to_alcotest test_rng_bounds;
           Alcotest.test_case "split independent" `Quick test_rng_split_independent;
           QCheck_alcotest.to_alcotest test_rng_shuffle_permutation;
+          QCheck_alcotest.to_alcotest test_rng_pick_matches_nth;
+          Alcotest.test_case "pick_weighted" `Quick test_rng_pick_weighted;
+        ] );
+      ( "runnable-index",
+        [
+          Alcotest.test_case "consistent across transitions" `Quick
+            test_runnable_index_transitions;
         ] );
     ]
