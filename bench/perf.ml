@@ -1,6 +1,6 @@
 (* Performance-regression microbenchmarks (DESIGN.md §8).
 
-   Three suites, each emitted as one table of the exsel-bench/1 document
+   Four suites, each emitted as one table of the exsel-bench/1 document
    written by `bench --perf --json BENCH_perf.json`:
 
    P1  commit throughput — commits/sec of the simulator commit loop at
@@ -10,7 +10,10 @@
    P3  explorer throughput — paths/sec of the rewritten explorer on the
        seed compete/splitter instances, next to the *seed engine*
        (replay-from-root at every DFS node, reproduced below) on the same
-       instances, and the resulting speedup.
+       instances, and the resulting speedup;
+   P4  explorer pruning statistics — deterministic effort counters
+       (replays, sleep-set prunes, state-hash hits/misses) per instance
+       and reduction mode, tracked in the JSON but not baseline-gated.
 
    `--baseline <file>` reads `<metric> <reference>` lines and fails (exit
    1) if any measured metric drops below reference/2 — the CI regression
@@ -203,10 +206,67 @@ let p3_explorer () =
       rows,
     List.rev !metrics )
 
+(* --- P4: explorer pruning statistics ----------------------------------- *)
+
+(* Not rates: absolute effort counters from the explorer's stats record,
+   exported so the trajectory of pruning effectiveness (how many nodes the
+   reductions cut, how much replay work a run costs) is visible across
+   PRs.  Counts are deterministic per instance, so they are reported in
+   the table and JSON but deliberately kept out of the throughput-style
+   baseline gate. *)
+let p4_pruning_stats () =
+  let metrics = ref [] in
+  let cases =
+    [
+      ("compete x3", "none", `None, compete_init 3);
+      ("compete x3", "state_hash", `State_hash, compete_init 3);
+      ("splitter x2", "none", `None, splitter_init 2);
+      ("splitter x2", "sleep_sets", `Sleep_sets, splitter_init 2);
+      ("splitter x3", "sleep_sets", `Sleep_sets, splitter_init 3);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (label, red_name, reduction, init) ->
+        let o = Explore.run ~reduction ~init ~check:(fun () _ -> Ok ()) () in
+        let st = o.Explore.stats in
+        let slug =
+          String.map (function ' ' -> '_' | c -> c) (label ^ "_" ^ red_name)
+        in
+        metrics :=
+          (Printf.sprintf "explorer_%s_paths" slug, float_of_int o.Explore.paths)
+          :: (Printf.sprintf "explorer_%s_replays" slug, float_of_int st.Explore.replays)
+          :: !metrics;
+        [
+          label;
+          red_name;
+          Table.cell_int o.Explore.paths;
+          Table.cell_int o.Explore.states;
+          Table.cell_int st.Explore.max_depth;
+          Table.cell_int st.Explore.replays;
+          Table.cell_int st.Explore.sleep_prunes;
+          Printf.sprintf "%d/%d" st.Explore.hash_hits st.Explore.hash_misses;
+        ])
+      cases
+  in
+  ( Table.make ~id:"P4" ~title:"perf: explorer pruning statistics"
+      ~header:
+        [ "instance"; "reduction"; "paths"; "states"; "depth"; "replays"; "sleep-prunes"; "hash hit/miss" ]
+      ~notes:
+        [
+          "Effort counters from Explore.run's stats record (deterministic";
+          "per instance).  sleep-prunes counts nodes whose every enabled";
+          "move was sleeping; hash hit/miss counts memo-table lookups.";
+        ]
+      rows,
+    List.rev !metrics )
+
 (* --- driver ------------------------------------------------------------ *)
 
 let run ~json ~baseline =
-  let tables_metrics = [ p1_commit_throughput (); p2_scheduler_overhead (); p3_explorer () ] in
+  let tables_metrics =
+    [ p1_commit_throughput (); p2_scheduler_overhead (); p3_explorer (); p4_pruning_stats () ]
+  in
   let entries =
     List.map (fun (table, _) -> { Report.table; runs = [] }) tables_metrics
   in

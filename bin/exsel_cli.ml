@@ -14,6 +14,7 @@ module Table = Exsel_harness.Table
 module Json = Exsel_obs.Json
 module Probe = Exsel_obs.Probe
 module Span = Exsel_obs.Span
+module Trace_export = Exsel_obs.Trace_export
 
 let spread ~count ~bound = List.init count (fun i -> i * (max 1 (bound / count)) mod bound)
 
@@ -95,15 +96,16 @@ let build_renamer algo mem ~k ~n ~n_names ~seed =
       let c = R.Chain_rename.create mem ~name:"ch" ~m:((2 * k) - 1) in
       ((fun ~me -> R.Chain_rename.rename c ~me), R.Chain_rename.names c)
 
-let run_rename algo k n n_names procs seed crashes profile json =
+let run_rename algo k n n_names procs seed crashes profile json chrome =
   let mem = Memory.create () in
   let rt = Runtime.create mem in
   let rename, _m = build_renamer algo mem ~k ~n ~n_names ~seed in
   let ids = spread ~count:procs ~bound:n_names in
-  let observing = profile || json <> None in
+  let observing = profile || json <> None || chrome <> None in
   (* span sink before spawning (bodies may open spans at spawn time),
      probe after, so its initial scan sees the whole pending burst *)
   let span = if observing then Some (Span.attach rt) else None in
+  let trace = if chrome <> None then Some (Trace.attach rt) else None in
   let results = Array.make procs None in
   List.iteri
     (fun i me ->
@@ -185,6 +187,14 @@ let run_rename algo k n n_names procs seed crashes profile json =
             (fun () -> Json.output oc doc);
           Printf.printf "wrote %s\n" path
       | None -> ());
+      (match (chrome, trace) with
+      | Some path, Some tr ->
+          (* one Perfetto track per process: phase spans as bars, commits
+             (with their values) and lifecycle marks as instants *)
+          Trace_export.write_file path
+            (Trace_export.chrome ~spans:sp (Trace.events tr));
+          Printf.printf "wrote %s (open at ui.perfetto.dev)\n" path
+      | _ -> ());
       Span.detach sp
   | _ -> ());
   if not distinct then exit 1
@@ -352,7 +362,10 @@ let run_msgrename n f crashed seed =
 (* explore subcommand (model checking)                                 *)
 (* ------------------------------------------------------------------ *)
 
-let run_explore target contenders crashes reduce =
+(* Exit codes: 0 invariant holds, 1 violation found, 2 usage error,
+   3 exploration truncated at --max-paths before finishing. *)
+let run_explore target contenders crashes reduce do_shrink max_paths trace_file
+    chrome_file json_file =
   let open Exsel_sim in
   let init_compete () =
     let mem = Memory.create () in
@@ -391,29 +404,146 @@ let run_explore target contenders crashes reduce =
     in
     if stops > 1 then Error "two stops" else Ok ()
   in
-  let reduction = if reduce then `Sleep_sets else `None in
-  let outcome =
-    match target with
-    | "compete" ->
-        Explore.run ~max_crashes:crashes ~reduction ~init:init_compete
-          ~check:check_compete ()
-    | "splitter" ->
-        Explore.run ~max_crashes:crashes ~reduction ~init:init_splitter
-          ~check:check_splitter ()
-    | other ->
-        Printf.eprintf "unknown target %S (compete|splitter)\n" other;
-        exit 2
+  (* deliberately racy read-increment-write counter: a known-violating
+     target for exercising the forensics pipeline end-to-end *)
+  let init_race () =
+    let mem = Memory.create () in
+    let rt = Runtime.create mem in
+    let r = Register.create mem ~name:"ctr" 0 in
+    Register.set_printer r string_of_int;
+    for i = 0 to contenders - 1 do
+      ignore
+        (Runtime.spawn rt ~name:(Printf.sprintf "inc%d" i) (fun () ->
+             let v = Runtime.read r in
+             Runtime.write r (v + 1)))
+    done;
+    (r, rt)
   in
-  Printf.printf "model-checked %s with %d contenders (crashes<=%d, reduction=%b)\n"
-    target contenders crashes reduce;
-  Printf.printf "paths: %d  decisions: %d  truncated: %b\n" outcome.Explore.paths
-    outcome.Explore.states outcome.Explore.truncated;
-  match outcome.Explore.failure with
-  | None -> Printf.printf "invariant holds on every explored schedule\n"
-  | Some (msg, sched) ->
-      Printf.printf "VIOLATION: %s via [%s]\n" msg
-        (String.concat "; " (List.map (Format.asprintf "%a" Explore.pp_choice) sched));
-      exit 1
+  let check_race r _rt =
+    let v = Register.peek r in
+    if v = contenders then Ok ()
+    else Error (Printf.sprintf "lost update: counter %d, expected %d" v contenders)
+  in
+  let reduction = if reduce then `Sleep_sets else `None in
+  let choice_str = Format.asprintf "%a" Explore.pp_choice in
+  let stats_json (s : Explore.stats) =
+    Json.Obj
+      [
+        ("max_depth", Json.Int s.Explore.max_depth);
+        ("replays", Json.Int s.Explore.replays);
+        ("sleep_prunes", Json.Int s.Explore.sleep_prunes);
+        ("hash_hits", Json.Int s.Explore.hash_hits);
+        ("hash_misses", Json.Int s.Explore.hash_misses);
+        ( "depth_histogram",
+          Json.List
+            (List.map
+               (fun (d, c) -> Json.List [ Json.Int d; Json.Int c ])
+               s.Explore.depth_histogram) );
+      ]
+  in
+  (* generic over the instance's context type; generalizes because it is a
+     syntactic value *)
+  let drive ~init ~check =
+    let outcome = Explore.run ~max_crashes:crashes ~max_paths ~reduction ~init ~check () in
+    Printf.printf "model-checked %s with %d contenders (crashes<=%d, reduction=%b)\n"
+      target contenders crashes reduce;
+    Printf.printf "paths: %d  decisions: %d  truncated: %b\n" outcome.Explore.paths
+      outcome.Explore.states outcome.Explore.truncated;
+    let st = outcome.Explore.stats in
+    Printf.printf
+      "effort: max-depth %d  replays %d  sleep-prunes %d  hash hits/misses %d/%d\n"
+      st.Explore.max_depth st.Explore.replays st.Explore.sleep_prunes
+      st.Explore.hash_hits st.Explore.hash_misses;
+    let failure_json, exit_code =
+      match outcome.Explore.failure with
+      | None ->
+          if outcome.Explore.truncated then begin
+            Printf.printf
+              "no violation in the first %d schedules (exploration truncated)\n"
+              outcome.Explore.paths;
+            (Json.Null, 3)
+          end
+          else begin
+            Printf.printf "invariant holds on every explored schedule\n";
+            (Json.Null, 0)
+          end
+      | Some (msg, sched) ->
+          Printf.printf "VIOLATION: %s\n" msg;
+          Printf.printf "schedule (%d choices):\n" (List.length sched);
+          List.iter (fun c -> Printf.printf "  %s\n" (choice_str c)) sched;
+          let final_sched, shrunk =
+            if do_shrink then begin
+              let s = Explore.shrink ~init ~check sched in
+              Printf.printf "shrunk to %d choices:\n" (List.length s);
+              List.iter (fun c -> Printf.printf "  %s\n" (choice_str c)) s;
+              (s, true)
+            end
+            else (sched, false)
+          in
+          (* the shrunk schedule needs a fresh trace capture; the original
+             schedule's trace rode along in the outcome *)
+          let events =
+            if shrunk then begin
+              let _ctx, rt = init () in
+              let tr = Trace.attach rt in
+              Explore.replay rt final_sched;
+              Trace.events tr
+            end
+            else outcome.Explore.failure_trace
+          in
+          let label = Printf.sprintf "%s x%d: %s" target contenders msg in
+          (match trace_file with
+          | Some path ->
+              Trace_export.write_file path (Trace_export.to_json ~label events);
+              Printf.printf "wrote %s\n" path
+          | None -> ());
+          (match chrome_file with
+          | Some path ->
+              Trace_export.write_file path (Trace_export.chrome events);
+              Printf.printf "wrote %s (open at ui.perfetto.dev)\n" path
+          | None -> ());
+          ( Json.Obj
+              [
+                ("message", Json.String msg);
+                ("original_length", Json.Int (List.length sched));
+                ("shrunk", Json.Bool shrunk);
+                ( "schedule",
+                  Json.List (List.map (fun c -> Json.String (choice_str c)) final_sched)
+                );
+                ("trace", Trace_export.to_json ~label events);
+              ],
+            1 )
+    in
+    (match json_file with
+    | Some path ->
+        let doc =
+          Json.Obj
+            [
+              ("schema", Json.String "exsel-explore/1");
+              ("target", Json.String target);
+              ("contenders", Json.Int contenders);
+              ("max_crashes", Json.Int crashes);
+              ( "reduction",
+                Json.String (if reduce then "sleep_sets" else "none") );
+              ("paths", Json.Int outcome.Explore.paths);
+              ("states", Json.Int outcome.Explore.states);
+              ("truncated", Json.Bool outcome.Explore.truncated);
+              ("stats", stats_json st);
+              ("failure", failure_json);
+            ]
+        in
+        Trace_export.write_file path doc;
+        Printf.printf "wrote %s\n" path
+    | None -> ());
+    if exit_code <> 0 then exit exit_code
+  in
+  match target with
+  | "compete" -> drive ~init:init_compete ~check:check_compete
+  | "splitter" -> drive ~init:init_splitter ~check:check_splitter
+  | "race" -> drive ~init:init_race ~check:check_race
+  | other ->
+      Printf.eprintf "unknown target %S (compete|splitter|race)\n" other;
+      exit 2
 
 (* ------------------------------------------------------------------ *)
 (* experiments subcommand                                              *)
@@ -495,12 +625,22 @@ let json_t =
     & info [ "json" ] ~docv:"FILE"
         ~doc:"Also write the run's metrics, contention profile and span trees to $(docv).")
 
+let chrome_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chrome" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event file to $(docv): one track per process \
+           with phase spans and value-carrying commit instants, loadable at \
+           ui.perfetto.dev.")
+
 let rename_cmd =
   let doc = "run a renaming algorithm and print the assignment" in
   Cmd.v (Cmd.info "rename" ~doc)
     Term.(
       const run_rename $ algo_t $ k_t $ n_t $ n_names_t $ procs_t $ seed_t $ crash_t
-      $ profile_t $ json_t)
+      $ profile_t $ json_t $ chrome_t)
 
 let deposit_cmd =
   let doc = "run a repository (Selfish- or Altruistic-Deposit) with crashes" in
@@ -537,11 +677,19 @@ let msgrename_cmd =
 
 let explore_cmd =
   let doc = "model-check a primitive over every schedule of a small instance" in
-  let target = Arg.(value & pos 0 string "compete" & info [] ~docv:"TARGET" ~doc:"compete or splitter.") in
+  let target = Arg.(value & pos 0 string "compete" & info [] ~docv:"TARGET" ~doc:"compete, splitter, or race (a deliberately buggy counter).") in
   let contenders = Arg.(value & opt int 2 & info [ "contenders" ] ~docv:"K" ~doc:"Concurrent contenders.") in
   let crashes = Arg.(value & opt int 0 & info [ "crashes" ] ~docv:"C" ~doc:"Crash decisions allowed per schedule.") in
   let reduce = Arg.(value & flag & info [ "reduce" ] ~doc:"Enable sleep-set partial-order reduction.") in
-  Cmd.v (Cmd.info "explore" ~doc) Term.(const run_explore $ target $ contenders $ crashes $ reduce)
+  let shrink = Arg.(value & flag & info [ "shrink" ] ~doc:"Minimize the counterexample schedule (ddmin) before reporting it.") in
+  let max_paths = Arg.(value & opt int 1_000_000 & info [ "max-paths" ] ~docv:"P" ~doc:"Stop after checking $(docv) schedules (exit 3 when hit).") in
+  let trace = Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc:"On violation, write the counterexample's value-carrying trace as an exsel-trace/1 document to $(docv).") in
+  let chrome = Arg.(value & opt (some string) None & info [ "chrome" ] ~docv:"FILE" ~doc:"On violation, write the counterexample as Chrome trace-event JSON to $(docv) (open at ui.perfetto.dev).") in
+  let json = Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc:"Write the exploration outcome (stats, failure, trace) as one exsel-explore/1 document to $(docv).") in
+  Cmd.v (Cmd.info "explore" ~doc)
+    Term.(
+      const run_explore $ target $ contenders $ crashes $ reduce $ shrink $ max_paths
+      $ trace $ chrome $ json)
 
 let experiments_cmd =
   let doc = "regenerate the paper-reproduction tables and figures" in

@@ -3,6 +3,8 @@ module Runtime = Exsel_sim.Runtime
 type node = {
   label : string;
   pid : int;
+  start : int;
+  mutable stop : int;
   mutable steps : int;
   mutable reads : int;
   mutable writes : int;
@@ -104,8 +106,19 @@ let detach t = match !installed with Some s when s == t -> installed := None | _
 let push t p label =
   let pid = Runtime.pid p in
   grow t pid;
+  let clock = Runtime.commits t.rt in
   let node =
-    { label; pid; steps = 0; reads = 0; writes = 0; complete = false; children_rev = [] }
+    {
+      label;
+      pid;
+      start = clock;
+      stop = clock;
+      steps = 0;
+      reads = 0;
+      writes = 0;
+      complete = false;
+      children_rev = [];
+    }
   in
   let frame =
     { node; proc = p; s0 = Runtime.steps p; r0 = t.reads_of.(pid); w0 = t.writes_of.(pid) }
@@ -117,6 +130,7 @@ let push t p label =
 
 let close t frame ~complete =
   let pid = frame.node.pid in
+  frame.node.stop <- Runtime.commits t.rt;
   frame.node.steps <- Runtime.steps frame.proc - frame.s0;
   frame.node.reads <- t.reads_of.(pid) - frame.r0;
   frame.node.writes <- t.writes_of.(pid) - frame.w0;
@@ -251,6 +265,8 @@ let rec node_to_json n =
   Json.Obj
     [
       ("label", Json.String n.label);
+      ("t0", Json.Int n.start);
+      ("t1", Json.Int n.stop);
       ("steps", Json.Int n.steps);
       ("reads", Json.Int n.reads);
       ("writes", Json.Int n.writes);

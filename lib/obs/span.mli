@@ -32,6 +32,8 @@ type t
 type node = {
   label : string;
   pid : int;
+  start : int;  (** global commit clock ({!Runtime.commits}) at open *)
+  mutable stop : int;  (** commit clock at close (= [start] until closed) *)
   mutable steps : int;  (** committed ops of the process inside the span *)
   mutable reads : int;
   mutable writes : int;

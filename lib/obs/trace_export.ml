@@ -1,0 +1,177 @@
+module Trace = Exsel_sim.Trace
+
+(* Distinct (pid, proc_name) pairs in pid order, from the events alone —
+   a trace always opens with one Spawn per process (Trace.attach
+   synthesizes them), but scan every event so partial traces work too. *)
+let processes_of events =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Trace.event) ->
+      if not (Hashtbl.mem tbl e.pid) then Hashtbl.add tbl e.pid e.proc_name)
+    events;
+  Hashtbl.fold (fun pid name acc -> (pid, name) :: acc) tbl [] |> List.sort compare
+
+let kind_string = function
+  | Trace.Read _ -> "read"
+  | Trace.Write _ -> "write"
+  | Trace.Spawn -> "spawn"
+  | Trace.Done -> "done"
+  | Trace.Crash -> "crash"
+
+let event_to_json (e : Trace.event) =
+  let base =
+    [
+      ("i", Json.Int e.index);
+      ("t", Json.Int e.time);
+      ("pid", Json.Int e.pid);
+      ("proc", Json.String e.proc_name);
+      ("kind", Json.String (kind_string e.kind));
+    ]
+  in
+  let reg_fields =
+    match e.kind with
+    | Trace.Read { reg; reg_name; value } | Trace.Write { reg; reg_name; value } ->
+        [
+          ("reg", Json.Int reg);
+          ("reg_name", Json.String reg_name);
+          ("value", Json.String value);
+        ]
+    | Trace.Spawn | Trace.Done | Trace.Crash -> []
+  in
+  Json.Obj (base @ reg_fields @ [ ("step", Json.Int e.step) ])
+
+let to_json ?label events =
+  let label_field =
+    match label with None -> [] | Some l -> [ ("label", Json.String l) ]
+  in
+  Json.Obj
+    ([ ("schema", Json.String "exsel-trace/1") ]
+    @ label_field
+    @ [
+        ("length", Json.Int (List.length events));
+        ( "processes",
+          Json.List
+            (List.map
+               (fun (pid, name) ->
+                 Json.Obj [ ("pid", Json.Int pid); ("proc", Json.String name) ])
+               (processes_of events)) );
+        ("events", Json.List (List.map event_to_json events));
+      ])
+
+(* {2 Chrome trace-event export}
+
+   Everything lives in Chrome process 1; the simulator pid becomes the
+   Chrome thread id, so Perfetto renders one horizontal track per
+   process.  The commit clock scales by 1000 (1 commit = 1000 µs). *)
+
+let us_per_commit = 1000
+let chrome_pid = Json.Int 1
+
+let instant_name (e : Trace.event) =
+  match e.kind with
+  | Trace.Read { reg_name; value; _ } -> Printf.sprintf "read %s=%s" reg_name value
+  | Trace.Write { reg_name; value; _ } ->
+      Printf.sprintf "write %s:=%s" reg_name value
+  | Trace.Spawn -> "spawn"
+  | Trace.Done -> "done"
+  | Trace.Crash -> "crash"
+
+let instant_event (e : Trace.event) =
+  let args =
+    match e.kind with
+    | Trace.Read { reg; reg_name; value } | Trace.Write { reg; reg_name; value } ->
+        [
+          ("reg", Json.Int reg);
+          ("reg_name", Json.String reg_name);
+          ("value", Json.String value);
+          ("step", Json.Int e.step);
+        ]
+    | Trace.Spawn | Trace.Done | Trace.Crash -> [ ("step", Json.Int e.step) ]
+  in
+  Json.Obj
+    [
+      ("name", Json.String (instant_name e));
+      ("ph", Json.String "i");
+      ("s", Json.String "t");
+      ("ts", Json.Int (e.time * us_per_commit));
+      ("pid", chrome_pid);
+      ("tid", Json.Int e.pid);
+      ("args", Json.Obj args);
+    ]
+
+let rec span_events acc (n : Span.node) =
+  let acc =
+    Json.Obj
+      [
+        ("name", Json.String n.Span.label);
+        ("ph", Json.String "X");
+        ("ts", Json.Int (n.Span.start * us_per_commit));
+        (* zero-width phases still get a visible sliver *)
+        ("dur", Json.Int (max 1 ((n.Span.stop - n.Span.start) * us_per_commit)));
+        ("pid", chrome_pid);
+        ("tid", Json.Int n.Span.pid);
+        ( "args",
+          Json.Obj
+            [
+              ("steps", Json.Int n.Span.steps);
+              ("reads", Json.Int n.Span.reads);
+              ("writes", Json.Int n.Span.writes);
+              ("complete", Json.Bool n.Span.complete);
+            ] );
+      ]
+    :: acc
+  in
+  List.fold_left span_events acc (Span.children n)
+
+let metadata_events processes =
+  Json.Obj
+    [
+      ("name", Json.String "process_name");
+      ("ph", Json.String "M");
+      ("pid", chrome_pid);
+      ("args", Json.Obj [ ("name", Json.String "exsel simulator") ]);
+    ]
+  :: List.concat_map
+       (fun (pid, name) ->
+         [
+           Json.Obj
+             [
+               ("name", Json.String "thread_name");
+               ("ph", Json.String "M");
+               ("pid", chrome_pid);
+               ("tid", Json.Int pid);
+               ("args", Json.Obj [ ("name", Json.String (Printf.sprintf "%s (p%d)" name pid)) ]);
+             ];
+           Json.Obj
+             [
+               ("name", Json.String "thread_sort_index");
+               ("ph", Json.String "M");
+               ("pid", chrome_pid);
+               ("tid", Json.Int pid);
+               ("args", Json.Obj [ ("sort_index", Json.Int pid) ]);
+             ];
+         ])
+       processes
+
+let chrome ?spans events =
+  let duration_events =
+    match spans with
+    | None -> []
+    | Some sink ->
+        List.concat_map
+          (fun (_pid, _name, roots) -> List.fold_left span_events [] roots)
+          (Span.per_process sink)
+  in
+  Json.Obj
+    [
+      ("displayTimeUnit", Json.String "ms");
+      ( "traceEvents",
+        Json.List
+          (metadata_events (processes_of events)
+          @ duration_events
+          @ List.map instant_event events) );
+    ]
+
+let write_file path json =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Json.output oc json)

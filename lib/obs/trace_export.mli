@@ -1,0 +1,38 @@
+(** Trace export: [exsel-trace/1] JSON and Chrome trace-event JSON.
+
+    Two serializations of a value-carrying {!Exsel_sim.Trace}:
+
+    - {!to_json} emits the canonical machine-readable document (schema
+      [exsel-trace/1]): every event with its index, commit clock, process,
+      kind, register and rendered value — the artifact CI archives next to
+      a counterexample.
+    - {!chrome} emits Chrome trace-event JSON loadable in Perfetto
+      ([ui.perfetto.dev]) or [chrome://tracing]: one track (thread) per
+      process, commits and lifecycle transitions as instant events, and —
+      when a {!Span} sink is supplied — algorithm phases as duration
+      events on the same tracks.
+
+    Timestamps: the simulator's only clock is the global commit counter
+    ({!Exsel_sim.Runtime.commits}).  Chrome timestamps are microseconds,
+    so one commit maps to 1000 µs ("1 ms per commit") — zoomable in
+    Perfetto without sub-microsecond rounding artifacts.  Spans record the
+    same clock, so phase bars align with the commits they cover. *)
+
+module Trace = Exsel_sim.Trace
+
+val to_json : ?label:string -> Trace.event list -> Json.t
+(** [exsel-trace/1] document:
+    [{ schema; label?; length; processes: [{pid; proc}];
+       events: [{i; t; pid; proc; kind; reg?; reg_name?; value?; step}] }].
+    [kind] is one of ["read"], ["write"], ["spawn"], ["done"], ["crash"];
+    the register fields are present only on reads/writes. *)
+
+val chrome : ?spans:Span.t -> Trace.event list -> Json.t
+(** Chrome trace-event document ([{displayTimeUnit; traceEvents}]):
+    process/thread metadata records naming one track per pid, ["i"]
+    (instant) events for every trace event, and — with [?spans] — ["X"]
+    (complete) events for every closed span node.  All events live in
+    Chrome pid 1; the simulator pid becomes the Chrome tid. *)
+
+val write_file : string -> Json.t -> unit
+(** Serialize compactly to a file (trailing newline included). *)

@@ -2,11 +2,32 @@ type choice = Step of int | Crash of int
 
 type reduction = [ `None | `Sleep_sets | `State_hash ]
 
+type stats = {
+  max_depth : int;
+  replays : int;
+  sleep_prunes : int;
+  hash_hits : int;
+  hash_misses : int;
+  depth_histogram : (int * int) list;
+}
+
+let empty_stats =
+  {
+    max_depth = 0;
+    replays = 0;
+    sleep_prunes = 0;
+    hash_hits = 0;
+    hash_misses = 0;
+    depth_histogram = [];
+  }
+
 type outcome = {
   paths : int;
   states : int;
   truncated : bool;
   failure : (string * choice list) option;
+  failure_trace : Trace.event list;
+  stats : stats;
 }
 
 exception Done of outcome
@@ -43,21 +64,65 @@ let run ?(max_crashes = 0) ?(max_paths = 1_000_000) ?(reduction = `None) ~init ~
     invalid_arg "Explore.run: sleep-set reduction requires max_crashes = 0";
   let paths = ref 0 in
   let states = ref 0 in
+  let max_depth = ref 0 in
+  let replays = ref 0 in
+  let sleep_prunes = ref 0 in
+  let hash_hits = ref 0 in
+  let hash_misses = ref 0 in
+  let depth_hist : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let mk_stats () =
+    {
+      max_depth = !max_depth;
+      replays = !replays;
+      sleep_prunes = !sleep_prunes;
+      hash_hits = !hash_hits;
+      hash_misses = !hash_misses;
+      depth_histogram =
+        Hashtbl.fold (fun d c acc -> (d, c) :: acc) depth_hist []
+        |> List.sort compare;
+    }
+  in
+  (* On violation, re-execute the offending schedule against a fresh
+     instance with a value-carrying trace attached — the counterexample
+     becomes a full forensic history, not just a choice list. *)
+  let capture_trace schedule =
+    let _ctx, rt = init () in
+    let tr = Trace.attach rt in
+    incr replays;
+    replay rt schedule;
+    Trace.events tr
+  in
   let finish_path ctx rt prefix_rev =
     incr paths;
+    let depth = List.length prefix_rev in
+    if depth > !max_depth then max_depth := depth;
+    Hashtbl.replace depth_hist depth
+      (1 + Option.value ~default:0 (Hashtbl.find_opt depth_hist depth));
     (match check ctx rt with
     | Ok () -> ()
     | Error msg ->
+        let schedule = List.rev prefix_rev in
         raise
           (Done
              {
                paths = !paths;
                states = !states;
                truncated = false;
-               failure = Some (msg, List.rev prefix_rev);
+               failure = Some (msg, schedule);
+               failure_trace = capture_trace schedule;
+               stats = mk_stats ();
              }));
     if !paths >= max_paths then
-      raise (Done { paths = !paths; states = !states; truncated = true; failure = None })
+      raise
+        (Done
+           {
+             paths = !paths;
+             states = !states;
+             truncated = true;
+             failure = None;
+             failure_trace = [];
+             stats = mk_stats ();
+           })
   in
   (* Unreduced engine, with crash decisions and optional state-hash
      memoization.  [memo] maps (state signature, crashes used) to (); a
@@ -81,6 +146,7 @@ let run ?(max_crashes = 0) ?(max_paths = 1_000_000) ?(reduction = `None) ~init ~
           | (prefix_rev, choice, crashes) :: rest ->
               stack := rest;
               let ((_, rt) as node) = boot () in
+              incr replays;
               replay rt (List.rev prefix_rev);
               incr states;
               apply rt choice;
@@ -91,8 +157,12 @@ let run ?(max_crashes = 0) ?(max_paths = 1_000_000) ?(reduction = `None) ~init ~
             | None -> false
             | Some seen ->
                 let key = (Runtime.state_signature rt * 31) + crashes in
-                if Hashtbl.mem seen key then true
+                if Hashtbl.mem seen key then begin
+                  incr hash_hits;
+                  true
+                end
                 else begin
+                  incr hash_misses;
                   Hashtbl.add seen key ();
                   false
                 end
@@ -151,6 +221,7 @@ let run ?(max_crashes = 0) ?(max_paths = 1_000_000) ?(reduction = `None) ~init ~
           | (prefix_rev, pid, child_sleep) :: rest ->
               stack := rest;
               let ((_, rt) as node) = init () in
+              incr replays;
               replay rt (List.rev prefix_rev);
               incr states;
               apply rt (Step pid);
@@ -175,7 +246,9 @@ let run ?(max_crashes = 0) ?(max_paths = 1_000_000) ?(reduction = `None) ~init ~
             in
             match candidates with
             (* all enabled moves sleeping: this branch is covered elsewhere *)
-            | [] -> current := None
+            | [] ->
+                incr sleep_prunes;
+                current := None
             | (pid0, op0) :: siblings ->
                 (* candidate [i] sleeps on the node's sleep set plus the
                    candidates explored before it, restricted to ops
@@ -205,5 +278,83 @@ let run ?(max_crashes = 0) ?(max_paths = 1_000_000) ?(reduction = `None) ~init ~
     | `Sleep_sets -> run_sleep ()
     | `None -> run_full ~memo:None ()
     | `State_hash -> run_full ~memo:(Some (Hashtbl.create 4096)) ());
-    { paths = !paths; states = !states; truncated = false; failure = None }
+    {
+      paths = !paths;
+      states = !states;
+      truncated = false;
+      failure = None;
+      failure_trace = [];
+      stats = mk_stats ();
+    }
   with Done o -> o
+
+(* {2 Counterexample shrinking} *)
+
+(* ddmin-style greedy minimizer.  A candidate is a subsequence of the
+   original schedule; replaying it skips choices that no longer apply
+   (their process is not runnable) and then drives the remaining
+   processes to quiescence in pid order — so every candidate evaluation
+   yields a *complete* schedule whose quiescent state [check] can judge.
+   The completion step is what lets dropping a choice implicitly reorder
+   the tail.  A candidate is accepted only if its completed schedule is
+   strictly shorter than the incumbent and still violates the invariant;
+   sweeps repeat until a full pass finds no improvement, which makes the
+   result a deterministic fixpoint: shrinking an already-shrunk schedule
+   returns it unchanged. *)
+let shrink ~init ~check schedule =
+  let applicable rt = function
+    | Step pid | Crash pid ->
+        pid >= 0
+        && pid < Runtime.nprocs rt
+        && Runtime.status (Runtime.proc_by_pid rt pid) = Runtime.Runnable
+  in
+  let try_candidate cand =
+    let ctx, rt = init () in
+    let executed = ref [] in
+    List.iter
+      (fun c ->
+        if applicable rt c then begin
+          apply rt c;
+          executed := c :: !executed
+        end)
+      cand;
+    while not (Runtime.all_quiet rt) do
+      let p = Runtime.nth_runnable rt 0 in
+      Runtime.commit rt p;
+      executed := Step (Runtime.pid p) :: !executed
+    done;
+    match check ctx rt with Error _ -> Some (List.rev !executed) | Ok () -> None
+  in
+  let best =
+    match try_candidate schedule with
+    | Some s when List.length s <= List.length schedule -> ref s
+    | Some _ -> ref schedule
+    | None -> invalid_arg "Explore.shrink: schedule does not violate the invariant"
+  in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    (* chunk sizes from half the schedule down to single choices *)
+    let size = ref (max 1 (List.length !best / 2)) in
+    while !size >= 1 do
+      let i = ref 0 in
+      let continue_sweep = ref true in
+      while !continue_sweep do
+        let cur = !best in
+        let len = List.length cur in
+        if !i >= len then continue_sweep := false
+        else begin
+          let lo = !i and hi = !i + !size in
+          let cand = List.filteri (fun j _ -> j < lo || j >= hi) cur in
+          match try_candidate cand with
+          | Some s when List.length s < len ->
+              best := s;
+              improved := true
+              (* the list shrank under [i]; retry the same offset *)
+          | Some _ | None -> i := !i + !size
+        end
+      done;
+      size := if !size = 1 then 0 else !size / 2
+    done
+  done;
+  !best

@@ -50,12 +50,31 @@ type choice =
 
 type reduction = [ `None | `Sleep_sets | `State_hash ]
 
+type stats = {
+  max_depth : int;  (** longest complete schedule seen *)
+  replays : int;  (** fresh-instance replays (backtracks + trace capture) *)
+  sleep_prunes : int;
+      (** nodes cut because every enabled move was sleeping ([`Sleep_sets]) *)
+  hash_hits : int;  (** nodes pruned by state-hash memoization ([`State_hash]) *)
+  hash_misses : int;  (** distinct (state, crash-budget) keys expanded *)
+  depth_histogram : (int * int) list;
+      (** (depth, paths completed at that depth), ascending by depth;
+          counts sum to [paths] *)
+}
+
+val empty_stats : stats
+
 type outcome = {
   paths : int;  (** complete executions checked *)
   states : int;  (** scheduling decisions taken across all paths *)
   truncated : bool;  (** stopped at [max_paths] before finishing *)
   failure : (string * choice list) option;
       (** first invariant violation and the schedule reaching it *)
+  failure_trace : Trace.event list;
+      (** value-carrying trace of the violating execution, captured by
+          replaying [failure]'s schedule against a fresh instance with a
+          {!Trace} attached; [[]] when there is no failure *)
+  stats : stats;  (** exploration-effort counters, for forensics & perf *)
 }
 
 val run :
@@ -87,4 +106,24 @@ val pp_choice : Format.formatter -> choice -> unit
 
 val replay : Runtime.t -> choice list -> unit
 (** Re-execute a schedule (as returned in [failure]) against a freshly
-    [init]-ed runtime, for debugging a violation. *)
+    [init]-ed runtime, for debugging a violation.  Attach a {!Trace}
+    before replaying to recover the full value-carrying history — replay
+    is deterministic, so the trace is identical to [failure_trace]. *)
+
+val shrink :
+  init:(unit -> 'ctx * Runtime.t) ->
+  check:('ctx -> Runtime.t -> (unit, string) result) ->
+  choice list ->
+  choice list
+(** [shrink ~init ~check schedule] minimizes a violating schedule by
+    ddmin-style delta debugging: chunks of choices (halving from
+    [length/2] down to 1) are greedily dropped, each candidate is replayed
+    against a fresh instance — skipping choices whose process is no longer
+    runnable, then completing to quiescence in pid order — and accepted
+    only if the completed schedule is strictly shorter and [check] still
+    fails.  Sweeps repeat to a fixpoint, so the result is 1-minimal w.r.t.
+    chunk removal and [shrink] is idempotent: shrinking its own output
+    returns it unchanged.  The result is a complete schedule (quiescent
+    instance) that still violates [check] and is never longer than the
+    input.
+    @raise Invalid_argument if [schedule] does not violate [check]. *)

@@ -3,9 +3,11 @@ type t = {
   mutable reads : int;
   mutable writes : int;
   mutable fingerprints : (unit -> int) list;  (* newest register first *)
+  names : (int, string) Hashtbl.t;
 }
 
-let create () = { next_id = 0; reads = 0; writes = 0; fingerprints = [] }
+let create () =
+  { next_id = 0; reads = 0; writes = 0; fingerprints = []; names = Hashtbl.create 32 }
 
 let registers t = t.next_id
 let reads t = t.reads
@@ -20,6 +22,13 @@ let note_read t = t.reads <- t.reads + 1
 let note_write t = t.writes <- t.writes + 1
 
 let register_fingerprint t f = t.fingerprints <- f :: t.fingerprints
+
+let register_name t id name = Hashtbl.replace t.names id name
+
+let name_of t id =
+  match Hashtbl.find_opt t.names id with
+  | Some n -> n
+  | None -> Printf.sprintf "reg%d" id
 
 let fingerprint t =
   List.fold_left

@@ -33,6 +33,14 @@ val register_fingerprint : t -> (unit -> int) -> unit
 (** Register a thunk hashing one register's current value.  Called by
     {!Register.create}; protocols do not call this directly. *)
 
+val register_name : t -> int -> string -> unit
+(** Record the diagnostic label of a register id.  Called by
+    {!Register.create}; protocols do not call this directly. *)
+
+val name_of : t -> int -> string
+(** Diagnostic label of a register id ([reg<id>] if unknown) — used by
+    value-carrying traces and their exports. *)
+
 val fingerprint : t -> int
 (** Combined hash of every register's current value (in allocation
     order), the register-values half of the explorer's [`State_hash]

@@ -10,15 +10,23 @@ type summary = {
 }
 
 let of_runtime t =
-  let procs = Runtime.procs t in
-  let count st = List.length (List.filter (fun p -> Runtime.status p = st) procs) in
   let mem = Runtime.memory t in
+  let n = Runtime.nprocs t in
+  let completed = ref 0 and crashed = ref 0 and total = ref 0 in
+  for pid = 0 to n - 1 do
+    let p = Runtime.proc_by_pid t pid in
+    (match Runtime.status p with
+    | Runtime.Done -> incr completed
+    | Runtime.Crashed -> incr crashed
+    | Runtime.Runnable -> ());
+    total := !total + Runtime.steps p
+  done;
   {
-    processes = List.length procs;
-    completed = count Runtime.Done;
-    crashed = count Runtime.Crashed;
+    processes = n;
+    completed = !completed;
+    crashed = !crashed;
     max_steps = Runtime.max_steps t;
-    total_steps = List.fold_left (fun acc p -> acc + Runtime.steps p) 0 procs;
+    total_steps = !total;
     registers = Memory.registers mem;
     reads = Memory.reads mem;
     writes = Memory.writes mem;

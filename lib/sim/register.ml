@@ -5,14 +5,31 @@ type 'a t = {
   mutable value : 'a;
   mutable reads : int;
   mutable writes : int;
+  mutable printer : ('a -> string) option;
 }
 
 let create memory ~name init =
   let t =
-    { id = Memory.fresh_id memory; name; memory; value = init; reads = 0; writes = 0 }
+    {
+      id = Memory.fresh_id memory;
+      name;
+      memory;
+      value = init;
+      reads = 0;
+      writes = 0;
+      printer = None;
+    }
   in
   Memory.register_fingerprint memory (fun () -> Hashtbl.hash t.value);
+  Memory.register_name memory t.id name;
   t
+
+let set_printer t pr = t.printer <- Some pr
+
+let render t v =
+  match t.printer with
+  | Some pr -> pr v
+  | None -> Printf.sprintf "#%06x" (Hashtbl.hash v land 0xFFFFFF)
 
 let id t = t.id
 let name t = t.name

@@ -36,6 +36,15 @@ val reads : 'a t -> int
 val writes : 'a t -> int
 (** Committed writes to this register. *)
 
+val set_printer : 'a t -> ('a -> string) -> unit
+(** Install a value printer used by value-carrying traces ({!Trace}).
+    Without one, traced values render as a 24-bit fingerprint hash
+    ([#a3f2d1]) — stable for a given value, but not human-readable. *)
+
+val render : 'a t -> 'a -> string
+(** Render a value with the register's printer (or the fingerprint-hash
+    fallback).  Used by the runtime when value capture is enabled. *)
+
 (**/**)
 
 (* Internal: used by Runtime to commit operations. *)

@@ -2,6 +2,8 @@ type op_kind = Read of int | Write of int
 
 type status = Runnable | Done | Crashed
 
+type lifecycle = Spawned | Finished | Killed
+
 exception Stalled
 exception Crash_signal
 
@@ -38,6 +40,12 @@ type t = {
   mutable max_step : int;
   mutable track_sigs : bool;
   mutable hooks : (proc -> op_kind -> unit) list;
+  mutable life_hooks : (proc -> lifecycle -> unit) list;
+  mutable capture_values : bool;
+      (* when set (a value-carrying trace is attached), each commit renders
+         the value read or written into [last_value]; off by default so the
+         untraced commit loop pays one branch, nothing more *)
+  mutable last_value : string;
 }
 
 type _ Effect.t +=
@@ -55,6 +63,9 @@ let create memory =
     max_step = 0;
     track_sigs = false;
     hooks = [];
+    life_hooks = [];
+    capture_values = false;
+    last_value = "";
   }
 
 let memory t = t.memory
@@ -75,6 +86,11 @@ let with_active p f =
 
 let read r = Effect.perform (E_read r)
 let write r v = Effect.perform (E_write (r, v))
+
+let fire_lifecycle t p lc =
+  match t.life_hooks with
+  | [] -> ()
+  | hooks -> List.iter (fun hook -> hook p lc) hooks
 
 let idx_add t p =
   (if t.nrunnable = Array.length t.run_idx then
@@ -146,6 +162,8 @@ let spawn t ~name body =
                             p.pending_op <- None;
                             p.steps <- p.steps + 1;
                             let v = Register.commit_read r in
+                            if t.capture_values then
+                              t.last_value <- Register.render r v;
                             if t.track_sigs then
                               p.lsig <-
                                 sig_mix (sig_mix p.lsig (Register.id r))
@@ -165,6 +183,8 @@ let spawn t ~name body =
                             p.pending_op <- None;
                             p.steps <- p.steps + 1;
                             Register.commit_write r v;
+                            if t.capture_values then
+                              t.last_value <- Register.render r v;
                             if t.track_sigs then
                               p.lsig <-
                                 sig_mix (sig_mix p.lsig (Register.id r)) (-1);
@@ -176,6 +196,11 @@ let spawn t ~name body =
   in
   with_active p (fun () -> match_with body () handler);
   if p.status = Runnable then idx_add t p;
+  fire_lifecycle t p Spawned;
+  (match p.status with
+  | Runnable -> ()
+  | Done -> fire_lifecycle t p Finished
+  | Crashed -> fire_lifecycle t p Killed);
   p
 
 let nprocs t = t.nprocs
@@ -204,7 +229,11 @@ let commit t p =
       pd.apply ();
       if p.steps > t.max_step then t.max_step <- p.steps;
       if p.status <> Runnable then idx_remove t p;
-      List.iter (fun hook -> hook p pd.kind) t.hooks
+      List.iter (fun hook -> hook p pd.kind) t.hooks;
+      (match p.status with
+      | Runnable -> ()
+      | Done -> fire_lifecycle t p Finished
+      | Crashed -> fire_lifecycle t p Killed)
   | _, _ -> invalid_arg "Runtime.commit: process is not runnable"
 
 let crash t p =
@@ -212,11 +241,13 @@ let crash t p =
   | Runnable, Some pd ->
       p.pending_op <- None;
       pd.kill ();
-      if p.status <> Runnable then idx_remove t p
+      if p.status <> Runnable then idx_remove t p;
+      fire_lifecycle t p Killed
   | Runnable, None ->
       (* spawned but suspended state lost: mark directly *)
       p.status <- Crashed;
-      idx_remove t p
+      idx_remove t p;
+      fire_lifecycle t p Killed
   | (Done | Crashed), _ -> ()
 
 (* {2 Runnable-index queries — the scheduler/explorer hot path} *)
@@ -285,3 +316,6 @@ let run ?max_commits t policy =
   loop ()
 
 let on_commit t hook = t.hooks <- hook :: t.hooks
+let on_lifecycle t hook = t.life_hooks <- hook :: t.life_hooks
+let set_value_capture t flag = t.capture_values <- flag
+let last_value t = t.last_value

@@ -31,6 +31,11 @@ type status =
   | Done  (** body returned *)
   | Crashed  (** crashed by the scheduler *)
 
+type lifecycle =
+  | Spawned  (** process created (fired after the body's initial run) *)
+  | Finished  (** body returned — status flipped to [Done] *)
+  | Killed  (** crashed — status flipped to [Crashed] *)
+
 exception Stalled
 (** Raised by {!run} when a positive [max_commits] budget is exhausted while
     runnable processes remain — a liveness-failure detector for tests. *)
@@ -164,6 +169,28 @@ val run : ?max_commits:int -> t -> (t -> proc option) -> unit
 
 val on_commit : t -> (proc -> op_kind -> unit) -> unit
 (** Install a callback invoked after every commit (tracing, invariants). *)
+
+val on_lifecycle : t -> (proc -> lifecycle -> unit) -> unit
+(** Install a callback invoked at process lifecycle transitions: after a
+    spawn (following the body's initial run to its first suspension), and
+    whenever a process leaves [Runnable] — [Finished] after the commit
+    hooks of its final operation, [Killed] on crash. *)
+
+(** {2 Value capture (value-carrying traces)}
+
+    When enabled, every commit renders the value read or written — via the
+    register's {!Register.set_printer} hook, falling back to a fingerprint
+    hash — into a slot that commit hooks can query with {!last_value}.
+    Off by default: the untraced commit loop pays a single branch. *)
+
+val set_value_capture : t -> bool -> unit
+(** Turn value rendering at commit on or off.  {!Trace.attach} enables it. *)
+
+val last_value : t -> string
+(** Rendering of the most recently committed operation's value (the value
+    returned for a read, the value stored for a write).  Only meaningful
+    inside a commit hook while value capture is on; [""] before the first
+    captured commit. *)
 
 val current_proc : unit -> proc option
 (** The process whose body is executing right now, if any: set while a

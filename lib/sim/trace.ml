@@ -1,45 +1,109 @@
+type kind =
+  | Read of { reg : int; reg_name : string; value : string }
+  | Write of { reg : int; reg_name : string; value : string }
+  | Spawn
+  | Done
+  | Crash
+
 type event = {
   index : int;
+  time : int;
   pid : int;
   proc_name : string;
-  op : Runtime.op_kind;
+  kind : kind;
   step : int;
 }
 
-type t = { mutable events_rev : event list; mutable count : int }
+type t = {
+  mutable events_rev : event list;
+  mutable fwd : event list option;  (* cached forward view, None when stale *)
+  mutable count : int;
+}
 
 let attach rt =
-  let t = { events_rev = []; count = 0 } in
+  let t = { events_rev = []; fwd = None; count = 0 } in
+  Runtime.set_value_capture rt true;
+  let mem = Runtime.memory rt in
+  let push p kind =
+    let e =
+      {
+        index = t.count;
+        time = Runtime.commits rt;
+        pid = Runtime.pid p;
+        proc_name = Runtime.proc_name p;
+        kind;
+        step = Runtime.steps p;
+      }
+    in
+    t.events_rev <- e :: t.events_rev;
+    t.fwd <- None;
+    t.count <- t.count + 1
+  in
+  (* Processes spawned before the trace attached still get lifecycle
+     events, synthesized here at the current clock — so a trace always
+     opens with one Spawn per live process. *)
+  for pid = 0 to Runtime.nprocs rt - 1 do
+    let p = Runtime.proc_by_pid rt pid in
+    push p Spawn;
+    match Runtime.status p with
+    | Runtime.Runnable -> ()
+    | Runtime.Done -> push p Done
+    | Runtime.Crashed -> push p Crash
+  done;
   Runtime.on_commit rt (fun p op ->
-      let e =
-        {
-          index = t.count;
-          pid = Runtime.pid p;
-          proc_name = Runtime.proc_name p;
-          op;
-          step = Runtime.steps p;
-        }
+      let kind =
+        match op with
+        | Runtime.Read r ->
+            Read { reg = r; reg_name = Memory.name_of mem r; value = Runtime.last_value rt }
+        | Runtime.Write r ->
+            Write { reg = r; reg_name = Memory.name_of mem r; value = Runtime.last_value rt }
       in
-      t.events_rev <- e :: t.events_rev;
-      t.count <- t.count + 1);
+      push p kind);
+  Runtime.on_lifecycle rt (fun p lc ->
+      push p
+        (match lc with
+        | Runtime.Spawned -> Spawn
+        | Runtime.Finished -> Done
+        | Runtime.Killed -> Crash));
   t
 
-let events t = List.rev t.events_rev
+let events t =
+  match t.fwd with
+  | Some l -> l
+  | None ->
+      let l = List.rev t.events_rev in
+      t.fwd <- Some l;
+      l
+
 let length t = t.count
 
-let by_process t pid = List.filter (fun e -> e.pid = pid) (events t)
+(* Single pass over the reversed list: prepending matches re-filtered
+   into an accumulator yields oldest-first order with no intermediate
+   list materialized. *)
+let by_process t pid =
+  List.fold_left (fun acc e -> if e.pid = pid then e :: acc else acc) [] t.events_rev
 
 let writes_to t reg_id =
-  List.filter
-    (fun e -> match e.op with Runtime.Write r -> r = reg_id | Runtime.Read _ -> false)
-    (events t)
+  List.fold_left
+    (fun acc e ->
+      match e.kind with Write w when w.reg = reg_id -> e :: acc | _ -> acc)
+    [] t.events_rev
 
 let pp_event ppf e =
-  let kind, reg =
-    match e.op with Runtime.Read r -> ("read", r) | Runtime.Write r -> ("write", r)
-  in
-  Format.fprintf ppf "#%d %s(p%d) %s reg%d (local step %d)" e.index e.proc_name
-    e.pid kind reg e.step
+  match e.kind with
+  | Read { reg; reg_name; value } ->
+      Format.fprintf ppf "#%d [t%d] %s(p%d) read %s[reg%d] = %s (local step %d)" e.index
+        e.time e.proc_name e.pid reg_name reg value e.step
+  | Write { reg; reg_name; value } ->
+      Format.fprintf ppf "#%d [t%d] %s(p%d) write %s[reg%d] := %s (local step %d)" e.index
+        e.time e.proc_name e.pid reg_name reg value e.step
+  | Spawn -> Format.fprintf ppf "#%d [t%d] %s(p%d) spawn" e.index e.time e.proc_name e.pid
+  | Done ->
+      Format.fprintf ppf "#%d [t%d] %s(p%d) done (after %d steps)" e.index e.time
+        e.proc_name e.pid e.step
+  | Crash ->
+      Format.fprintf ppf "#%d [t%d] %s(p%d) CRASH (after %d steps)" e.index e.time
+        e.proc_name e.pid e.step
 
 let pp ppf t =
   List.iter (fun e -> Format.fprintf ppf "%a@." pp_event e) (events t)

@@ -1,34 +1,59 @@
-(** Execution traces.
+(** Value-carrying execution traces.
 
-    A trace records committed operations in order — the linearization of
-    the execution — for debugging, for invariant checkers that need
-    history (e.g. the snapshot consistent-cut test), and for rendering
-    schedules found by {!Explore}.  Recording costs one list cell per
-    commit; attach only when needed. *)
+    A trace records the full observable history of an execution: every
+    committed operation in linearization order — {e with the value read or
+    written} — plus process lifecycle events (spawn, completion, crash).
+    This is the forensic artifact behind the explorer's counterexamples
+    and the [exsel-trace/1] / Chrome trace-event exports
+    ({!Exsel_obs.Trace_export}): a violation or a hot register is
+    explainable from the history alone, without re-running anything.
+
+    Values render through the per-register {!Register.set_printer} hook,
+    falling back to a stable 24-bit fingerprint hash ([#a3f2d1]).
+    Recording costs one list cell per event and one value rendering per
+    commit; {e nothing} is paid when no trace is attached (the runtime's
+    value capture stays off — a single dead branch per commit). *)
+
+type kind =
+  | Read of { reg : int; reg_name : string; value : string }
+      (** committed read: the value returned *)
+  | Write of { reg : int; reg_name : string; value : string }
+      (** committed write: the value stored *)
+  | Spawn  (** process created *)
+  | Done  (** body returned *)
+  | Crash  (** crashed by the scheduler *)
 
 type event = {
-  index : int;  (** global commit index, from 0 *)
+  index : int;  (** position in the trace, from 0 *)
+  time : int;  (** global commit clock ({!Runtime.commits}) at recording *)
   pid : int;
   proc_name : string;
-  op : Runtime.op_kind;
-  step : int;  (** the process's local step count after this commit *)
+  kind : kind;
+  step : int;  (** the process's local step count after this event *)
 }
 
 type t
 
 val attach : Runtime.t -> t
-(** Start recording the runtime's commits (from now on). *)
+(** Start recording the runtime's commits and lifecycle transitions (from
+    now on), and enable value capture on the runtime.  Processes already
+    spawned get their [Spawn] (and, if applicable, [Done]/[Crash]) events
+    synthesized at attach time, so replay-with-trace of a schedule against
+    a freshly built instance is reproducible event-for-event. *)
 
 val events : t -> event list
-(** Events recorded so far, oldest first. *)
+(** Events recorded so far, oldest first.  The forward list is cached and
+    invalidated on append: repeated calls between commits are O(1). *)
 
 val length : t -> int
 
 val by_process : t -> int -> event list
-(** Events of one process, oldest first. *)
+(** Events of one process, oldest first.  Single pass, no intermediate
+    list. *)
 
 val writes_to : t -> int -> event list
-(** Write events targeting a register id, oldest first. *)
+(** Write events targeting a register id, oldest first.  Single pass, no
+    intermediate list. *)
 
 val pp_event : Format.formatter -> event -> unit
 

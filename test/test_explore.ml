@@ -299,10 +299,12 @@ let test_chain_exhaustive () =
    must report identical paths/states counts and the same first
    counterexample on every instance. *)
 
+(* Returns (paths, states, truncated, failure) — the seed engine predates
+   the stats/forensics fields, so the comparison is on the core facts. *)
 let reference_run ?(max_crashes = 0) ?(max_paths = 1_000_000) ~init ~check () =
   let paths = ref 0 in
   let states = ref 0 in
-  let exception Done of Explore.outcome in
+  let exception Done of (int * int * bool * (string * Explore.choice list) option) in
   let apply rt = function
     | Explore.Step pid -> Runtime.commit rt (Runtime.proc_by_pid rt pid)
     | Explore.Crash pid -> Runtime.crash rt (Runtime.proc_by_pid rt pid)
@@ -311,19 +313,8 @@ let reference_run ?(max_crashes = 0) ?(max_paths = 1_000_000) ~init ~check () =
     incr paths;
     (match check ctx rt with
     | Ok () -> ()
-    | Error msg ->
-        raise
-          (Done
-             {
-               Explore.paths = !paths;
-               states = !states;
-               truncated = false;
-               failure = Some (msg, prefix);
-             }));
-    if !paths >= max_paths then
-      raise
-        (Done
-           { Explore.paths = !paths; states = !states; truncated = true; failure = None })
+    | Error msg -> raise (Done (!paths, !states, false, Some (msg, prefix))));
+    if !paths >= max_paths then raise (Done (!paths, !states, true, None))
   in
   let rec explore_full prefix crashes =
     let ctx, rt = init () in
@@ -346,18 +337,19 @@ let reference_run ?(max_crashes = 0) ?(max_paths = 1_000_000) ~init ~check () =
   in
   try
     explore_full [] 0;
-    { Explore.paths = !paths; states = !states; truncated = false; failure = None }
+    (!paths, !states, false, None)
   with Done o -> o
 
 let check_equivalent ?(max_crashes = 0) ~label ~init ~check () =
-  let seed = reference_run ~max_crashes ~init ~check () in
+  let seed_paths, seed_states, seed_truncated, seed_failure =
+    reference_run ~max_crashes ~init ~check ()
+  in
   let rewritten = Explore.run ~max_crashes ~init ~check () in
-  Alcotest.(check int) (label ^ ": identical paths") seed.Explore.paths
-    rewritten.Explore.paths;
-  Alcotest.(check int) (label ^ ": identical states") seed.Explore.states
-    rewritten.Explore.states;
-  Alcotest.(check bool) (label ^ ": identical truncation") seed.Explore.truncated
-    rewritten.Explore.truncated;
+  Alcotest.(check int) (label ^ ": identical paths") seed_paths rewritten.Explore.paths;
+  Alcotest.(check int)
+    (label ^ ": identical states") seed_states rewritten.Explore.states;
+  Alcotest.(check bool)
+    (label ^ ": identical truncation") seed_truncated rewritten.Explore.truncated;
   let show = function
     | None -> "ok"
     | Some (msg, sched) ->
@@ -367,7 +359,7 @@ let check_equivalent ?(max_crashes = 0) ~label ~init ~check () =
   in
   Alcotest.(check string)
     (label ^ ": identical first counterexample")
-    (show seed.Explore.failure)
+    (show seed_failure)
     (show rewritten.Explore.failure)
 
 let compete_init n () =
@@ -704,6 +696,152 @@ let test_independence_relation () =
   Alcotest.(check bool) "different regs commute" true
     (Explore.independent (Runtime.Write 1) (Runtime.Write 2))
 
+(* --- Execution forensics: failure traces, shrinking, effort stats --- *)
+
+let race_init n () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let r = Register.create mem ~name:"ctr" 0 in
+  Register.set_printer r string_of_int;
+  for i = 0 to n - 1 do
+    ignore
+      (Runtime.spawn rt ~name:(Printf.sprintf "inc%d" i) (fun () ->
+           let v = Runtime.read r in
+           Runtime.write r (v + 1)))
+  done;
+  (r, rt)
+
+let race_check n r _rt =
+  if Register.peek r = n then Ok () else Error "lost update"
+
+(* replaying [sched] on a fresh instance must reach quiescence and still
+   violate the invariant *)
+let violates ~init ~check sched =
+  let ctx, rt = init () in
+  Explore.replay rt sched;
+  Runtime.all_quiet rt
+  && match check ctx rt with Error _ -> true | Ok () -> false
+
+let test_failure_trace_roundtrip () =
+  let init = race_init 2 and check = race_check 2 in
+  let o = Explore.run ~init ~check () in
+  match o.Explore.failure with
+  | None -> Alcotest.fail "expected the racy counter to violate"
+  | Some (_msg, sched) ->
+      Alcotest.(check bool) "failure trace attached" true
+        (o.Explore.failure_trace <> []);
+      (* replay-with-trace against a fresh instance reproduces the
+         recorded value trace bit-for-bit *)
+      let _r, rt = init () in
+      let tr = Trace.attach rt in
+      Explore.replay rt sched;
+      Alcotest.(check bool) "replay reproduces the trace" true
+        (Trace.events tr = o.Explore.failure_trace);
+      (* the lost update is visible in the values: both increments read 0
+         and both write 1 *)
+      let writes =
+        List.filter_map
+          (fun e ->
+            match e.Trace.kind with
+            | Trace.Write { value; _ } -> Some value
+            | _ -> None)
+          o.Explore.failure_trace
+      in
+      Alcotest.(check (list string)) "both writes store 1" [ "1"; "1" ] writes
+
+let test_failure_trace_lifecycle () =
+  let init = race_init 2 and check = race_check 2 in
+  let o = Explore.run ~init ~check () in
+  let count k =
+    List.length (List.filter (fun e -> e.Trace.kind = k) o.Explore.failure_trace)
+  in
+  Alcotest.(check int) "one spawn per process" 2 (count Trace.Spawn);
+  Alcotest.(check int) "both processes finish" 2 (count Trace.Done)
+
+let test_crash_counterexample_replay () =
+  let init = race_init 2 and check = race_check 2 in
+  let o = Explore.run ~max_crashes:1 ~init ~check () in
+  match o.Explore.failure with
+  | None -> Alcotest.fail "expected a violation under crashes"
+  | Some (_msg, sched) ->
+      Alcotest.(check bool) "counterexample carries a crash decision" true
+        (List.exists (function Explore.Crash _ -> true | Explore.Step _ -> false) sched);
+      Alcotest.(check bool) "crash schedule replays to a violation" true
+        (violates ~init ~check sched);
+      let _r, rt = init () in
+      let tr = Trace.attach rt in
+      Explore.replay rt sched;
+      Alcotest.(check bool) "crash event recorded in trace" true
+        (List.exists (fun e -> e.Trace.kind = Trace.Crash) (Trace.events tr));
+      Alcotest.(check bool) "replay reproduces the crash trace" true
+        (Trace.events tr = o.Explore.failure_trace)
+
+let test_shrink_soundness () =
+  let init = race_init 3 and check = race_check 3 in
+  let o = Explore.run ~max_crashes:1 ~init ~check () in
+  match o.Explore.failure with
+  | None -> Alcotest.fail "expected a violation"
+  | Some (_msg, sched) ->
+      let s1 = Explore.shrink ~init ~check sched in
+      Alcotest.(check bool) "shrunk schedule still violates" true
+        (violates ~init ~check s1);
+      Alcotest.(check bool) "shrunk is no longer than the original" true
+        (List.length s1 <= List.length sched);
+      let s2 = Explore.shrink ~init ~check s1 in
+      Alcotest.(check bool) "shrink is idempotent" true (s1 = s2)
+
+let test_shrink_crash_strictly_smaller () =
+  (* dropping a crashed process's earlier steps makes it crash sooner, so
+     crash-carrying counterexamples shrink strictly *)
+  let init = race_init 2 and check = race_check 2 in
+  let o = Explore.run ~max_crashes:1 ~init ~check () in
+  match o.Explore.failure with
+  | None -> Alcotest.fail "expected a violation"
+  | Some (_msg, sched) ->
+      let s = Explore.shrink ~init ~check sched in
+      Alcotest.(check bool) "strictly shorter" true (List.length s < List.length sched);
+      Alcotest.(check bool) "still violates" true (violates ~init ~check s)
+
+let test_shrink_rejects_passing_schedule () =
+  let init = race_init 2 and check = race_check 2 in
+  (* the round-robin interleaving is correct: read0 write0 read1 write1 *)
+  let passing = [ Explore.Step 0; Explore.Step 0; Explore.Step 1; Explore.Step 1 ] in
+  Alcotest.(check bool) "passing schedule rejected" true
+    (try
+       ignore (Explore.shrink ~init ~check passing);
+       false
+     with Invalid_argument _ -> true)
+
+let test_stats_sanity () =
+  let init = compete_init 3 and check = compete_check in
+  let o = Explore.run ~init ~check () in
+  let st = o.Explore.stats in
+  Alcotest.(check int) "depth histogram sums to paths" o.Explore.paths
+    (List.fold_left (fun a (_, c) -> a + c) 0 st.Explore.depth_histogram);
+  Alcotest.(check bool) "max depth positive" true (st.Explore.max_depth > 0);
+  Alcotest.(check bool) "histogram depths bounded by max" true
+    (List.for_all (fun (d, _) -> d <= st.Explore.max_depth) st.Explore.depth_histogram);
+  (* unreduced, untruncated: every path but the first starts from a popped
+     frame, and each pop is exactly one replay *)
+  Alcotest.(check int) "replays = paths - 1" (o.Explore.paths - 1) st.Explore.replays;
+  Alcotest.(check int) "no sleep prunes without reduction" 0 st.Explore.sleep_prunes;
+  Alcotest.(check int) "no hash traffic without memoization" 0
+    (st.Explore.hash_hits + st.Explore.hash_misses)
+
+let test_stats_reductions () =
+  let memo =
+    Explore.run ~reduction:`State_hash ~init:(compete_init 3) ~check:compete_check ()
+  in
+  Alcotest.(check bool) "memo hits recorded" true
+    (memo.Explore.stats.Explore.hash_hits > 0);
+  Alcotest.(check bool) "memo misses recorded" true
+    (memo.Explore.stats.Explore.hash_misses > 0);
+  let slept =
+    Explore.run ~reduction:`Sleep_sets ~init:(splitter_init 3) ~check:splitter_check ()
+  in
+  Alcotest.(check bool) "sleep prunes recorded" true
+    (slept.Explore.stats.Explore.sleep_prunes > 0)
+
 let test_explore_truncation () =
   let init () =
     let mem = Memory.create () in
@@ -779,5 +917,22 @@ let () =
           Alcotest.test_case "finds planted bug" `Quick test_explore_finds_planted_bug;
           Alcotest.test_case "replay reproduces" `Quick test_explore_replay_reproduces;
           Alcotest.test_case "truncation" `Quick test_explore_truncation;
+        ] );
+      ( "forensics",
+        [
+          Alcotest.test_case "failure trace round-trips" `Quick
+            test_failure_trace_roundtrip;
+          Alcotest.test_case "failure trace lifecycle" `Quick
+            test_failure_trace_lifecycle;
+          Alcotest.test_case "crash counterexample replays" `Quick
+            test_crash_counterexample_replay;
+          Alcotest.test_case "shrink sound and idempotent" `Quick
+            test_shrink_soundness;
+          Alcotest.test_case "shrink strictly under crashes" `Quick
+            test_shrink_crash_strictly_smaller;
+          Alcotest.test_case "shrink rejects passing schedule" `Quick
+            test_shrink_rejects_passing_schedule;
+          Alcotest.test_case "stats sanity" `Quick test_stats_sanity;
+          Alcotest.test_case "stats under reductions" `Quick test_stats_reductions;
         ] );
     ]

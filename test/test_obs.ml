@@ -449,6 +449,80 @@ let test_json_table_shape () =
   | [ Json.List [ Json.String "1"; Json.String "10" ]; Json.List _ ] -> ()
   | _ -> Alcotest.fail "bad rows"
 
+(* --- trace export: exsel-trace/1 and Chrome trace-event documents --- *)
+
+module Trace_export = Exsel_obs.Trace_export
+
+(* two processes racing on one printed register, with a phase span on p *)
+let export_fixture () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let sink = Span.attach rt in
+  let trace = Trace.attach rt in
+  let r = Register.create mem ~name:"r" 0 in
+  Register.set_printer r string_of_int;
+  let p =
+    Runtime.spawn rt ~name:"p" (fun () ->
+        Span.wrap "phase:a" (fun () ->
+            Runtime.write r 1;
+            ignore (Runtime.read r)))
+  in
+  let q = Runtime.spawn rt ~name:"q" (fun () -> Runtime.write r 7) in
+  Runtime.commit rt p;
+  Runtime.commit rt q;
+  Runtime.commit rt p;
+  Span.detach sink;
+  (trace, sink)
+
+let test_trace_export_shape () =
+  let trace, _sink = export_fixture () in
+  let j = roundtrip (Trace_export.to_json ~label:"fixture" (Trace.events trace)) in
+  Alcotest.(check string) "schema" "exsel-trace/1" (get_string "schema" j);
+  Alcotest.(check string) "label" "fixture" (get_string "label" j);
+  (* 2 spawns + 3 commits + 2 dones *)
+  Alcotest.(check int) "length" 7 (get_int "length" j);
+  (match get_list "processes" j with
+  | [ p0; p1 ] ->
+      Alcotest.(check string) "pid 0 name" "p" (get_string "proc" p0);
+      Alcotest.(check string) "pid 1 name" "q" (get_string "proc" p1)
+  | l -> Alcotest.failf "expected two processes, got %d" (List.length l));
+  let events = get_list "events" j in
+  Alcotest.(check int) "events listed" 7 (List.length events);
+  let kinds = List.map (get_string "kind") events in
+  Alcotest.(check (list string)) "kinds in order"
+    [ "spawn"; "spawn"; "write"; "write"; "done"; "read"; "done" ]
+    kinds;
+  (* value-carrying: p's read sees q's overwrite *)
+  let read_ev = List.find (fun e -> get_string "kind" e = "read") events in
+  Alcotest.(check string) "read value" "7" (get_string "value" read_ev);
+  Alcotest.(check string) "read register name" "r" (get_string "reg_name" read_ev)
+
+let test_chrome_export_shape () =
+  let trace, sink = export_fixture () in
+  let j = roundtrip (Trace_export.chrome ~spans:sink (Trace.events trace)) in
+  Alcotest.(check string) "time unit" "ms" (get_string "displayTimeUnit" j);
+  let evs = get_list "traceEvents" j in
+  let by_name n = List.filter (fun e -> get_string "name" e = n) evs in
+  let by_ph ph = List.filter (fun e -> get_string "ph" e = ph) evs in
+  Alcotest.(check int) "one track (thread_name) per process" 2
+    (List.length (by_name "thread_name"));
+  Alcotest.(check int) "one process_name record" 1
+    (List.length (by_name "process_name"));
+  (* every trace event becomes one instant; spans become X events *)
+  Alcotest.(check int) "instants" 7 (List.length (by_ph "i"));
+  (match by_ph "X" with
+  | [ span ] ->
+      Alcotest.(check string) "span label" "phase:a" (get_string "name" span);
+      Alcotest.(check int) "span starts at clock 0" 0 (get_int "ts" span);
+      (* the span covers p's two commits: clock 0 to 3 = 3000 us *)
+      Alcotest.(check int) "span duration scaled x1000" 3000 (get_int "dur" span)
+  | l -> Alcotest.failf "expected one X event, got %d" (List.length l));
+  (* instants carry the scaled commit clock *)
+  let reads = List.filter (fun e -> get_string "name" e = "read r=7") evs in
+  match reads with
+  | [ rd ] -> Alcotest.(check int) "instant ts scaled x1000" 3000 (get_int "ts" rd)
+  | l -> Alcotest.failf "expected one read instant, got %d" (List.length l)
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -476,5 +550,10 @@ let () =
           Alcotest.test_case "probe shape" `Quick test_json_probe_shape;
           Alcotest.test_case "span tree shape" `Quick test_json_span_tree_shape;
           Alcotest.test_case "table shape" `Quick test_json_table_shape;
+        ] );
+      ( "trace-export",
+        [
+          Alcotest.test_case "exsel-trace/1 shape" `Quick test_trace_export_shape;
+          Alcotest.test_case "chrome trace shape" `Quick test_chrome_export_shape;
         ] );
     ]

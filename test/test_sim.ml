@@ -199,6 +199,8 @@ let test_trace_records_linearization () =
   let trace = Trace.attach rt in
   let r = Register.create mem ~name:"r" 0 in
   let s = Register.create mem ~name:"s" 0 in
+  Register.set_printer r string_of_int;
+  Register.set_printer s string_of_int;
   let _p =
     Runtime.spawn rt ~name:"p" (fun () ->
         Runtime.write r 1;
@@ -206,11 +208,27 @@ let test_trace_records_linearization () =
   in
   let _q = Runtime.spawn rt ~name:"q" (fun () -> Runtime.write s 9) in
   Scheduler.run rt (Scheduler.round_robin ());
+  (* 2 spawns + 3 commits + 2 completions *)
   let events = Trace.events trace in
-  Alcotest.(check int) "three events" 3 (List.length events);
-  Alcotest.(check (list int)) "indices sequential" [ 0; 1; 2 ]
+  Alcotest.(check int) "seven events" 7 (List.length events);
+  Alcotest.(check (list int)) "indices sequential" [ 0; 1; 2; 3; 4; 5; 6 ]
     (List.map (fun e -> e.Trace.index) events);
-  Alcotest.(check int) "p has two events" 2 (List.length (Trace.by_process trace 0));
+  Alcotest.(check bool) "forward list is cached" true
+    (Trace.events trace == Trace.events trace);
+  (* round-robin: p writes r:=1, q writes s:=9 (and finishes), p reads s=9 *)
+  let values =
+    List.filter_map
+      (fun e ->
+        match e.Trace.kind with
+        | Trace.Write { reg_name; value; _ } -> Some (reg_name ^ ":=" ^ value)
+        | Trace.Read { reg_name; value; _ } -> Some (reg_name ^ "=" ^ value)
+        | Trace.Spawn | Trace.Done | Trace.Crash -> None)
+      events
+  in
+  Alcotest.(check (list string))
+    "values captured in linearization order"
+    [ "r:=1"; "s:=9"; "s=9" ] values;
+  Alcotest.(check int) "p has four events" 4 (List.length (Trace.by_process trace 0));
   Alcotest.(check int) "one write to s" 1
     (List.length (Trace.writes_to trace (Register.id s)));
   (* pretty-printing exercises the formatter paths *)
@@ -230,7 +248,36 @@ let test_trace_attach_midway () =
   Runtime.commit rt p;
   let trace = Trace.attach rt in
   Runtime.commit rt p;
-  Alcotest.(check int) "only post-attach commits recorded" 1 (Trace.length trace)
+  (* synthesized Spawn + the post-attach commit + Done; the pre-attach
+     commit is not recorded *)
+  Alcotest.(check int) "spawn+write+done" 3 (Trace.length trace);
+  let kinds = List.map (fun e -> e.Trace.kind) (Trace.events trace) in
+  (match kinds with
+  | [ Trace.Spawn; Trace.Write w; Trace.Done ] ->
+      (* no printer installed: values render as fingerprint hashes *)
+      Alcotest.(check bool) "fallback fingerprint" true
+        (String.length w.value = 7 && w.value.[0] = '#')
+  | _ -> Alcotest.fail "unexpected event kinds");
+  Alcotest.(check int) "register reflects both writes" 2 (Register.peek r)
+
+let test_trace_lifecycle_crash () =
+  let mem = Memory.create () in
+  let rt = Runtime.create mem in
+  let trace = Trace.attach rt in
+  let r = Register.create mem ~name:"r" 0 in
+  let p =
+    Runtime.spawn rt ~name:"p" (fun () ->
+        Runtime.write r 1;
+        Runtime.write r 2)
+  in
+  Runtime.commit rt p;
+  Runtime.crash rt p;
+  let kinds = List.map (fun e -> e.Trace.kind) (Trace.events trace) in
+  (match kinds with
+  | [ Trace.Spawn; Trace.Write _; Trace.Crash ] -> ()
+  | _ -> Alcotest.fail "expected spawn/write/crash");
+  Alcotest.(check int) "crash event at p's step count" 1
+    (List.nth (Trace.events trace) 2).Trace.step
 
 let test_metrics_pp () =
   let mem = Memory.create () in
@@ -491,6 +538,7 @@ let () =
         [
           Alcotest.test_case "records linearization" `Quick test_trace_records_linearization;
           Alcotest.test_case "attach midway" `Quick test_trace_attach_midway;
+          Alcotest.test_case "lifecycle crash" `Quick test_trace_lifecycle_crash;
           Alcotest.test_case "metrics pp" `Quick test_metrics_pp;
           Alcotest.test_case "commit on finished" `Quick test_commit_on_finished_rejected;
           Alcotest.test_case "multiple hooks" `Quick test_multiple_commit_hooks;
