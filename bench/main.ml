@@ -16,6 +16,11 @@
    instead of the experiment tables (combine with --json to emit
    BENCH_perf.json, and --baseline to gate against a reference file).
 
+   --conformance runs a small conformance-campaign smoke (every honest
+   algorithm adapter under every fault regime, 2 seeds, k = 4) and exits
+   1 on any claim violation — the cheap CI gate in front of the full
+   seeded campaign of `exsel_cli conformance`.
+
    --only <ID> restricts any experiment mode to a single experiment. *)
 
 module E = Exsel_harness.Experiments
@@ -83,17 +88,36 @@ let run_bechamel only =
       Printf.printf "%-12s  %14s  %8.4f\n" name human r2)
     (List.sort compare rows)
 
+let run_conformance ~json =
+  let module C = Exsel_conformance.Campaign in
+  let cfg = { C.default with seeds = [ 1; 2 ]; k = 4 } in
+  let t0 = Sys.time () in
+  let report = C.run cfg in
+  Format.printf "%a%!" C.pp_summary report;
+  Printf.printf "conformance smoke: %d cells in %.2fs cpu\n"
+    (List.length report.C.r_cells)
+    (Sys.time () -. t0);
+  (match json with
+  | Some path ->
+      Exsel_obs.Trace_export.write_file path (C.to_json report);
+      Printf.printf "wrote %s\n" path
+  | None -> ());
+  if report.C.r_violations > 0 then exit 1
+
 let usage_text () =
   Printf.sprintf
-    "usage: %s [--bechamel | --perf] [--json <file>] [--baseline <file>]\n\
-    \       %*s [--only <T1..T9|F1|F2|A1..A3|X1..X3>]\n\n\
+    "usage: %s [--bechamel | --perf | --conformance] [--json <file>]\n\
+    \       %*s [--baseline <file>] [--only <T1..T9|F1|F2|A1..A3|X1..X3>]\n\n\
      modes (mutually exclusive):\n\
     \  (default)          print the experiment tables\n\
     \  --bechamel         wall-clock one Bechamel benchmark per experiment\n\
-    \  --perf             run the hot-path microbenchmarks (DESIGN.md \xc2\xa78)\n\n\
+    \  --perf             run the hot-path microbenchmarks (DESIGN.md \xc2\xa78)\n\
+    \  --conformance      run the conformance-campaign smoke (exit 1 on any\n\
+    \                     claim violation)\n\n\
      options:\n\
     \  --json <file>      write results as an exsel-bench/1 JSON document\n\
-    \                     (tables mode and --perf mode; not --bechamel)\n\
+    \                     (exsel-conformance/1 with --conformance; not\n\
+    \                     --bechamel)\n\
     \  --baseline <file>  with --perf: fail (exit 1) if any metric drops\n\
     \                     below half its reference value in <file>\n\
     \  --only <ID>        restrict to one experiment.  IDs are\n\
@@ -110,27 +134,35 @@ let usage_error msg =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let rec parse bech perf only json baseline = function
-    | [] -> (bech, perf, only, json, baseline)
+  let rec parse bech perf conf only json baseline = function
+    | [] -> (bech, perf, conf, only, json, baseline)
     | ("--help" | "-help" | "-h") :: _ ->
         print_string (usage_text ());
         exit 0
-    | "--bechamel" :: rest -> parse true perf only json baseline rest
-    | "--perf" :: rest -> parse bech true only json baseline rest
-    | "--only" :: id :: rest -> parse bech perf (Some id) json baseline rest
-    | "--json" :: path :: rest -> parse bech perf only (Some path) baseline rest
-    | "--baseline" :: path :: rest -> parse bech perf only json (Some path) rest
+    | "--bechamel" :: rest -> parse true perf conf only json baseline rest
+    | "--perf" :: rest -> parse bech true conf only json baseline rest
+    | "--conformance" :: rest -> parse bech perf true only json baseline rest
+    | "--only" :: id :: rest -> parse bech perf conf (Some id) json baseline rest
+    | "--json" :: path :: rest ->
+        parse bech perf conf only (Some path) baseline rest
+    | "--baseline" :: path :: rest ->
+        parse bech perf conf only json (Some path) rest
     | [ ("--only" | "--json" | "--baseline") ] as flag ->
         usage_error (Printf.sprintf "%s requires an argument" (List.hd flag))
     | arg :: _ -> usage_error (Printf.sprintf "unexpected argument %S" arg)
   in
-  let bech, perf, only, json, baseline = parse false false None None None args in
-  if bech && perf then usage_error "--bechamel and --perf are mutually exclusive";
+  let bech, perf, conf, only, json, baseline =
+    parse false false false None None None args
+  in
+  if (bech && perf) || (bech && conf) || (perf && conf) then
+    usage_error "--bechamel, --perf and --conformance are mutually exclusive";
   if bech && json <> None then
     usage_error "--bechamel and --json are mutually exclusive";
   if baseline <> None && not perf then usage_error "--baseline requires --perf";
-  if perf && only <> None then usage_error "--only does not apply to --perf";
+  if only <> None && (perf || conf) then
+    usage_error "--only applies only to the experiment modes";
   if perf then Perf.run ~json ~baseline
+  else if conf then run_conformance ~json
   else
     match json with
     | Some path -> write_json only path

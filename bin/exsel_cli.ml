@@ -571,6 +571,88 @@ let run_experiments only json =
   | None -> List.iter (fun (_, f) -> Table.print (f ())) named
 
 (* ------------------------------------------------------------------ *)
+(* conformance subcommand                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Conf_adapter = Exsel_conformance.Adapter
+module Conf_regime = Exsel_conformance.Regime
+module Campaign = Exsel_conformance.Campaign
+
+let run_conformance algos regimes nseeds k steps_multiple max_commits no_shrink
+    json chrome =
+  let algos =
+    match algos with
+    | [] -> Conf_adapter.honest
+    | ids ->
+        List.map
+          (fun id ->
+            match Conf_adapter.find id with
+            | Some a -> a
+            | None ->
+                Printf.eprintf "unknown algorithm %S; valid ids: %s\n" id
+                  (String.concat " " (Conf_adapter.ids ()));
+                exit 2)
+          ids
+  in
+  let regimes =
+    match regimes with
+    | [] -> Conf_regime.all
+    | ids ->
+        List.map
+          (fun id ->
+            match Conf_regime.find id with
+            | Some r -> r
+            | None ->
+                Printf.eprintf "unknown regime %S; valid ids: %s\n" id
+                  (String.concat " " (Conf_regime.ids ()));
+                exit 2)
+          ids
+  in
+  if nseeds <= 0 then begin
+    Printf.eprintf "--seeds must be positive\n";
+    exit 2
+  end;
+  if k < 2 then begin
+    Printf.eprintf "--k must be at least 2\n";
+    exit 2
+  end;
+  let cfg =
+    {
+      Campaign.algos;
+      regimes;
+      seeds = List.init nseeds (fun i -> i + 1);
+      k;
+      steps_multiple;
+      max_commits;
+      shrink = not no_shrink;
+    }
+  in
+  let report = Campaign.run cfg in
+  Format.printf "%a" Campaign.pp_summary report;
+  (match json with
+  | Some path ->
+      Trace_export.write_file path (Campaign.to_json report);
+      Printf.printf "wrote %s\n" path
+  | None -> ());
+  (match chrome with
+  | Some path -> (
+      let first_trace =
+        List.find_map
+          (fun c ->
+            match c.Campaign.c_violation with
+            | Some v when v.Campaign.v_trace <> [] -> Some v.Campaign.v_trace
+            | _ -> None)
+          report.Campaign.r_cells
+      in
+      match first_trace with
+      | Some events ->
+          Trace_export.write_file path (Trace_export.chrome events);
+          Printf.printf "wrote %s\n" path
+      | None -> Printf.printf "no violation trace to export to %s\n" path)
+  | None -> ());
+  if report.Campaign.r_violations > 0 then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* cmdliner wiring                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -691,6 +773,81 @@ let explore_cmd =
       const run_explore $ target $ contenders $ crashes $ reduce $ shrink $ max_paths
       $ trace $ chrome $ json)
 
+let conformance_cmd =
+  let doc =
+    "run crash-fault conformance campaigns checking every paper claim"
+  in
+  let algos =
+    Arg.(
+      value & opt_all string []
+      & info [ "algo" ] ~docv:"ID"
+          ~doc:
+            "Algorithm adapter to campaign (repeatable; default: all honest \
+             adapters).  Ids: compete, ma, attiya, majority, basic, polylog, \
+             efficient, almost-adaptive, adaptive, buggy-ma.")
+  in
+  let regimes =
+    Arg.(
+      value & opt_all string []
+      & info [ "regime" ] ~docv:"ID"
+          ~doc:
+            "Fault regime to campaign under (repeatable; default: all).  Ids: \
+             random, crash-half, crash-on-write, freeze, lockstep.")
+  in
+  let seeds =
+    Arg.(
+      value & opt int 3
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:"Seeds per cell (campaigns run seeds 1..$(docv)).")
+  in
+  let k =
+    Arg.(
+      value & opt int 5
+      & info [ "k"; "contention" ] ~docv:"K" ~doc:"Contenders per instance.")
+  in
+  let steps_multiple =
+    Arg.(
+      value & opt float 1.0
+      & info [ "steps-multiple" ] ~docv:"X"
+          ~doc:
+            "Tolerance on each adapter's local-steps budget (1.0 = exactly as \
+             claimed).")
+  in
+  let max_commits =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "max-commits" ] ~docv:"C"
+          ~doc:"Per-run liveness budget (exhausting it is a violation).")
+  in
+  let no_shrink =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ]
+          ~doc:"Skip ddmin minimization of violating schedules.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the full report as one exsel-conformance/1 document to \
+             $(docv).")
+  in
+  let chrome =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:
+            "Write the first violation's value-carrying trace as Chrome \
+             trace-event JSON to $(docv) (open at ui.perfetto.dev).")
+  in
+  Cmd.v (Cmd.info "conformance" ~doc)
+    Term.(
+      const run_conformance $ algos $ regimes $ seeds $ k $ steps_multiple
+      $ max_commits $ no_shrink $ json $ chrome)
+
 let experiments_cmd =
   let doc = "regenerate the paper-reproduction tables and figures" in
   let only =
@@ -721,5 +878,6 @@ let () =
             lease_cmd;
             msgrename_cmd;
             explore_cmd;
+            conformance_cmd;
             experiments_cmd;
           ]))

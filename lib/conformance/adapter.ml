@@ -1,0 +1,344 @@
+open Exsel_sim
+module R = Exsel_renaming
+
+(* ------------------------------------------------------------------ *)
+(* Claim checking, shared by every adapter                             *)
+(* ------------------------------------------------------------------ *)
+
+(* What "everyone is served" means for this algorithm: the wait-free
+   constructions name every non-crashed contender; Majority claims only
+   Lemma 4's half bound; Compete claims nothing beyond win
+   exclusiveness (contested objects may be won by nobody). *)
+type completion = All_named | Half_renamed | Winners_exclusive
+
+let check_claims ~completion ~k ~(results : int option array)
+    ~(procs : Runtime.proc array) ~bound ~budget () =
+  let winners = ref 0 in
+  let crashed = ref 0 in
+  Array.iter (fun r -> if r <> None then incr winners) results;
+  Array.iter
+    (fun p -> if Runtime.status p = Runtime.Crashed then incr crashed)
+    procs;
+  let exception Violation of string in
+  try
+    (* termination: at quiescence no process may still be runnable *)
+    Array.iter
+      (fun p ->
+        if Runtime.status p = Runtime.Runnable then
+          raise
+            (Violation
+               (Printf.sprintf "termination: %s still runnable at quiescence"
+                  (Runtime.proc_name p))))
+      procs;
+    (* pairwise-exclusive names *)
+    let seen = Hashtbl.create 16 in
+    Array.iteri
+      (fun i r ->
+        match r with
+        | None -> ()
+        | Some v -> (
+            match Hashtbl.find_opt seen v with
+            | Some j ->
+                raise
+                  (Violation
+                     (Printf.sprintf
+                        "exclusiveness: name %d assigned to both p%d and p%d" v
+                        j i))
+            | None -> Hashtbl.add seen v i))
+      results;
+    (* names within the claimed bound *)
+    Array.iteri
+      (fun i r ->
+        match r with
+        | Some v when v < 0 || v >= bound ->
+            raise
+              (Violation
+                 (Printf.sprintf "name bound: p%d holds name %d outside [0, %d)"
+                    i v bound))
+        | Some _ | None -> ())
+      results;
+    (* completion *)
+    (match completion with
+    | All_named ->
+        Array.iteri
+          (fun i r ->
+            if r = None && Runtime.status procs.(i) = Runtime.Done then
+              raise
+                (Violation
+                   (Printf.sprintf "completion: p%d terminated without a name" i)))
+          results
+    | Half_renamed ->
+        let need = ((k + 1) / 2) - !crashed in
+        if !winners < need then
+          raise
+            (Violation
+               (Printf.sprintf
+                  "completion: %d of %d renamed with %d crashed (Lemma 4 needs \
+                   at least %d)"
+                  !winners k !crashed need))
+    | Winners_exclusive ->
+        if !winners > 1 then
+          raise
+            (Violation (Printf.sprintf "exclusiveness: %d winners" !winners)));
+    (* local steps within the claimed shape *)
+    let cap = int_of_float (Float.ceil budget) in
+    Array.iteri
+      (fun i p ->
+        if Runtime.steps p > cap then
+          raise
+            (Violation
+               (Printf.sprintf "steps: p%d took %d local steps, budget %d" i
+                  (Runtime.steps p) cap)))
+      procs;
+    Ok ()
+  with Violation msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Generic spec factory                                                *)
+(* ------------------------------------------------------------------ *)
+
+type built = {
+  rename : me:int -> int option;
+  name_bound : int;
+  steps_budget : float;
+}
+
+(* Contenders carrying distinct original names drawn from [0, bound). *)
+let distinct_ids ~seed ~k ~bound =
+  let a = Array.init bound Fun.id in
+  Rng.shuffle (Rng.create ~seed:(seed + 0x1d5)) a;
+  Array.sub a 0 k
+
+let arbitrary_ids ~seed:_ ~k ~stride ~base = Array.init k (fun i -> base + (stride * i))
+
+type t = {
+  id : string;
+  claim : string;
+  honest : bool;
+  make : seed:int -> k:int -> steps_multiple:float -> Runner.spec;
+}
+
+let generic ~id ~claim ?(honest = true) ~completion ~ids ~build () =
+  let make ~seed ~k ~steps_multiple =
+    let init () =
+      let mem = Memory.create () in
+      let rt = Runtime.create mem in
+      let b = build ~seed ~k mem in
+      let ids = ids ~seed ~k in
+      let results = Array.make k None in
+      let procs =
+        Array.init k (fun i ->
+            Runtime.spawn rt ~name:(Printf.sprintf "p%d" i) (fun () ->
+                results.(i) <- b.rename ~me:ids.(i)))
+      in
+      let check =
+        check_claims ~completion ~k ~results ~procs ~bound:b.name_bound
+          ~budget:(steps_multiple *. b.steps_budget)
+      in
+      { Runner.runtime = rt; check }
+    in
+    { Runner.algo = id; claim; init }
+  in
+  { id; claim; honest; make }
+
+(* ------------------------------------------------------------------ *)
+(* The adapters                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Fixed original-name-space sizes: large enough that the staged
+   constructions have real work to do, small enough that a campaign cell
+   stays sub-second. *)
+let inputs_small = 256
+let inputs_polylog = 1024
+
+let compete =
+  generic ~id:"compete" ~claim:"Lemma 1" ~completion:Winners_exclusive
+    ~ids:(fun ~seed:_ ~k -> Array.init k Fun.id)
+    ~build:(fun ~seed:_ ~k:_ mem ->
+      let c = R.Compete.create mem ~name:"c" in
+      {
+        rename = (fun ~me -> if R.Compete.compete c ~me then Some 0 else None);
+        name_bound = 1;
+        steps_budget = float_of_int R.Compete.steps_bound;
+      })
+    ()
+
+let moir_anderson =
+  generic ~id:"ma" ~claim:"MA baseline [41]" ~completion:All_named
+    ~ids:(arbitrary_ids ~stride:37 ~base:100)
+    ~build:(fun ~seed:_ ~k mem ->
+      let ma = R.Moir_anderson.create mem ~name:"ma" ~side:k in
+      {
+        rename = (fun ~me -> R.Moir_anderson.rename ma ~me);
+        name_bound = R.Moir_anderson.max_name_bound ~contenders:k;
+        steps_budget = float_of_int (R.Moir_anderson.steps_bound ~side:k);
+      })
+    ()
+
+let attiya =
+  generic ~id:"attiya" ~claim:"snapshot (2k-1)-renaming [14, 21]"
+    ~completion:All_named
+    ~ids:(fun ~seed:_ ~k -> Array.init k Fun.id)
+    ~build:(fun ~seed:_ ~k mem ->
+      let a = R.Attiya_renaming.create mem ~name:"at" ~slots:k () in
+      {
+        rename = (fun ~me -> R.Attiya_renaming.rename a ~slot:me);
+        name_bound = R.Attiya_renaming.name_bound ~contenders:k;
+        (* no structural bound is exposed: each of <= k proposal rounds
+           costs one snapshot update+scan, and the Afek et al. scan is
+           O(k^2) reads under helping — calibrated with ~2x headroom *)
+        steps_budget = 20.0 +. (8.0 *. float_of_int (k * k * k));
+      })
+    ()
+
+let majority =
+  generic ~id:"majority" ~claim:"Lemma 4" ~completion:Half_renamed
+    ~ids:(fun ~seed ~k -> distinct_ids ~seed ~k ~bound:inputs_small)
+    ~build:(fun ~seed ~k mem ->
+      let m =
+        R.Majority.create ~rng:(Rng.create ~seed:(seed * 13)) mem ~name:"maj"
+          ~l:k ~inputs:inputs_small
+      in
+      {
+        rename = (fun ~me -> R.Majority.rename m ~me);
+        name_bound = R.Majority.names m;
+        steps_budget = float_of_int (R.Majority.steps_bound m);
+      })
+    ()
+
+let basic =
+  generic ~id:"basic" ~claim:"Lemma 5" ~completion:All_named
+    ~ids:(fun ~seed ~k -> distinct_ids ~seed ~k ~bound:inputs_small)
+    ~build:(fun ~seed ~k mem ->
+      let b =
+        R.Basic_rename.create ~rng:(Rng.create ~seed:(seed * 7)) mem ~name:"bas"
+          ~k ~inputs:inputs_small
+      in
+      {
+        rename = (fun ~me -> R.Basic_rename.rename b ~me);
+        name_bound = R.Basic_rename.names b;
+        steps_budget = float_of_int (R.Basic_rename.steps_bound b);
+      })
+    ()
+
+let polylog =
+  generic ~id:"polylog" ~claim:"Theorem 1" ~completion:All_named
+    ~ids:(fun ~seed ~k -> distinct_ids ~seed ~k ~bound:inputs_polylog)
+    ~build:(fun ~seed ~k mem ->
+      let p =
+        R.Polylog_rename.create ~rng:(Rng.create ~seed:(seed * 3)) mem
+          ~name:"pl" ~k ~inputs:inputs_polylog
+      in
+      {
+        rename = (fun ~me -> R.Polylog_rename.rename p ~me);
+        name_bound = R.Polylog_rename.names p;
+        steps_budget = float_of_int (R.Polylog_rename.steps_bound p);
+      })
+    ()
+
+let efficient =
+  generic ~id:"efficient" ~claim:"Theorem 2" ~completion:All_named
+    ~ids:(arbitrary_ids ~stride:37 ~base:1000)
+    ~build:(fun ~seed ~k mem ->
+      let e =
+        R.Efficient_rename.create ~rng:(Rng.create ~seed:(seed * 5)) mem
+          ~name:"ef" ~k
+      in
+      {
+        rename = (fun ~me -> R.Efficient_rename.rename e ~me);
+        name_bound = R.Efficient_rename.names e;
+        (* steps_bound's final-stage term is one representative round per
+           contender (see efficient_rename.ml); the true data-dependent
+           worst case can exceed it, hence the headroom factor *)
+        steps_budget = 2.0 *. float_of_int (R.Efficient_rename.steps_bound e);
+      })
+    ()
+
+let almost_adaptive =
+  generic ~id:"almost-adaptive" ~claim:"Theorem 3" ~completion:All_named
+    ~ids:(fun ~seed ~k -> distinct_ids ~seed ~k ~bound:inputs_small)
+    ~build:(fun ~seed ~k mem ->
+      let a =
+        R.Almost_adaptive.create ~rng:(Rng.create ~seed:(seed * 11)) mem
+          ~name:"aa" ~n:k ~inputs:inputs_small
+      in
+      {
+        rename = (fun ~me -> Some (R.Almost_adaptive.rename a ~me));
+        name_bound = R.Almost_adaptive.name_bound_for_contention a ~k;
+        (* Spec shape with a calibrated constant: the doubling retries
+           every level up to ceil(lg k), each a full PolyLog run *)
+        steps_budget =
+          40.0
+          *. R.Spec.almost_adaptive_steps ~k ~n_names:inputs_small;
+      })
+    ()
+
+let adaptive =
+  generic ~id:"adaptive" ~claim:"Theorem 4" ~completion:All_named
+    ~ids:(arbitrary_ids ~stride:101 ~base:5000)
+    ~build:(fun ~seed ~k mem ->
+      let a =
+        R.Adaptive_rename.create ~rng:(Rng.create ~seed:(seed * 17)) mem
+          ~name:"ad" ~n:k
+      in
+      {
+        rename = (fun ~me -> Some (R.Adaptive_rename.rename a ~me));
+        name_bound = R.Adaptive_rename.name_bound_for_contention ~k;
+        (* Theorem 4's O(k) with its hidden constant: every level up to
+           ceil(lg k) is a full Efficient-Rename attempt whose final
+           stage scans O(level-names) per proposal *)
+        steps_budget = 60.0 *. float_of_int (k * k);
+      })
+    ()
+
+(* Negative control: a Moir-Anderson-style triangular grid built on the
+   racy splitter (stop/right race removed).  Two contenders can stop in
+   the same cell and adopt the same name — the campaigns must catch it. *)
+let buggy_ma =
+  generic ~id:"buggy-ma" ~claim:"negative control (racy splitter grid)"
+    ~honest:false ~completion:All_named
+    ~ids:(fun ~seed:_ ~k -> Array.init k Fun.id)
+    ~build:(fun ~seed:_ ~k mem ->
+      let side = k in
+      let cells =
+        Array.init side (fun r ->
+            Array.init (side - r) (fun c ->
+                R.Splitter.create mem ~name:(Printf.sprintf "bug.%d.%d" r c)))
+      in
+      let rename ~me =
+        let rec walk r c =
+          if r + c >= side then None
+          else
+            match R.Splitter.enter_racy cells.(r).(c) ~me with
+            | R.Splitter.Stop -> Some (R.Moir_anderson.name_of_position ~r ~c)
+            | R.Splitter.Right -> walk r (c + 1)
+            | R.Splitter.Down -> walk (r + 1) c
+        in
+        walk 0 0
+      in
+      {
+        rename;
+        name_bound = R.Moir_anderson.max_name_bound ~contenders:k;
+        steps_budget = float_of_int (R.Moir_anderson.steps_bound ~side:k);
+      })
+    ()
+
+let all =
+  [
+    compete;
+    moir_anderson;
+    attiya;
+    majority;
+    basic;
+    polylog;
+    efficient;
+    almost_adaptive;
+    adaptive;
+    buggy_ma;
+  ]
+
+let honest = List.filter (fun a -> a.honest) all
+
+let find id = List.find_opt (fun a -> a.id = id) all
+
+let ids () = List.map (fun a -> a.id) all

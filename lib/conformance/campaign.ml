@@ -1,0 +1,265 @@
+module Explore = Exsel_sim.Explore
+module Trace = Exsel_sim.Trace
+module Json = Exsel_obs.Json
+
+type config = {
+  algos : Adapter.t list;
+  regimes : Regime.t list;
+  seeds : int list;
+  k : int;
+  steps_multiple : float;
+  max_commits : int;
+  shrink : bool;
+}
+
+let default =
+  {
+    algos = Adapter.honest;
+    regimes = Regime.all;
+    seeds = [ 1; 2; 3 ];
+    k = 5;
+    steps_multiple = 1.0;
+    max_commits = 1_000_000;
+    shrink = true;
+  }
+
+type violation = {
+  v_algo : string;
+  v_claim : string;
+  v_regime : string;
+  v_seed : int;
+  v_failure : string;
+  v_schedule : Explore.choice list;
+  v_shrunk : Explore.choice list option;
+  v_shrunk_failure : string option;
+  v_trace : Trace.event list;
+}
+
+type cell = {
+  c_algo : string;
+  c_claim : string;
+  c_regime : string;
+  c_seeds_run : int;
+  c_commits : int;
+  c_max_steps : int;
+  c_crashed : int;
+  c_violation : violation option;
+}
+
+type report = {
+  r_k : int;
+  r_steps_multiple : float;
+  r_seeds : int list;
+  r_cells : cell list;
+  r_violations : int;
+}
+
+let is_liveness msg = String.length msg >= 9 && String.sub msg 0 9 = "liveness:"
+
+(* Replaying a schedule against a fresh instance only pays off while the
+   result stays readable; beyond this many choices we skip the trace. *)
+let trace_cap = 5_000
+
+let analyse cfg (adapter : Adapter.t) (regime : Regime.t) ~seed
+    (outcome : Runner.outcome) ~failure =
+  let spec =
+    adapter.Adapter.make ~seed ~k:cfg.k ~steps_multiple:cfg.steps_multiple
+  in
+  let init () =
+    let i = spec.Runner.init () in
+    (i, i.Runner.runtime)
+  in
+  let check i _rt = i.Runner.check () in
+  let shrunk, shrunk_failure =
+    if cfg.shrink && not (is_liveness failure) then begin
+      let s = Explore.shrink ~init ~check outcome.Runner.schedule in
+      let i, rt = init () in
+      Explore.replay rt s;
+      let f = match check i rt with Ok () -> None | Error m -> Some m in
+      (Some s, f)
+    end
+    else (None, None)
+  in
+  let trace =
+    let schedule = Option.value shrunk ~default:outcome.Runner.schedule in
+    if List.length schedule > trace_cap then []
+    else begin
+      let _, rt = init () in
+      let tr = Trace.attach rt in
+      Explore.replay rt schedule;
+      Trace.events tr
+    end
+  in
+  {
+    v_algo = adapter.Adapter.id;
+    v_claim = adapter.Adapter.claim;
+    v_regime = regime.Regime.id;
+    v_seed = seed;
+    v_failure = failure;
+    v_schedule = outcome.Runner.schedule;
+    v_shrunk = shrunk;
+    v_shrunk_failure = shrunk_failure;
+    v_trace = trace;
+  }
+
+let run_cell cfg (adapter : Adapter.t) (regime : Regime.t) =
+  let seeds_run = ref 0 in
+  let commits = ref 0 in
+  let max_steps = ref 0 in
+  let crashed = ref 0 in
+  let violation = ref None in
+  let rec go = function
+    | [] -> ()
+    | seed :: rest ->
+        let spec =
+          adapter.Adapter.make ~seed ~k:cfg.k
+            ~steps_multiple:cfg.steps_multiple
+        in
+        let driver = regime.Regime.make ~seed ~k:cfg.k in
+        let outcome = Runner.drive ~max_commits:cfg.max_commits spec ~driver in
+        incr seeds_run;
+        commits := !commits + outcome.Runner.commits;
+        max_steps := max !max_steps outcome.Runner.max_steps;
+        crashed := !crashed + outcome.Runner.crashed;
+        (match outcome.Runner.failure with
+        | None -> go rest
+        | Some failure ->
+            violation := Some (analyse cfg adapter regime ~seed outcome ~failure))
+  in
+  go cfg.seeds;
+  {
+    c_algo = adapter.Adapter.id;
+    c_claim = adapter.Adapter.claim;
+    c_regime = regime.Regime.id;
+    c_seeds_run = !seeds_run;
+    c_commits = !commits;
+    c_max_steps = !max_steps;
+    c_crashed = !crashed;
+    c_violation = !violation;
+  }
+
+let run ?(on_cell = fun _ -> ()) cfg =
+  let cells =
+    List.concat_map
+      (fun adapter ->
+        List.map
+          (fun regime ->
+            let cell = run_cell cfg adapter regime in
+            on_cell cell;
+            cell)
+          cfg.regimes)
+      cfg.algos
+  in
+  let violations =
+    List.length (List.filter (fun c -> c.c_violation <> None) cells)
+  in
+  {
+    r_k = cfg.k;
+    r_steps_multiple = cfg.steps_multiple;
+    r_seeds = cfg.seeds;
+    r_cells = cells;
+    r_violations = violations;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* exsel-conformance/1                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let schedule_cap = 100_000
+
+let choice_json = function
+  | Explore.Step pid -> Json.Obj [ ("kind", Json.String "step"); ("pid", Json.Int pid) ]
+  | Explore.Crash pid ->
+      Json.Obj [ ("kind", Json.String "crash"); ("pid", Json.Int pid) ]
+
+let schedule_json s = Json.List (List.map choice_json s)
+
+let violation_json v =
+  let base =
+    [
+      ("seed", Json.Int v.v_seed);
+      ("failure", Json.String v.v_failure);
+      ("schedule_len", Json.Int (List.length v.v_schedule));
+    ]
+  in
+  let sched =
+    if List.length v.v_schedule <= schedule_cap then
+      [ ("schedule", schedule_json v.v_schedule) ]
+    else []
+  in
+  let shrunk =
+    match v.v_shrunk with
+    | None -> []
+    | Some s -> [ ("shrunk", schedule_json s) ]
+  in
+  let shrunk_failure =
+    match v.v_shrunk_failure with
+    | None -> []
+    | Some m -> [ ("shrunk_failure", Json.String m) ]
+  in
+  let trace =
+    match v.v_trace with
+    | [] -> []
+    | events ->
+        let label =
+          Printf.sprintf "%s/%s seed=%d" v.v_algo v.v_regime v.v_seed
+        in
+        [ ("trace", Exsel_obs.Trace_export.to_json ~label events) ]
+  in
+  Json.Obj (base @ sched @ shrunk @ shrunk_failure @ trace)
+
+let cell_json c =
+  let base =
+    [
+      ("algo", Json.String c.c_algo);
+      ("claim", Json.String c.c_claim);
+      ("regime", Json.String c.c_regime);
+      ("seeds_run", Json.Int c.c_seeds_run);
+      ("commits", Json.Int c.c_commits);
+      ("max_steps", Json.Int c.c_max_steps);
+      ("crashed", Json.Int c.c_crashed);
+      ("ok", Json.Bool (c.c_violation = None));
+    ]
+  in
+  match c.c_violation with
+  | None -> Json.Obj base
+  | Some v -> Json.Obj (base @ [ ("violation", violation_json v) ])
+
+let to_json r =
+  Json.Obj
+    [
+      ("schema", Json.String "exsel-conformance/1");
+      ("k", Json.Int r.r_k);
+      ("steps_multiple", Json.Float r.r_steps_multiple);
+      ("seeds", Json.List (List.map (fun s -> Json.Int s) r.r_seeds));
+      ("cells", Json.List (List.map cell_json r.r_cells));
+      ("violations", Json.Int r.r_violations);
+    ]
+
+let pp_summary ppf r =
+  Format.fprintf ppf "conformance: k=%d seeds=%d steps_multiple=%g@." r.r_k
+    (List.length r.r_seeds) r.r_steps_multiple;
+  List.iter
+    (fun c ->
+      match c.c_violation with
+      | None ->
+          Format.fprintf ppf "  ok    %-16s %-14s (%s; %d seeds, %d commits, \
+                              max_steps %d, crashed %d)@."
+            c.c_algo c.c_regime c.c_claim c.c_seeds_run c.c_commits
+            c.c_max_steps c.c_crashed
+      | Some v ->
+          Format.fprintf ppf "  FAIL  %-16s %-14s (%s) seed=%d@." c.c_algo
+            c.c_regime c.c_claim v.v_seed;
+          Format.fprintf ppf "        %s@." v.v_failure;
+          (match v.v_shrunk with
+          | Some s ->
+              Format.fprintf ppf "        shrunk %d -> %d choices%s@."
+                (List.length v.v_schedule) (List.length s)
+                (match v.v_shrunk_failure with
+                | Some m -> ": " ^ m
+                | None -> "")
+          | None -> ()))
+    r.r_cells;
+  Format.fprintf ppf "  %d violation%s in %d cells@." r.r_violations
+    (if r.r_violations = 1 then "" else "s")
+    (List.length r.r_cells)

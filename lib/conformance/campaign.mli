@@ -1,0 +1,92 @@
+(** Conformance campaigns: the algorithm × regime × seed matrix.
+
+    A campaign drives every selected {!Adapter} through every selected
+    {!Regime} for every seed, checking the adapter's executable claims at
+    quiescence of each run (see {!Adapter} for the claim list).  Within a
+    cell (one algorithm under one regime) seeds run in order and stop at
+    the first violation; the rest of the matrix still runs, so one report
+    covers every failing cell.
+
+    A violation carries everything needed to reproduce and explain it:
+
+    - the failing [seed] and the full recorded schedule (every commit and
+      crash decision, replayable with {!Exsel_sim.Explore.replay});
+    - a minimized counterexample produced by {!Exsel_sim.Explore.shrink}
+      (claim violations only — liveness violations, i.e. exhausted commit
+      budgets, have no failing quiescent state to shrink towards);
+    - a value-carrying {!Exsel_sim.Trace} of the minimized execution,
+      exportable to Perfetto via {!Exsel_obs.Trace_export.chrome}.
+
+    {!to_json} renders the whole report as an [exsel-conformance/1]
+    document (schema described there); the CLI's [conformance] subcommand
+    and the CI campaign step archive it as an artifact. *)
+
+type config = {
+  algos : Adapter.t list;
+  regimes : Regime.t list;
+  seeds : int list;
+  k : int;  (** contenders per instance (>= 2) *)
+  steps_multiple : float;
+      (** tolerance on each adapter's steps budget (1.0 = as claimed) *)
+  max_commits : int;  (** per-run liveness budget *)
+  shrink : bool;  (** minimize claim-violating schedules *)
+}
+
+val default : config
+(** All honest adapters, all regimes, seeds [1..3], [k = 5],
+    [steps_multiple = 1.0], [max_commits = 1_000_000], shrinking on. *)
+
+type violation = {
+  v_algo : string;
+  v_claim : string;
+  v_regime : string;
+  v_seed : int;
+  v_failure : string;  (** the claim-check (or liveness) error message *)
+  v_schedule : Exsel_sim.Explore.choice list;  (** as recorded *)
+  v_shrunk : Exsel_sim.Explore.choice list option;
+      (** minimized schedule; [None] for liveness violations or when
+          shrinking is disabled *)
+  v_shrunk_failure : string option;
+      (** the (possibly different) claim error the minimized schedule
+          fails with *)
+  v_trace : Exsel_sim.Trace.event list;
+      (** value-carrying trace of the minimized (else recorded) execution;
+          [[]] when the schedule is too large to replay economically *)
+}
+
+type cell = {
+  c_algo : string;
+  c_claim : string;
+  c_regime : string;
+  c_seeds_run : int;
+  c_commits : int;  (** summed over the cell's runs *)
+  c_max_steps : int;  (** max over the cell's runs *)
+  c_crashed : int;  (** crash decisions summed over the cell's runs *)
+  c_violation : violation option;
+}
+
+type report = {
+  r_k : int;
+  r_steps_multiple : float;
+  r_seeds : int list;
+  r_cells : cell list;  (** algo-major, regime-minor order *)
+  r_violations : int;
+}
+
+val run : ?on_cell:(cell -> unit) -> config -> report
+(** Execute the matrix.  [on_cell] is called after each finished cell
+    (progress reporting). *)
+
+val to_json : report -> Exsel_obs.Json.t
+(** The [exsel-conformance/1] document:
+    [{ schema; k; steps_multiple; seeds; cells; violations }] where each
+    cell is [{ algo; claim; regime; seeds_run; commits; max_steps;
+    crashed; ok; violation? }] and a violation is
+    [{ seed; failure; schedule_len; schedule?; shrunk?; shrunk_failure?;
+    trace? }] — [schedule]/[shrunk] are arrays of
+    [{ kind: "step"|"crash"; pid }] (omitted above 100_000 choices), and
+    [trace] is an embedded [exsel-trace/1] document
+    ({!Exsel_obs.Trace_export.to_json}). *)
+
+val pp_summary : Format.formatter -> report -> unit
+(** Human-readable matrix: one line per cell, violations expanded. *)

@@ -1,0 +1,137 @@
+module Runtime = Exsel_sim.Runtime
+module Rng = Exsel_sim.Rng
+
+type t = {
+  id : string;
+  describe : string;
+  make : seed:int -> k:int -> Runner.driver;
+}
+
+let random_commit rng rt =
+  let n = Runtime.num_runnable rt in
+  if n = 0 then None
+  else Some (Runner.Commit (Runtime.nth_runnable rt (Rng.int rng n)))
+
+(* ⌈k/2⌉ distinct victim pids, uniform over [0, k). *)
+let pick_victims ~seed ~k =
+  let a = Array.init k Fun.id in
+  Rng.shuffle (Rng.create ~seed:(seed lxor 0x9e3779b9)) a;
+  Array.to_list (Array.sub a 0 ((k + 1) / 2))
+
+let random =
+  {
+    id = "random";
+    describe = "seeded uniformly-random scheduling, no crashes";
+    make =
+      (fun ~seed ~k:_ ->
+        let rng = Rng.create ~seed in
+        fun rt -> random_commit rng rt);
+  }
+
+let crash_half =
+  {
+    id = "crash-half";
+    describe = "ceil(k/2) seeded victims crash at seeded commit points";
+    make =
+      (fun ~seed ~k ->
+        let rng = Rng.create ~seed in
+        let plan_rng = Rng.create ~seed:(seed + 1) in
+        let remaining =
+          (* the i-th victim's crash point is drawn from a 4k-wide window
+             scaled by i+1, so short executions still see crashes while
+             long ones get mid-run points too *)
+          ref
+            (List.mapi
+               (fun i pid -> (pid, Rng.int plan_rng (4 * k * (i + 1))))
+               (pick_victims ~seed ~k))
+        in
+        fun rt ->
+          match
+            List.find_opt (fun (_, at) -> Runtime.commits rt >= at) !remaining
+          with
+          | Some ((pid, _) as entry) ->
+              remaining := List.filter (fun e -> e != entry) !remaining;
+              Some (Runner.Crash (Runtime.proc_by_pid rt pid))
+          | None -> random_commit rng rt);
+  }
+
+let crash_on_write =
+  {
+    id = "crash-on-write";
+    describe = "ceil(k/2) seeded victims crash on their first pending write";
+    make =
+      (fun ~seed ~k ->
+        let rng = Rng.create ~seed in
+        let remaining = ref (pick_victims ~seed ~k) in
+        let write_pending p =
+          Runtime.status p = Runtime.Runnable
+          && match Runtime.pending p with
+             | Some (Runtime.Write _) -> true
+             | Some (Runtime.Read _) | None -> false
+        in
+        fun rt ->
+          match
+            List.find_opt
+              (fun pid -> write_pending (Runtime.proc_by_pid rt pid))
+              !remaining
+          with
+          | Some pid ->
+              remaining := List.filter (fun x -> x <> pid) !remaining;
+              Some (Runner.Crash (Runtime.proc_by_pid rt pid))
+          | None -> random_commit rng rt);
+  }
+
+let freeze =
+  {
+    id = "freeze";
+    describe = "ceil(k/2) victims frozen for a commit window, then thawed";
+    make =
+      (fun ~seed ~k ->
+        let rng = Rng.create ~seed in
+        let victims = pick_victims ~seed:(seed + 2) ~k in
+        let freeze_at = 4 + (k / 2) in
+        let policy =
+          Exsel_lowerbound.Freeze.freeze_window ~rng ~victims ~freeze_at
+            ~thaw_at:(freeze_at + (32 * k))
+        in
+        fun rt ->
+          match policy rt with
+          | Some p -> Some (Runner.Commit p)
+          | None -> None);
+  }
+
+let lockstep =
+  {
+    id = "lockstep";
+    describe = "uniform among least-stepped runnable processes (max contention)";
+    make =
+      (fun ~seed ~k:_ ->
+        let rng = Rng.create ~seed in
+        fun rt ->
+          if Runtime.num_runnable rt = 0 then None
+          else begin
+            let min_steps = ref max_int in
+            Runtime.iter_runnable rt (fun p ->
+                if Runtime.steps p < !min_steps then min_steps := Runtime.steps p);
+            let count = ref 0 in
+            Runtime.iter_runnable rt (fun p ->
+                if Runtime.steps p = !min_steps then incr count);
+            let j = Rng.int rng !count in
+            let chosen = ref None in
+            let i = ref 0 in
+            Runtime.iter_runnable rt (fun p ->
+                if Runtime.steps p = !min_steps then begin
+                  if !i = j then chosen := Some p;
+                  incr i
+                end);
+            match !chosen with
+            | Some p -> Some (Runner.Commit p)
+            | None -> None
+          end);
+  }
+
+let all = [ random; crash_half; crash_on_write; freeze; lockstep ]
+
+let find id = List.find_opt (fun r -> r.id = id) all
+
+let ids () = List.map (fun r -> r.id) all

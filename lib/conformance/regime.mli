@@ -1,0 +1,40 @@
+(** Fault regimes: seeded adversarial environments for campaign cells.
+
+    A regime turns a seed and the contention [k] into a {!Runner.driver}.
+    Five regimes ship, covering the fault classes the paper's claims are
+    stated against:
+
+    - ["random"] — seeded uniformly-random scheduling, no crashes (the
+      baseline asynchronous adversary);
+    - ["crash-half"] — ⌈k/2⌉ seeded victims crash at seeded global commit
+      points, random scheduling otherwise;
+    - ["crash-on-write"] — ⌈k/2⌉ seeded victims crash the first time
+      their pending operation is a write, so half-performed announcements
+      (a posted door value, a partial snapshot update) are left behind;
+    - ["freeze"] — an adversarial freeze/wake window built on
+      {!Exsel_lowerbound.Freeze.freeze_window}: ⌈k/2⌉ victims are frozen
+      mid-protocol for a window of commits while the rest run, then
+      thawed (no crashes — tests claims under maximal staleness);
+    - ["lockstep"] — uniform choice among the runnable processes with the
+      {e fewest} local steps, keeping all [k] contenders inside the same
+      protocol stage — the highest-contention schedule a uniform
+      adversary produces.
+
+    Every driver is deterministic in [(seed, k)]; replaying a recorded
+    schedule with {!Exsel_sim.Explore.replay} reproduces the execution
+    without the regime. *)
+
+type t = {
+  id : string;  (** CLI-stable identifier, e.g. ["crash-half"] *)
+  describe : string;  (** one-line description for reports *)
+  make : seed:int -> k:int -> Runner.driver;
+}
+
+val all : t list
+(** The five regimes, in the order listed above. *)
+
+val find : string -> t option
+(** Look a regime up by [id]. *)
+
+val ids : unit -> string list
+(** All regime ids, in {!all} order. *)

@@ -6,6 +6,47 @@ module Rng = Exsel_sim.Rng
 module SD = Exsel_repository.Selfish_deposit
 module DA = Exsel_repository.Deposit_array
 
+(* Uniform over the runnable processes not excluded by [frozen], straight
+   off the runtime's runnable index: one draw per decision, one
+   allocation-free walk to the chosen element.  With one frozen victim
+   the walk degenerates to the historical rank-skip, so draw sequences
+   (and hence whole seeded executions) are unchanged. *)
+let uniform_avoiding ~rng ~frozen t =
+  let eligible = ref 0 in
+  Runtime.iter_runnable t (fun p -> if not (frozen p) then incr eligible);
+  if !eligible = 0 then None
+  else begin
+    let j = Rng.int rng !eligible in
+    let seen = ref 0 and chosen = ref None in
+    Runtime.iter_runnable t (fun p ->
+        if not (frozen p) then begin
+          if !seen = j && !chosen = None then chosen := Some p;
+          incr seen
+        end);
+    match !chosen with Some _ as r -> r | None -> assert false
+  end
+
+let freeze_window ~rng ~victims ~freeze_at ~thaw_at =
+  if thaw_at < freeze_at then
+    invalid_arg "Freeze.freeze_window: thaw_at must be at least freeze_at";
+  let thawed_early = ref false in
+  fun t ->
+    let clock = Runtime.commits t in
+    let in_window =
+      (not !thawed_early) && clock >= freeze_at && clock < thaw_at
+    in
+    if not in_window then uniform_avoiding ~rng ~frozen:(fun _ -> false) t
+    else begin
+      let frozen p = List.mem (Runtime.pid p) victims in
+      match uniform_avoiding ~rng ~frozen t with
+      | Some _ as r -> r
+      | None ->
+          (* every runnable process is frozen: thaw permanently so the
+             execution completes and liveness stays checkable *)
+          thawed_early := true;
+          uniform_avoiding ~rng ~frozen:(fun _ -> false) t
+    end
+
 type result = {
   frozen_register : int;
   others_deposits : int;
@@ -68,18 +109,12 @@ let corollary2 ~n ~deposits_per_other ~seed =
            done))
   done;
   let rng = Rng.create ~seed in
-  (* uniform over the runnable processes other than the victim, straight
-     off the runtime's runnable index: O(1) per decision, no list builds,
-     and draw-for-draw identical to filtering [Runtime.runnable] *)
-  let policy t =
-    let n = Runtime.num_runnable t in
-    match Runtime.runnable_rank victim with
-    | None -> if n = 0 then None else Some (Runtime.nth_runnable t (Rng.int rng n))
-    | Some vr ->
-        if n <= 1 then None
-        else
-          let k = Rng.int rng (n - 1) in
-          Some (Runtime.nth_runnable t (if k >= vr then k + 1 else k))
+  (* uniform over the runnable processes other than the frozen victim —
+     the shared freeze machinery, draw-for-draw identical to the
+     historical rank-skipping policy this construction used *)
+  let victim_pid = Runtime.pid victim in
+  let policy =
+    uniform_avoiding ~rng ~frozen:(fun p -> Runtime.pid p = victim_pid)
   in
   Runtime.run ~max_commits:200_000_000 rt policy;
   let untouched_while_frozen =

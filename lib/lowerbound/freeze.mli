@@ -14,6 +14,41 @@
     whether the frozen register stayed untouched — and that un-freezing
     afterwards completes the deposit without any overwrite. *)
 
+(** {2 Reusable freeze/wake scheduling}
+
+    The construction above is one instance of a general adversarial
+    pattern — {e freeze} a set of processes (never schedule them) for a
+    window of the execution while the rest run freely, then {e wake} the
+    frozen set and let the execution complete.  The conformance campaigns
+    ({!Exsel_conformance}) reuse the two policies below to slam every
+    renaming algorithm with exactly this regime. *)
+
+val uniform_avoiding :
+  rng:Exsel_sim.Rng.t ->
+  frozen:(Exsel_sim.Runtime.proc -> bool) ->
+  Exsel_sim.Scheduler.policy
+(** Uniformly random choice over the runnable processes for which
+    [frozen] is [false]; [None] (stop) when every runnable process is
+    frozen.  One generator draw per decision.  With a single frozen
+    victim the draw sequence is identical to the historical
+    rank-skipping policy inside {!corollary2}, so seeded executions are
+    unchanged. *)
+
+val freeze_window :
+  rng:Exsel_sim.Rng.t ->
+  victims:int list ->
+  freeze_at:int ->
+  thaw_at:int ->
+  Exsel_sim.Scheduler.policy
+(** An adversarial freeze/wake schedule: uniformly random scheduling,
+    except that processes whose pid is listed in [victims] are frozen —
+    never scheduled — while the global commit clock
+    ({!Exsel_sim.Runtime.commits}) lies in [[freeze_at, thaw_at)].
+    Outside the window the policy is plain uniform-random.  If at some
+    point {e every} runnable process is frozen, the window ends early
+    (the victims thaw permanently) so executions always complete —
+    liveness claims stay checkable under the regime. *)
+
 type result = {
   frozen_register : int;  (** index of the register pinned by the freeze *)
   others_deposits : int;  (** deposits completed by the other processes *)

@@ -56,6 +56,10 @@ val report : t -> report
 (** Snapshot the profile (the probe keeps observing afterwards). *)
 
 val to_json : report -> Json.t
+(** Contention profile as JSON: the report's totals ([registers],
+    [touched], [max_writers], [peak_pending]) plus a [profiles] array,
+    hot registers first. *)
+
 val pp : Format.formatter -> report -> unit
 (** Human-readable rendering: header line plus one line per hot register
     (sorted by peak pending contention, then writes). *)

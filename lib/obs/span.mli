@@ -91,6 +91,8 @@ val to_json : t -> Json.t
 (** Span trees: [{"processes": [{"pid", "proc", "spans": [...]}]}]. *)
 
 val aggregate_to_json : agg list -> Json.t
+(** Aggregates as JSON: one object per label with count, step and
+    read/write totals. *)
 
 val pp_aggregate : Format.formatter -> agg list -> unit
 (** One line per label: count, steps (total/max), reads/writes. *)

@@ -33,6 +33,19 @@ let enter t ~me =
     else Down
   end
 
+(* The stop/right race deliberately reintroduced: the final door re-check
+   is skipped, so two contenders that both pass the open gate both stop.
+   Negative control for the conformance harness — never call from real
+   compositions. *)
+let enter_racy t ~me =
+  Runtime.write t.door (Some me);
+  if Runtime.read t.closed then Right
+  else begin
+    Runtime.write t.closed true;
+    t.stopped <- Some me;
+    Stop
+  end
+
 let captured_by t = t.stopped
 
 let steps_bound = 4

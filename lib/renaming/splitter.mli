@@ -17,6 +17,14 @@ val enter : t -> me:int -> outcome
 (** Run the splitter.  At most 4 local steps.  Must be called from inside a
     runtime process, at most once per process per splitter. *)
 
+val enter_racy : t -> me:int -> outcome
+(** {!enter} with the stop/right race {e deliberately reintroduced}: the
+    final door re-check is skipped, so two contenders can both stop.
+    This is the negative-control target of the conformance campaigns
+    ({!Exsel_conformance}) — a grid built on it assigns duplicate names
+    under contention, proving the harness catches and shrinks real
+    violations.  Never use it in an actual composition. *)
+
 val captured_by : t -> int option
 (** Identifier that stopped here, if any (test inspection, non-atomic;
     sound only after the execution is quiet, when it equals the unique

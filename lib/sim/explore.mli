@@ -63,6 +63,7 @@ type stats = {
 }
 
 val empty_stats : stats
+(** All counters zero, empty histogram — the accumulator seed. *)
 
 type outcome = {
   paths : int;  (** complete executions checked *)
@@ -103,6 +104,7 @@ val independent : Runtime.op_kind -> Runtime.op_kind -> bool
     always dependent; callers pass ops of distinct processes.) *)
 
 val pp_choice : Format.formatter -> choice -> unit
+(** Render a choice as [pN] (commit) or [xN] (crash). *)
 
 val replay : Runtime.t -> choice list -> unit
 (** Re-execute a schedule (as returned in [failure]) against a freshly

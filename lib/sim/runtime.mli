@@ -44,6 +44,7 @@ val create : Memory.t -> t
 (** [create mem] makes a runtime whose processes share memory [mem]. *)
 
 val memory : t -> Memory.t
+(** The shared memory the runtime's processes operate on. *)
 
 val spawn : t -> name:string -> (unit -> unit) -> proc
 (** [spawn t ~name body] starts a process.  The body runs immediately up to
@@ -79,8 +80,10 @@ val pid : proc -> int
 (** Dense index of the process (0-based, in spawn order). *)
 
 val proc_name : proc -> string
+(** The diagnostic label given at {!spawn}. *)
 
 val status : proc -> status
+(** Current lifecycle state of the process. *)
 
 val steps : proc -> int
 (** Committed shared-memory operations of this process so far. *)

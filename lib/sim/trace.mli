@@ -46,6 +46,7 @@ val events : t -> event list
     invalidated on append: repeated calls between commits are O(1). *)
 
 val length : t -> int
+(** Number of events recorded so far.  O(1). *)
 
 val by_process : t -> int -> event list
 (** Events of one process, oldest first.  Single pass, no intermediate
@@ -56,6 +57,8 @@ val writes_to : t -> int -> event list
     intermediate list. *)
 
 val pp_event : Format.formatter -> event -> unit
+(** One event on one line: index, commit clock, process, kind, register
+    and value. *)
 
 val pp : Format.formatter -> t -> unit
 (** Full trace, one event per line. *)
