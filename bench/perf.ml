@@ -13,7 +13,13 @@
        instances, and the resulting speedup;
    P4  explorer pruning statistics — deterministic effort counters
        (replays, sleep-set prunes, state-hash hits/misses) per instance
-       and reduction mode, tracked in the JSON but not baseline-gated.
+       and reduction mode, tracked in the JSON but not baseline-gated;
+   P5  campaign scaling — wall-clock cells/sec of one conformance
+       campaign at -j 1/2/4 domains plus the speedup ratios, and a
+       cross-check that every report is byte-identical to -j 1.
+       Tracked in the JSON but not baseline-gated: speedup depends on
+       the core count of the machine (a 1-core runner time-slices the
+       domains and legitimately reports ~1.0x).
 
    `--baseline <file>` reads `<metric> <reference>` lines and fails (exit
    1) if any measured metric drops below reference/2 — the CI regression
@@ -261,11 +267,85 @@ let p4_pruning_stats () =
       rows,
     List.rev !metrics )
 
+(* --- P5: campaign scaling ---------------------------------------------- *)
+
+(* Wall-clock (not CPU-time) measurement: with [jobs > 1] the work is
+   spread across domains, so CPU time stays flat while wall time is what
+   actually shrinks. *)
+let time_wall f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let p5_campaign_scaling () =
+  let module C = Exsel_conformance.Campaign in
+  let cfg = { C.default with C.seeds = [ 1; 2 ]; k = 4 } in
+  let metrics = ref [] in
+  let json_of jobs =
+    Exsel_obs.Json.to_string (C.to_json (C.run ~jobs cfg))
+  in
+  let reference = json_of 1 in
+  let cells =
+    List.length cfg.C.algos * List.length cfg.C.regimes
+  in
+  let base_rate = ref nan in
+  let all_identical = ref true in
+  let rows =
+    List.map
+      (fun jobs ->
+        let report, dt = time_wall (fun () -> C.run ~jobs cfg) in
+        let identical = json_of jobs = reference in
+        all_identical := !all_identical && identical;
+        let rate = float_of_int (List.length report.C.r_cells) /. dt in
+        if jobs = 1 then base_rate := rate;
+        let speedup = rate /. !base_rate in
+        metrics :=
+          (Printf.sprintf "campaign_cells_per_sec_j%d" jobs, rate)
+          :: (if jobs = 1 then []
+              else [ (Printf.sprintf "campaign_speedup_j%d" jobs, speedup) ])
+          @ !metrics;
+        [
+          Table.cell_int jobs;
+          Table.cell_int (List.length report.C.r_cells);
+          Table.cell_float dt;
+          Printf.sprintf "%.1f" rate;
+          Printf.sprintf "%.2fx" speedup;
+          (if identical then "yes" else "NO");
+        ])
+      [ 1; 2; 4 ]
+  in
+  if not !all_identical then begin
+    prerr_endline "P5: parallel campaign report differs from -j 1";
+    exit 1
+  end;
+  ( Table.make ~id:"P5"
+      ~title:
+        (Printf.sprintf "perf: campaign scaling (%d cells, seeds=2, k=%d)"
+           cells cfg.C.k)
+      ~header:[ "jobs"; "cells"; "wall sec"; "cells/sec"; "speedup"; "= -j 1" ]
+      ~notes:
+        [
+          "Wall-clock time of one conformance campaign sharded across";
+          "domains (Campaign.run ~jobs).  Speedup tracks the machine's";
+          "core count — a 1-core runner reports ~1.0x — so these metrics";
+          "are recorded in the JSON but not gated against the baseline.";
+          "The `= -j 1` column asserts the exsel-conformance/1 document";
+          "is byte-identical across jobs (the bench aborts if not).";
+        ]
+      rows,
+    List.rev !metrics )
+
 (* --- driver ------------------------------------------------------------ *)
 
 let run ~json ~baseline =
   let tables_metrics =
-    [ p1_commit_throughput (); p2_scheduler_overhead (); p3_explorer (); p4_pruning_stats () ]
+    [
+      p1_commit_throughput ();
+      p2_scheduler_overhead ();
+      p3_explorer ();
+      p4_pruning_stats ();
+      p5_campaign_scaling ();
+    ]
   in
   let entries =
     List.map (fun (table, _) -> { Report.table; runs = [] }) tables_metrics

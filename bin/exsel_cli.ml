@@ -18,6 +18,15 @@ module Trace_export = Exsel_obs.Trace_export
 
 let spread ~count ~bound = List.init count (fun i -> i * (max 1 (bound / count)) mod bound)
 
+(* -j 0 means "one domain per core"; anything negative is a usage error. *)
+let resolve_jobs jobs =
+  if jobs < 0 then begin
+    Printf.eprintf "--jobs must be >= 0 (got %d)\n" jobs;
+    exit 2
+  end
+  else if jobs = 0 then Exsel_sim.Pool.default_jobs ()
+  else jobs
+
 (* ------------------------------------------------------------------ *)
 (* rename subcommand                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -364,8 +373,8 @@ let run_msgrename n f crashed seed =
 
 (* Exit codes: 0 invariant holds, 1 violation found, 2 usage error,
    3 exploration truncated at --max-paths before finishing. *)
-let run_explore target contenders crashes reduce do_shrink max_paths trace_file
-    chrome_file json_file =
+let run_explore target contenders crashes reduce do_shrink max_paths jobs
+    trace_file chrome_file json_file =
   let open Exsel_sim in
   let init_compete () =
     let mem = Memory.create () in
@@ -443,8 +452,11 @@ let run_explore target contenders crashes reduce do_shrink max_paths trace_file
   in
   (* generic over the instance's context type; generalizes because it is a
      syntactic value *)
+  let jobs = resolve_jobs jobs in
   let drive ~init ~check =
-    let outcome = Explore.run ~max_crashes:crashes ~max_paths ~reduction ~init ~check () in
+    let outcome =
+      Explore.run ~max_crashes:crashes ~max_paths ~reduction ~jobs ~init ~check ()
+    in
     Printf.printf "model-checked %s with %d contenders (crashes<=%d, reduction=%b)\n"
       target contenders crashes reduce;
     Printf.printf "paths: %d  decisions: %d  truncated: %b\n" outcome.Explore.paths
@@ -578,8 +590,8 @@ module Conf_adapter = Exsel_conformance.Adapter
 module Conf_regime = Exsel_conformance.Regime
 module Campaign = Exsel_conformance.Campaign
 
-let run_conformance algos regimes nseeds k steps_multiple max_commits no_shrink
-    json chrome =
+let run_conformance algos regimes seeds_spec k steps_multiple max_commits
+    no_shrink jobs json chrome =
   let algos =
     match algos with
     | [] -> Conf_adapter.honest
@@ -608,26 +620,30 @@ let run_conformance algos regimes nseeds k steps_multiple max_commits no_shrink
                 exit 2)
           ids
   in
-  if nseeds <= 0 then begin
-    Printf.eprintf "--seeds must be positive\n";
-    exit 2
-  end;
+  let seeds =
+    match Campaign.seeds_of_string seeds_spec with
+    | Ok seeds -> seeds
+    | Error msg ->
+        Printf.eprintf "--seeds %s: %s\n" seeds_spec msg;
+        exit 2
+  in
   if k < 2 then begin
     Printf.eprintf "--k must be at least 2\n";
     exit 2
   end;
+  let jobs = resolve_jobs jobs in
   let cfg =
     {
       Campaign.algos;
       regimes;
-      seeds = List.init nseeds (fun i -> i + 1);
+      seeds;
       k;
       steps_multiple;
       max_commits;
       shrink = not no_shrink;
     }
   in
-  let report = Campaign.run cfg in
+  let report = Campaign.run ~jobs cfg in
   Format.printf "%a" Campaign.pp_summary report;
   (match json with
   | Some path ->
@@ -765,13 +781,14 @@ let explore_cmd =
   let reduce = Arg.(value & flag & info [ "reduce" ] ~doc:"Enable sleep-set partial-order reduction.") in
   let shrink = Arg.(value & flag & info [ "shrink" ] ~doc:"Minimize the counterexample schedule (ddmin) before reporting it.") in
   let max_paths = Arg.(value & opt int 1_000_000 & info [ "max-paths" ] ~docv:"P" ~doc:"Stop after checking $(docv) schedules (exit 3 when hit).") in
+  let jobs = Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Shard top-level schedule branches across $(docv) domains (0 = one per core); the outcome is identical to -j 1.") in
   let trace = Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc:"On violation, write the counterexample's value-carrying trace as an exsel-trace/1 document to $(docv).") in
   let chrome = Arg.(value & opt (some string) None & info [ "chrome" ] ~docv:"FILE" ~doc:"On violation, write the counterexample as Chrome trace-event JSON to $(docv) (open at ui.perfetto.dev).") in
   let json = Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc:"Write the exploration outcome (stats, failure, trace) as one exsel-explore/1 document to $(docv).") in
   Cmd.v (Cmd.info "explore" ~doc)
     Term.(
       const run_explore $ target $ contenders $ crashes $ reduce $ shrink $ max_paths
-      $ trace $ chrome $ json)
+      $ jobs $ trace $ chrome $ json)
 
 let conformance_cmd =
   let doc =
@@ -796,9 +813,12 @@ let conformance_cmd =
   in
   let seeds =
     Arg.(
-      value & opt int 3
-      & info [ "seeds" ] ~docv:"N"
-          ~doc:"Seeds per cell (campaigns run seeds 1..$(docv)).")
+      value & opt string "3"
+      & info [ "seeds" ] ~docv:"N|LIST"
+          ~doc:
+            "Seeds per cell: a count (campaigns run seeds 1..N) or an \
+             explicit comma-separated list (e.g. 3,7,11).  Duplicate and \
+             negative seeds are rejected.")
   in
   let k =
     Arg.(
@@ -825,6 +845,14 @@ let conformance_cmd =
       & info [ "no-shrink" ]
           ~doc:"Skip ddmin minimization of violating schedules.")
   in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Shard the algo\xc3\x97regime matrix across $(docv) domains (0 = \
+             one per core).  The report is byte-identical to -j 1.")
+  in
   let json =
     Arg.(
       value
@@ -846,7 +874,7 @@ let conformance_cmd =
   Cmd.v (Cmd.info "conformance" ~doc)
     Term.(
       const run_conformance $ algos $ regimes $ seeds $ k $ steps_multiple
-      $ max_commits $ no_shrink $ json $ chrome)
+      $ max_commits $ no_shrink $ jobs $ json $ chrome)
 
 let experiments_cmd =
   let doc = "regenerate the paper-reproduction tables and figures" in

@@ -23,6 +23,44 @@ let default =
     shrink = true;
   }
 
+(* [--seeds] accepts either a count ("5" → seeds 1..5) or an explicit
+   comma-separated list ("3,7,11").  Duplicate and negative seeds are
+   rejected rather than silently accepted: a duplicate runs the same
+   execution twice and skews [seeds_run], and a negative seed aliases
+   the RNG state of a positive one ({!Exsel_sim.Rng.create} folds the
+   seed), silently shrinking the coverage the report claims. *)
+let seeds_of_string spec =
+  let parts = String.split_on_char ',' (String.trim spec) in
+  let parse s =
+    match int_of_string_opt (String.trim s) with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "invalid seed %S (expected an integer)" s)
+  in
+  let rec collect acc = function
+    | [] -> Ok (List.rev acc)
+    | s :: rest -> (
+        match parse s with Ok n -> collect (n :: acc) rest | Error e -> Error e)
+  in
+  match collect [] parts with
+  | Error e -> Error e
+  | Ok [ n ] ->
+      (* a single value is a count, matching the historical interface *)
+      if n <= 0 then
+        Error (Printf.sprintf "seed count %d must be positive" n)
+      else Ok (List.init n (fun i -> i + 1))
+  | Ok seeds -> (
+      match List.find_opt (fun s -> s < 0) seeds with
+      | Some bad -> Error (Printf.sprintf "negative seed %d aliases a positive RNG state" bad)
+      | None -> (
+          let rec first_dup seen = function
+            | [] -> None
+            | s :: rest ->
+                if List.mem s seen then Some s else first_dup (s :: seen) rest
+          in
+          match first_dup [] seeds with
+          | Some bad -> Error (Printf.sprintf "duplicate seed %d" bad)
+          | None -> Ok seeds))
+
 type violation = {
   v_algo : string;
   v_claim : string;
@@ -138,17 +176,36 @@ let run_cell cfg (adapter : Adapter.t) (regime : Regime.t) =
     c_violation = !violation;
   }
 
-let run ?(on_cell = fun _ -> ()) cfg =
-  let cells =
+let run ?(jobs = 1) ?(on_cell = fun _ -> ()) cfg =
+  (* Every cell (algo × regime, seeds run in order inside it) is an
+     independent unit of work: each run builds its own memory, runtime,
+     rng and observers, and all simulator ambient state is domain-local.
+     Pool.map returns cell outcomes in matrix order regardless of which
+     domain finished first, so the report — including each cell's first
+     violation, its shrunk counterexample and its replayed trace — is
+     identical at every [jobs]. *)
+  let matrix =
     List.concat_map
-      (fun adapter ->
-        List.map
-          (fun regime ->
-            let cell = run_cell cfg adapter regime in
-            on_cell cell;
-            cell)
-          cfg.regimes)
+      (fun adapter -> List.map (fun regime -> (adapter, regime)) cfg.regimes)
       cfg.algos
+  in
+  let cells =
+    if jobs <= 1 then
+      List.map
+        (fun (adapter, regime) ->
+          let cell = run_cell cfg adapter regime in
+          on_cell cell;
+          cell)
+        matrix
+    else begin
+      let cells =
+        Exsel_sim.Pool.map ~jobs
+          (fun (adapter, regime) -> run_cell cfg adapter regime)
+          matrix
+      in
+      List.iter on_cell cells;
+      cells
+    end
   in
   let violations =
     List.length (List.filter (fun c -> c.c_violation <> None) cells)

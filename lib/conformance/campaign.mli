@@ -73,9 +73,22 @@ type report = {
   r_violations : int;
 }
 
-val run : ?on_cell:(cell -> unit) -> config -> report
-(** Execute the matrix.  [on_cell] is called after each finished cell
-    (progress reporting). *)
+val run : ?jobs:int -> ?on_cell:(cell -> unit) -> config -> report
+(** Execute the matrix.  [jobs] (default 1) shards the cells across that
+    many domains ({!Exsel_sim.Pool}); every cell is an independent unit
+    of work and results are merged in matrix order, so the report —
+    cell outcomes, first-violation-per-cell, shrunk counterexamples,
+    replayed traces — is field-for-field identical at every [jobs]
+    (DESIGN.md §10).  [on_cell] is called after each finished cell
+    (progress reporting); under [jobs > 1] it is called once per cell in
+    matrix order after the whole matrix completes. *)
+
+val seeds_of_string : string -> (int list, string) result
+(** Parse a [--seeds] specification: a single positive count ["5"]
+    (seeds [1..5]), or an explicit comma-separated list ["3,7,11"].
+    Rejects — naming the offending value — non-integers, non-positive
+    counts, negative seeds (they alias positive RNG states) and
+    duplicate seeds (they skew [seeds_run]). *)
 
 val to_json : report -> Exsel_obs.Json.t
 (** The [exsel-conformance/1] document:

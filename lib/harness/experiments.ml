@@ -26,14 +26,31 @@ type observation = {
   obs_spans : Exsel_obs.Span.agg list;
 }
 
-let observing = ref false
-let observations_rev : observation list ref = ref []
+(* Domain-local capture state ([Domain.DLS], DESIGN.md §10): campaigns
+   and benches running experiments on several domains each get their own
+   observing flag and queue, so observations never leak across domains.
+   Enabling observation also clears the queue — a run that raised before
+   [drain_observations] (e.g. an invariant check failing mid-experiment)
+   must not bleed its observations into the next report. *)
+type obs_state = {
+  mutable observing : bool;
+  mutable observations_rev : observation list;
+}
 
-let set_observing b = observing := b
+let obs_key : obs_state Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { observing = false; observations_rev = [] })
+
+let obs_state () = Domain.DLS.get obs_key
+
+let set_observing b =
+  let st = obs_state () in
+  if b then st.observations_rev <- [];
+  st.observing <- b
 
 let drain_observations () =
-  let obs = List.rev !observations_rev in
-  observations_rev := [];
+  let st = obs_state () in
+  let obs = List.rev st.observations_rev in
+  st.observations_rev <- [];
   obs
 
 let observation_to_json o =
@@ -52,7 +69,8 @@ let observation_to_json o =
    time), the probe attaches after spawning so its initial scan sees the
    whole pending burst. *)
 let run_renaming ?(label = "") ~seed ~ids rename mem rt =
-  let span = if !observing then Some (Exsel_obs.Span.attach rt) else None in
+  let st = obs_state () in
+  let span = if st.observing then Some (Exsel_obs.Span.attach rt) else None in
   let results = Array.make (List.length ids) None in
   List.iteri
     (fun i me ->
@@ -60,21 +78,21 @@ let run_renaming ?(label = "") ~seed ~ids rename mem rt =
         (Runtime.spawn rt ~name:(Printf.sprintf "p%d" i) (fun () ->
              results.(i) <- rename ~me)))
     ids;
-  let probe = if !observing then Some (Exsel_obs.Probe.attach rt) else None in
+  let probe = if st.observing then Some (Exsel_obs.Probe.attach rt) else None in
   Scheduler.run ~max_commits:200_000_000 rt (Scheduler.random (Rng.create ~seed));
   ignore mem;
   let names = Array.to_list results |> List.filter_map Fun.id in
   let summary = Metrics.of_runtime rt in
   (match (span, probe) with
   | Some sp, Some pr ->
-      observations_rev :=
+      st.observations_rev <-
         {
           obs_label = label;
           obs_summary = summary;
           obs_probe = Exsel_obs.Probe.report pr;
           obs_spans = Exsel_obs.Span.aggregate sp;
         }
-        :: !observations_rev;
+        :: st.observations_rev;
       Exsel_obs.Span.detach sp
   | _ -> ());
   { summary; names; failures = List.length ids - List.length names }

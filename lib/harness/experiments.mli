@@ -86,7 +86,15 @@ type observation = {
 }
 
 val set_observing : bool -> unit
+(** Toggle observation capture for the {e current domain}.  Enabling
+    also clears the domain's queue, so observations left over from a run
+    that raised before {!drain_observations} never bleed into the next
+    report. *)
+
 val drain_observations : unit -> observation list
+(** Return and clear the current domain's queued observations, oldest
+    first.  Capture state is domain-local ([Domain.DLS], DESIGN.md §10):
+    each domain observes and drains only its own runs. *)
 
 val observation_to_json : observation -> Exsel_obs.Json.t
 (** Object with [label summary probe spans]. *)

@@ -23,7 +23,14 @@
     process that crashes while suspended keeps contributing its pending
     operation to the live count until the report; none of the
     experiment paths crash profiled runs, and peaks recorded before the
-    crash are always exact. *)
+    crash are always exact.
+
+    Domain safety: unlike {!Span}, a probe has {e no} ambient state —
+    every counter lives in the explicitly-threaded [t] hooked onto one
+    runtime — so probes on different runtimes never interact, whether
+    the runtimes share a domain or run concurrently on several
+    (DESIGN.md §10).  A probe must be driven from the domain that runs
+    its runtime. *)
 
 type reg_profile = {
   id : int;  (** register id within the memory *)

@@ -65,7 +65,17 @@ let grow t pid =
   t.roots_rev <- extend t.roots_rev [];
   t.fixups <- extend t.fixups []
 
-let installed : t option ref = ref None
+(* Ambient sink registry, one per domain ([Domain.DLS]) and within a
+   domain one sink per runtime.  Recording calls ({!wrap} etc.) look the
+   sink up by the *owner* of the currently-active process, so two live
+   runtimes — one constructed inside the other's proc body, or running
+   concurrently on separate domains — never cross-attribute spans, and
+   detaching an inner sink cannot knock out an outer one. *)
+let installed_key : t list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let sink_for rt =
+  List.find_opt (fun s -> s.rt == rt) !(Domain.DLS.get installed_key)
 
 let attach rt =
   let t =
@@ -98,10 +108,14 @@ let attach rt =
             fixes);
       if is_read then t.reads_of.(pid) <- t.reads_of.(pid) + 1
       else t.writes_of.(pid) <- t.writes_of.(pid) + 1);
-  installed := Some t;
+  let reg = Domain.DLS.get installed_key in
+  (* at most one sink per runtime: re-attaching replaces the old one *)
+  reg := t :: List.filter (fun s -> s.rt != rt) !reg;
   t
 
-let detach t = match !installed with Some s when s == t -> installed := None | _ -> ()
+let detach t =
+  let reg = Domain.DLS.get installed_key in
+  reg := List.filter (fun s -> s != t) !reg
 
 let push t p label =
   let pid = Runtime.pid p in
@@ -165,12 +179,12 @@ let pop_one t pid =
       close t frame ~complete:true
 
 let wrap label f =
-  match !installed with
+  match Runtime.current_proc () with
   | None -> f ()
-  | Some t -> (
-      match Runtime.current_proc () with
+  | Some p -> (
+      match sink_for (Runtime.owner p) with
       | None -> f ()
-      | Some p -> (
+      | Some t -> (
           let node = push t p label in
           (* not [Fun.protect]: a crash unwind must mark the span
              incomplete, which the finalizer could not distinguish *)
@@ -183,20 +197,20 @@ let wrap label f =
               raise e))
 
 let enter label =
-  match !installed with
+  match Runtime.current_proc () with
   | None -> ()
-  | Some t -> (
-      match Runtime.current_proc () with
+  | Some p -> (
+      match sink_for (Runtime.owner p) with
       | None -> ()
-      | Some p -> ignore (push t p label))
+      | Some t -> ignore (push t p label))
 
 let exit () =
-  match !installed with
+  match Runtime.current_proc () with
   | None -> ()
-  | Some t -> (
-      match Runtime.current_proc () with
+  | Some p -> (
+      match sink_for (Runtime.owner p) with
       | None -> ()
-      | Some p -> pop_one t (Runtime.pid p))
+      | Some t -> pop_one t (Runtime.pid p))
 
 (* Close anything still open (crashed or abandoned processes) so reports
    see every span. *)

@@ -13,13 +13,19 @@
     ["adaptive:level=2"], ["adaptive:reserve"].
 
     Instrumentation is ambient: algorithm code calls {!wrap} (or
-    {!enter}/{!exit}) unconditionally; the calls are no-ops — one ref
-    read — unless a sink is {!attach}ed.  Attribution uses
-    {!Exsel_sim.Runtime.current_proc}, so spans opened in process bodies
-    land on the right process even though the harness never threads a
-    handle through the algorithms.  Attach the sink {e before} spawning:
-    bodies run to their first suspension at spawn time and may already
-    open spans there.
+    {!enter}/{!exit}) unconditionally; the calls are no-ops — one
+    domain-local lookup — unless a sink is {!attach}ed for the issuing
+    process's runtime.  Attribution uses
+    {!Exsel_sim.Runtime.current_proc} plus {!Exsel_sim.Runtime.owner},
+    so spans opened in process bodies land on the right process {e of
+    the right runtime} even though the harness never threads a handle
+    through the algorithms — several runtimes may be live at once (one
+    nested in another's proc body, or concurrently on different domains)
+    and each records only its own spans.  The sink registry is
+    domain-local ([Domain.DLS], DESIGN.md §10): attach and record on the
+    same domain.  Attach the sink {e before} spawning: bodies run to
+    their first suspension at spawn time and may already open spans
+    there.
 
     A crash unwinds the process fiber through {!wrap}'s protection, so
     crashed spans are closed (and marked incomplete where the unwind
@@ -57,12 +63,13 @@ type agg = {
 (** {2 Sink lifecycle (harness side)} *)
 
 val attach : Exsel_sim.Runtime.t -> t
-(** Create a sink for this runtime and install it as the ambient
-    recorder (replacing any previous one). *)
+(** Create a sink for this runtime and install it in the current
+    domain's registry (replacing any previous sink {e of the same
+    runtime}; sinks of other runtimes are untouched). *)
 
 val detach : t -> unit
-(** Uninstall the sink if it is the ambient one; its recorded spans
-    remain readable.  Idempotent. *)
+(** Remove the sink from the registry; its recorded spans remain
+    readable.  Other runtimes' sinks are untouched.  Idempotent. *)
 
 (** {2 Recording (algorithm side)} *)
 

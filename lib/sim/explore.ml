@@ -57,15 +57,31 @@ let replay rt choices = List.iter (apply rt) choices
    DFS node (O(depth^2) per path), and memory use stays flat.  Frames are
    pushed right-sibling-first so pops preserve the left-to-right DFS order
    of the historical recursive engine: [paths], [states] and the first
-   counterexample are bit-identical to it. *)
-let run ?(max_crashes = 0) ?(max_paths = 1_000_000) ?(reduction = `None) ~init ~check
-    () =
-  if reduction = `Sleep_sets && max_crashes > 0 then
-    invalid_arg "Explore.run: sleep-set reduction requires max_crashes = 0";
+   counterexample are bit-identical to it.
+
+   [start] restricts the engine to the subtree under one root choice —
+   the unit the multicore driver shards across domains.  Its counter
+   seeds make the per-shard counters line up exactly with the slice of a
+   sequential run that explores the same subtree: the root edge counts
+   one state inside its own shard, and every shard after the leftmost
+   opens with the one frontier-pop replay the sequential engine performs
+   to enter it. *)
+type start = {
+  st_prefix : choice list;  (* root choices already taken ([] = whole tree) *)
+  st_crashes : int;  (* crash budget consumed by the prefix *)
+  st_sleep : (int * Runtime.op_kind) list;  (* initial sleep set (sleep engine) *)
+  st_states : int;  (* states counter seed *)
+  st_replays : int;  (* replays counter seed *)
+}
+
+let root_start =
+  { st_prefix = []; st_crashes = 0; st_sleep = []; st_states = 0; st_replays = 0 }
+
+let single ~max_crashes ~max_paths ~reduction ~start ~init ~check () =
   let paths = ref 0 in
-  let states = ref 0 in
+  let states = ref start.st_states in
   let max_depth = ref 0 in
-  let replays = ref 0 in
+  let replays = ref start.st_replays in
   let sleep_prunes = ref 0 in
   let hash_hits = ref 0 in
   let hash_misses = ref 0 in
@@ -136,7 +152,14 @@ let run ?(max_crashes = 0) ?(max_paths = 1_000_000) ?(reduction = `None) ~init ~
       if memo <> None then Runtime.enable_state_tracking rt;
       (ctx, rt)
     in
-    let current = ref (Some (boot (), ([] : choice list), 0)) in
+    let boot0 () =
+      let ((_, rt) as node) = boot () in
+      List.iter (apply rt) start.st_prefix;
+      node
+    in
+    let current =
+      ref (Some (boot0 (), List.rev start.st_prefix, start.st_crashes))
+    in
     let finished = ref false in
     while not !finished do
       match !current with
@@ -211,7 +234,14 @@ let run ?(max_crashes = 0) ?(max_paths = 1_000_000) ?(reduction = `None) ~init ~
   let run_sleep () =
     let stack = ref [] in
     (* frames: (prefix_rev, pid to step, child sleep entries) *)
-    let current = ref (Some (init (), ([] : choice list), [])) in
+    let boot0 () =
+      let ((_, rt) as node) = init () in
+      List.iter (apply rt) start.st_prefix;
+      node
+    in
+    let current =
+      ref (Some (boot0 (), List.rev start.st_prefix, start.st_sleep))
+    in
     let finished = ref false in
     while not !finished do
       match !current with
@@ -287,6 +317,152 @@ let run ?(max_crashes = 0) ?(max_paths = 1_000_000) ?(reduction = `None) ~init ~
       stats = mk_stats ();
     }
   with Done o -> o
+
+(* {2 Multicore driver} *)
+
+let merge_histograms h1 h2 =
+  let tbl = Hashtbl.create 64 in
+  let add (d, c) =
+    Hashtbl.replace tbl d (c + Option.value ~default:0 (Hashtbl.find_opt tbl d))
+  in
+  List.iter add h1;
+  List.iter add h2;
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl [] |> List.sort compare
+
+let add_stats a b =
+  {
+    max_depth = max a.max_depth b.max_depth;
+    replays = a.replays + b.replays;
+    sleep_prunes = a.sleep_prunes + b.sleep_prunes;
+    hash_hits = a.hash_hits + b.hash_hits;
+    hash_misses = a.hash_misses + b.hash_misses;
+    depth_histogram = merge_histograms a.depth_histogram b.depth_histogram;
+  }
+
+(* With [jobs > 1] the tree is sharded at the root: each top-level choice
+   (every runnable pid's step, plus every crash decision when allowed)
+   roots an independent subtree explored by [single] on its own domain,
+   and the shard outcomes are folded back {e in root order}.  Because the
+   sequential DFS explores those same subtrees left to right and its
+   counters are additive over them, the fold reproduces its outcome
+   field-for-field: the first violation reported is the sequential
+   engine's first violation, counted at the same paths/states.  The one
+   wrinkle is [max_paths]: a shard runs with the full budget, so when the
+   budget would have expired {e inside} shard [i] (cumulative paths of
+   shards [0..i] reaching it), that single shard is re-run sequentially
+   with the exact remaining budget to recover the truncation-point
+   counters byte-for-byte.  [`State_hash] memoization shares one memo
+   table across the whole tree, which no per-shard table can reproduce —
+   that mode ignores [jobs] and runs sequentially. *)
+let run ?(max_crashes = 0) ?(max_paths = 1_000_000) ?(reduction = `None)
+    ?(jobs = 1) ~init ~check () =
+  if reduction = `Sleep_sets && max_crashes > 0 then
+    invalid_arg "Explore.run: sleep-set reduction requires max_crashes = 0";
+  let sequential () =
+    single ~max_crashes ~max_paths ~reduction ~start:root_start ~init ~check ()
+  in
+  if jobs <= 1 || reduction = `State_hash then sequential ()
+  else begin
+    let _, rt0 = init () in
+    if Runtime.num_runnable rt0 = 0 then sequential ()
+    else begin
+      let enabled =
+        List.map
+          (fun p ->
+            match Runtime.pending p with
+            | Some op -> (Runtime.pid p, op)
+            | None -> assert false (* runnable implies pending *))
+          (Runtime.runnable rt0)
+      in
+      let shards =
+        match reduction with
+        | `State_hash -> assert false
+        | `None ->
+            List.map (fun (pid, _) -> (Step pid, 0, [])) enabled
+            @
+            if max_crashes > 0 then
+              List.map (fun (pid, _) -> (Crash pid, 1, [])) enabled
+            else []
+        | `Sleep_sets ->
+            (* mirror [run_sleep]'s root expansion: candidate [i] sleeps
+               on the candidates explored before it, restricted to ops
+               independent of its own *)
+            let rec go before acc = function
+              | [] -> List.rev acc
+              | (pid, op) :: rest ->
+                  let child =
+                    List.filter (fun (_, op') -> independent op op') before
+                  in
+                  go ((pid, op) :: before) ((Step pid, 0, child) :: acc) rest
+            in
+            go [] [] enabled
+      in
+      let starts =
+        List.mapi
+          (fun i (c, crashes, sleep) ->
+            {
+              st_prefix = [ c ];
+              st_crashes = crashes;
+              st_sleep = sleep;
+              st_states = 1;
+              st_replays = (if i = 0 then 0 else 1);
+            })
+          shards
+      in
+      let run_shard ~budget st =
+        single ~max_crashes ~max_paths:budget ~reduction ~start:st ~init ~check
+          ()
+      in
+      let results = Pool.map ~jobs (run_shard ~budget:max_paths) starts in
+      let rec fold acc_paths acc_states acc_stats = function
+        | [] ->
+            {
+              paths = acc_paths;
+              states = acc_states;
+              truncated = false;
+              failure = None;
+              failure_trace = [];
+              stats = acc_stats;
+            }
+        | (st, r) :: rest -> (
+            let remaining = max_paths - acc_paths in
+            match r.failure with
+            | Some _ when r.paths <= remaining ->
+                (* the sequential engine reaches this violation before its
+                   budget expires; the shard stopped right at it, so its
+                   counters are the sequential ones *)
+                {
+                  paths = acc_paths + r.paths;
+                  states = acc_states + r.states;
+                  truncated = false;
+                  failure = r.failure;
+                  failure_trace = r.failure_trace;
+                  stats = add_stats acc_stats r.stats;
+                }
+            | _ when r.paths >= remaining ->
+                (* the budget expires inside this shard (or before the
+                   shard's violation): re-run just this shard with the
+                   exact remaining budget for truncation-point counters *)
+                let r =
+                  if remaining = max_paths then r
+                  else run_shard ~budget:remaining st
+                in
+                {
+                  paths = acc_paths + r.paths;
+                  states = acc_states + r.states;
+                  truncated = r.truncated;
+                  failure = r.failure;
+                  failure_trace = r.failure_trace;
+                  stats = add_stats acc_stats r.stats;
+                }
+            | _ ->
+                fold (acc_paths + r.paths) (acc_states + r.states)
+                  (add_stats acc_stats r.stats)
+                  rest)
+      in
+      fold 0 0 empty_stats (List.combine starts results)
+    end
+  end
 
 (* {2 Counterexample shrinking} *)
 

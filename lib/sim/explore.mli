@@ -82,6 +82,7 @@ val run :
   ?max_crashes:int ->
   ?max_paths:int ->
   ?reduction:reduction ->
+  ?jobs:int ->
   init:(unit -> 'ctx * Runtime.t) ->
   check:('ctx -> Runtime.t -> (unit, string) result) ->
   unit ->
@@ -94,6 +95,17 @@ val run :
     exploration; [reduction] (default [`None]) enables sleep-set pruning
     or state-hash memoization.
     Exploration stops at the first violation.
+
+    [jobs] (default 1) shards the top-level schedule branches — one
+    subtree per root choice — across that many domains ({!Pool}) and
+    folds the shard outcomes back in root order.  The result is
+    field-for-field identical to [jobs = 1]: same counters, same first
+    violation, same trace (DESIGN.md §10 gives the argument; when the
+    [max_paths] budget would expire inside a shard, that one shard is
+    re-run with the exact remaining budget).  [init]/[check] are then
+    called concurrently from several domains and must not share mutable
+    state across calls.  [`State_hash] shares one memo table across the
+    whole tree, so that mode ignores [jobs] and runs sequentially.
     @raise Invalid_argument if sleep-set reduction is combined with
     crashes. *)
 

@@ -1,0 +1,43 @@
+(* Fixed-size domain pool with a deterministic, order-preserving map.
+
+   Work items are claimed off a shared atomic cursor, but each item's
+   result is written into the slot matching its *input* position, so the
+   caller sees results in input order no matter which domain finished
+   first.  That slot discipline — plus callers only sharing immutable
+   shard descriptors with the workers — is what makes every `-j N`
+   report mergeable into a byte-identical `-j 1` document (DESIGN.md
+   §10). *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let map ?(jobs = 1) f items =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let jobs = max 1 (min jobs n) in
+  if jobs <= 1 then List.map f items
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let running = ref true in
+      while !running do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then running := false
+        else
+          results.(i) <-
+            Some (match f arr.(i) with v -> Ok v | exception e -> Error e)
+      done
+    in
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    (* re-raise the failure of the *earliest* item, not the first domain
+       to trip — exceptions surface deterministically too *)
+    Array.iter
+      (function Some (Error e) -> raise e | Some (Ok _) | None -> ())
+      results;
+    Array.to_list
+      (Array.map
+         (function Some (Ok v) -> v | Some (Error _) | None -> assert false)
+         results)
+  end

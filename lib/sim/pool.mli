@@ -1,0 +1,22 @@
+(** Fixed-size domain pool: parallel map with deterministic merge order.
+
+    [map ~jobs f items] applies [f] to every item, fanning the work out
+    over [jobs] domains (the calling domain included), and returns the
+    results {e in input order} — the completion order of the domains is
+    unobservable.  If several applications raise, the exception of the
+    earliest item (by input position) is re-raised, so even failures are
+    deterministic.
+
+    Requirements on [f]: it must not touch mutable state shared with
+    other items (each campaign cell / explorer shard builds its own
+    memory, runtime and observers from scratch).  All simulator ambient
+    state is domain-local ([Domain.DLS], see DESIGN.md §10), so code
+    running under [map] never observes another domain's runtimes. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f items] — [jobs] defaults to 1 (plain [List.map], no
+    domains spawned); values above [List.length items] are clamped. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — what [-j 0] resolves to in
+    the CLI. *)

@@ -16,6 +16,10 @@ type pending = {
 type proc = {
   pid : int;
   name : string;
+  owner : t;
+      (* the runtime that spawned this process — lets ambient observers
+         (spans, probes) attribute events to the right runtime even when
+         several runtimes are live in one domain *)
   mutable status : status;
   mutable pending_op : pending option;
   mutable steps : int;
@@ -26,7 +30,7 @@ type proc = {
          the runtime has state tracking enabled (explorer memoization) *)
 }
 
-type t = {
+and t = {
   memory : Memory.t;
   mutable proc_tbl : proc array;  (* dense by pid; first [nprocs] valid *)
   mutable nprocs : int;
@@ -72,17 +76,22 @@ let memory t = t.memory
 
 let sig_mix h x = ((h * 0x01000193) + x + 0x517cc1b7) land max_int
 
-(* The process whose body is executing right now.  The simulator is
-   single-threaded and only ever runs one fiber at a time, so a single
-   save/restore slot suffices even across nested runtimes. *)
-let active : proc option ref = ref None
+(* The process whose body is executing right now.  Each domain runs at
+   most one fiber at a time, so one save/restore slot per domain suffices
+   even across nested runtimes — but the slot must be domain-local, not
+   process-global: with a shared ref, concurrent runtimes on different
+   domains would clobber each other's attribution (and racing writes to
+   an unsynchronized ref are undefined under OCaml 5 domains). *)
+let active_key : proc option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
-let current_proc () = !active
+let current_proc () = !(Domain.DLS.get active_key)
 
 let with_active p f =
-  let saved = !active in
-  active := Some p;
-  Fun.protect ~finally:(fun () -> active := saved) f
+  let slot = Domain.DLS.get active_key in
+  let saved = !slot in
+  slot := Some p;
+  Fun.protect ~finally:(fun () -> slot := saved) f
 
 let read r = Effect.perform (E_read r)
 let write r v = Effect.perform (E_write (r, v))
@@ -120,6 +129,7 @@ let spawn t ~name body =
     {
       pid = t.nprocs;
       name;
+      owner = t;
       status = Runnable;
       pending_op = None;
       steps = 0;
@@ -216,6 +226,7 @@ let procs t =
 
 let pid p = p.pid
 let proc_name p = p.name
+let owner p = p.owner
 let status p = p.status
 let steps p = p.steps
 

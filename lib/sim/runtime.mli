@@ -82,6 +82,12 @@ val pid : proc -> int
 val proc_name : proc -> string
 (** The diagnostic label given at {!spawn}. *)
 
+val owner : proc -> t
+(** The runtime that spawned this process.  Lets ambient observers
+    (span sinks, probes) attribute events to the right runtime when
+    several runtimes are live at once — nested in one domain, or running
+    concurrently on different domains. *)
+
 val status : proc -> status
 (** Current lifecycle state of the process. *)
 
@@ -200,5 +206,10 @@ val current_proc : unit -> proc option
     spawned body runs to its first suspension and while a committed
     operation resumes it (including crash unwinding).  Observability
     layers use this to attribute in-body events — e.g. phase-span
-    enter/exit calls — to the process that issued them.  [None] outside
-    any process body (scheduler code, harness code). *)
+    enter/exit calls — to the process that issued them; combine with
+    {!owner} to recover the runtime it belongs to.  [None] outside any
+    process body (scheduler code, harness code).
+
+    The slot is domain-local ([Domain.DLS]): each domain tracks its own
+    active fiber, so runtimes driven concurrently on different domains
+    never observe each other's processes (see DESIGN.md §10). *)
