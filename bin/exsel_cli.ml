@@ -15,6 +15,9 @@ module Json = Exsel_obs.Json
 module Probe = Exsel_obs.Probe
 module Span = Exsel_obs.Span
 module Trace_export = Exsel_obs.Trace_export
+(* Exsel_sim.Metrics (per-run summaries) is shadowed by [open Exsel_sim]
+   below; the registry subsystem gets an unambiguous alias. *)
+module Obs_metrics = Exsel_obs.Metrics
 
 let spread ~count ~bound = List.init count (fun i -> i * (max 1 (bound / count)) mod bound)
 
@@ -26,6 +29,54 @@ let resolve_jobs jobs =
   end
   else if jobs = 0 then Exsel_sim.Pool.default_jobs ()
   else jobs
+
+(* An unwritable --metrics-out/--events path is a usage error (exit 2),
+   caught before any work runs rather than after a long campaign. *)
+let open_out_or_exit2 path =
+  try open_out path
+  with Sys_error msg ->
+    Printf.eprintf "cannot open output file: %s\n" msg;
+    exit 2
+
+let check_us_per_commit us =
+  if us <= 0 then begin
+    Printf.eprintf "--us-per-commit must be positive (got %d)\n" us;
+    exit 2
+  end
+
+(* NDJSON event emitter for the exsel-events/1 streams: every line is
+   written and flushed under one mutex, so events arriving concurrently
+   from -j N worker domains never interleave mid-line. *)
+type emitter = { em_mutex : Mutex.t; em_sinks : out_channel list }
+
+let make_emitter ~events_oc ~progress =
+  let sinks =
+    (match events_oc with Some oc -> [ oc ] | None -> [])
+    @ if progress then [ stderr ] else []
+  in
+  { em_mutex = Mutex.create (); em_sinks = sinks }
+
+let emit em j =
+  if em.em_sinks <> [] then begin
+    Mutex.lock em.em_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock em.em_mutex)
+      (fun () ->
+        let line = Json.to_string j in
+        List.iter
+          (fun oc ->
+            output_string oc line;
+            output_char oc '\n';
+            flush oc)
+          em.em_sinks)
+  end
+
+(* The channel was opened (and the path validated) before the run began;
+   the exposition is written once, at the end. *)
+let write_openmetrics oc path reg =
+  output_string oc (Obs_metrics.to_openmetrics reg);
+  close_out oc;
+  Printf.printf "wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
 (* rename subcommand                                                   *)
@@ -105,7 +156,9 @@ let build_renamer algo mem ~k ~n ~n_names ~seed =
       let c = R.Chain_rename.create mem ~name:"ch" ~m:((2 * k) - 1) in
       ((fun ~me -> R.Chain_rename.rename c ~me), R.Chain_rename.names c)
 
-let run_rename algo k n n_names procs seed crashes profile json chrome =
+let run_rename algo k n n_names procs seed crashes profile json chrome
+    us_per_commit =
+  check_us_per_commit us_per_commit;
   let mem = Memory.create () in
   let rt = Runtime.create mem in
   let rename, _m = build_renamer algo mem ~k ~n ~n_names ~seed in
@@ -201,7 +254,7 @@ let run_rename algo k n n_names procs seed crashes profile json chrome =
           (* one Perfetto track per process: phase spans as bars, commits
              (with their values) and lifecycle marks as instants *)
           Trace_export.write_file path
-            (Trace_export.chrome ~spans:sp (Trace.events tr));
+            (Trace_export.chrome ~spans:sp ~us_per_commit (Trace.events tr));
           Printf.printf "wrote %s (open at ui.perfetto.dev)\n" path
       | _ -> ());
       Span.detach sp
@@ -374,7 +427,8 @@ let run_msgrename n f crashed seed =
 (* Exit codes: 0 invariant holds, 1 violation found, 2 usage error,
    3 exploration truncated at --max-paths before finishing. *)
 let run_explore target contenders crashes reduce do_shrink max_paths jobs
-    trace_file chrome_file json_file =
+    trace_file chrome_file json_file metrics_out events_file progress
+    us_per_commit =
   let open Exsel_sim in
   let init_compete () =
     let mem = Memory.create () in
@@ -453,9 +507,37 @@ let run_explore target contenders crashes reduce do_shrink max_paths jobs
   (* generic over the instance's context type; generalizes because it is a
      syntactic value *)
   let jobs = resolve_jobs jobs in
+  check_us_per_commit us_per_commit;
+  let metrics_oc = Option.map open_out_or_exit2 metrics_out in
+  let events_oc = Option.map open_out_or_exit2 events_file in
+  let em = make_emitter ~events_oc ~progress in
   let drive ~init ~check =
+    emit em
+      (Json.Obj
+         [
+           ("schema", Json.String "exsel-events/1");
+           ("event", Json.String "start");
+           ("kind", Json.String "explore");
+           ("target", Json.String target);
+           ("contenders", Json.Int contenders);
+           ("max_crashes", Json.Int crashes);
+           ("reduction", Json.String (if reduce then "sleep_sets" else "none"));
+           ("max_paths", Json.Int max_paths);
+         ]);
+    (* Live path counts are shard-local increments folded into one atomic
+       total: approximate while running under -j N (see Explore.run), so
+       the progress lines are the one part of the stream that is not
+       jobs-deterministic — the done line reports the exact outcome. *)
+    let total_paths = Atomic.make 0 in
+    let on_progress d =
+      let t = Atomic.fetch_and_add total_paths d + d in
+      emit em
+        (Json.Obj
+           [ ("event", Json.String "explore_progress"); ("paths", Json.Int t) ])
+    in
     let outcome =
-      Explore.run ~max_crashes:crashes ~max_paths ~reduction ~jobs ~init ~check ()
+      Explore.run ~max_crashes:crashes ~max_paths ~reduction ~jobs ~on_progress
+        ~init ~check ()
     in
     Printf.printf "model-checked %s with %d contenders (crashes<=%d, reduction=%b)\n"
       target contenders crashes reduce;
@@ -511,7 +593,8 @@ let run_explore target contenders crashes reduce do_shrink max_paths jobs
           | None -> ());
           (match chrome_file with
           | Some path ->
-              Trace_export.write_file path (Trace_export.chrome events);
+              Trace_export.write_file path
+                (Trace_export.chrome ~us_per_commit events);
               Printf.printf "wrote %s (open at ui.perfetto.dev)\n" path
           | None -> ());
           ( Json.Obj
@@ -547,6 +630,46 @@ let run_explore target contenders crashes reduce do_shrink max_paths jobs
         Trace_export.write_file path doc;
         Printf.printf "wrote %s\n" path
     | None -> ());
+    (* Explorer effort counters as a registry: prune rates and the path
+       depth distribution (rebuilt from the exact depth histogram, so the
+       exposition is jobs-deterministic even though progress lines are
+       not). *)
+    let reg = Obs_metrics.create () in
+    let labels = [ ("target", target) ] in
+    let count name v = Obs_metrics.inc (Obs_metrics.counter reg name ~labels) v in
+    count "exsel_explore_paths" outcome.Explore.paths;
+    count "exsel_explore_states" outcome.Explore.states;
+    count "exsel_explore_replays" st.Explore.replays;
+    count "exsel_explore_sleep_prunes" st.Explore.sleep_prunes;
+    count "exsel_explore_hash_hits" st.Explore.hash_hits;
+    count "exsel_explore_hash_misses" st.Explore.hash_misses;
+    Obs_metrics.set_gauge
+      (Obs_metrics.gauge reg "exsel_explore_max_depth" ~labels)
+      st.Explore.max_depth;
+    Obs_metrics.set_gauge
+      (Obs_metrics.gauge reg "exsel_explore_truncated" ~labels)
+      (if outcome.Explore.truncated then 1 else 0);
+    let depth_h = Obs_metrics.histogram reg "exsel_explore_path_depth" ~labels in
+    List.iter
+      (fun (d, c) ->
+        for _ = 1 to c do
+          Obs_metrics.observe depth_h d
+        done)
+      st.Explore.depth_histogram;
+    emit em
+      (Json.Obj
+         [
+           ("event", Json.String "done");
+           ("paths", Json.Int outcome.Explore.paths);
+           ("states", Json.Int outcome.Explore.states);
+           ("truncated", Json.Bool outcome.Explore.truncated);
+           ("violation", Json.Bool (outcome.Explore.failure <> None));
+           ("metrics", Obs_metrics.summary_json reg);
+         ]);
+    Option.iter close_out events_oc;
+    (match (metrics_oc, metrics_out) with
+    | Some oc, Some path -> write_openmetrics oc path reg
+    | _ -> ());
     if exit_code <> 0 then exit exit_code
   in
   match target with
@@ -591,7 +714,7 @@ module Conf_regime = Exsel_conformance.Regime
 module Campaign = Exsel_conformance.Campaign
 
 let run_conformance algos regimes seeds_spec k steps_multiple max_commits
-    no_shrink jobs json chrome =
+    no_shrink jobs json chrome metrics_out events_file progress us_per_commit =
   let algos =
     match algos with
     | [] -> Conf_adapter.honest
@@ -632,6 +755,10 @@ let run_conformance algos regimes seeds_spec k steps_multiple max_commits
     exit 2
   end;
   let jobs = resolve_jobs jobs in
+  check_us_per_commit us_per_commit;
+  let metrics_oc = Option.map open_out_or_exit2 metrics_out in
+  let events_oc = Option.map open_out_or_exit2 events_file in
+  let em = make_emitter ~events_oc ~progress in
   let cfg =
     {
       Campaign.algos;
@@ -643,8 +770,16 @@ let run_conformance algos regimes seeds_spec k steps_multiple max_commits
       shrink = not no_shrink;
     }
   in
-  let report = Campaign.run ~jobs cfg in
+  emit em (Campaign.start_event cfg);
+  let report =
+    Campaign.run ~jobs ~on_event:(fun ev -> emit em (Campaign.event_json ev)) cfg
+  in
+  emit em (Campaign.done_event report);
+  Option.iter close_out events_oc;
   Format.printf "%a" Campaign.pp_summary report;
+  (match (metrics_oc, metrics_out) with
+  | Some oc, Some path -> write_openmetrics oc path report.Campaign.r_metrics
+  | _ -> ());
   (match json with
   | Some path ->
       Trace_export.write_file path (Campaign.to_json report);
@@ -662,7 +797,8 @@ let run_conformance algos regimes seeds_spec k steps_multiple max_commits
       in
       match first_trace with
       | Some events ->
-          Trace_export.write_file path (Trace_export.chrome events);
+          Trace_export.write_file path
+            (Trace_export.chrome ~us_per_commit events);
           Printf.printf "wrote %s\n" path
       | None -> Printf.printf "no violation trace to export to %s\n" path)
   | None -> ());
@@ -733,12 +869,47 @@ let chrome_t =
            with phase spans and value-carrying commit instants, loadable at \
            ui.perfetto.dev.")
 
+let us_per_commit_t =
+  Arg.(
+    value & opt int 1000
+    & info [ "us-per-commit" ] ~docv:"US"
+        ~doc:
+          "Chrome-trace time scale: microseconds per simulator commit \
+           (default 1000).  Use a smaller scale to keep dense campaign \
+           traces readable in Perfetto.")
+
+let metrics_out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's metrics registry as an OpenMetrics/Prometheus \
+           text exposition to $(docv) (an unwritable path exits 2 before \
+           the run starts).")
+
+let events_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "events" ] ~docv:"FILE"
+        ~doc:
+          "Stream live exsel-events/1 progress events to $(docv) as NDJSON, \
+           flushed per event (an unwritable path exits 2 before the run \
+           starts).")
+
+let progress_t =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:"Mirror the exsel-events/1 NDJSON progress stream to stderr.")
+
 let rename_cmd =
   let doc = "run a renaming algorithm and print the assignment" in
   Cmd.v (Cmd.info "rename" ~doc)
     Term.(
       const run_rename $ algo_t $ k_t $ n_t $ n_names_t $ procs_t $ seed_t $ crash_t
-      $ profile_t $ json_t $ chrome_t)
+      $ profile_t $ json_t $ chrome_t $ us_per_commit_t)
 
 let deposit_cmd =
   let doc = "run a repository (Selfish- or Altruistic-Deposit) with crashes" in
@@ -788,7 +959,8 @@ let explore_cmd =
   Cmd.v (Cmd.info "explore" ~doc)
     Term.(
       const run_explore $ target $ contenders $ crashes $ reduce $ shrink $ max_paths
-      $ jobs $ trace $ chrome $ json)
+      $ jobs $ trace $ chrome $ json $ metrics_out_t $ events_t $ progress_t
+      $ us_per_commit_t)
 
 let conformance_cmd =
   let doc =
@@ -874,7 +1046,8 @@ let conformance_cmd =
   Cmd.v (Cmd.info "conformance" ~doc)
     Term.(
       const run_conformance $ algos $ regimes $ seeds $ k $ steps_multiple
-      $ max_commits $ no_shrink $ jobs $ json $ chrome)
+      $ max_commits $ no_shrink $ jobs $ json $ chrome $ metrics_out_t
+      $ events_t $ progress_t $ us_per_commit_t)
 
 let experiments_cmd =
   let doc = "regenerate the paper-reproduction tables and figures" in

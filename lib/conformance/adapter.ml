@@ -1,5 +1,6 @@
 open Exsel_sim
 module R = Exsel_renaming
+module Metrics = Exsel_obs.Metrics
 
 (* ------------------------------------------------------------------ *)
 (* Claim checking, shared by every adapter                             *)
@@ -129,7 +130,20 @@ let generic ~id ~claim ?(honest = true) ~completion ~ids ~build () =
       let procs =
         Array.init k (fun i ->
             Runtime.spawn rt ~name:(Printf.sprintf "p%d" i) (fun () ->
-                results.(i) <- b.rename ~me:ids.(i)))
+                (* decide - invoke in commit-clock; recorded only when an
+                   ambient registry is installed (Campaign, bench P6) and
+                   only for operations that actually decide — crashed
+                   bodies unwind before reaching the observe. *)
+                let invoked = Runtime.commits rt in
+                let r = b.rename ~me:ids.(i) in
+                (match Metrics.ambient () with
+                | None -> ()
+                | Some reg ->
+                    Metrics.observe
+                      (Metrics.histogram reg "exsel_rename_latency_commits"
+                         ~labels:[ ("algo", id) ])
+                      (Runtime.commits rt - invoked));
+                results.(i) <- r))
       in
       let check =
         check_claims ~completion ~k ~results ~procs ~bound:b.name_bound

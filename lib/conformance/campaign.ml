@@ -1,6 +1,7 @@
 module Explore = Exsel_sim.Explore
 module Trace = Exsel_sim.Trace
 module Json = Exsel_obs.Json
+module Metrics = Exsel_obs.Metrics
 
 type config = {
   algos : Adapter.t list;
@@ -82,6 +83,7 @@ type cell = {
   c_max_steps : int;
   c_crashed : int;
   c_violation : violation option;
+  c_metrics : Metrics.t;
 }
 
 type report = {
@@ -90,7 +92,13 @@ type report = {
   r_seeds : int list;
   r_cells : cell list;
   r_violations : int;
+  r_metrics : Metrics.t;
 }
+
+type event =
+  | Cell_started of { index : int; algo : string; regime : string }
+  | Cell_violated of { index : int; violation : violation }
+  | Cell_finished of { index : int; cell : cell }
 
 let is_liveness msg = String.length msg >= 9 && String.sub msg 0 9 = "liveness:"
 
@@ -140,12 +148,27 @@ let analyse cfg (adapter : Adapter.t) (regime : Regime.t) ~seed
     v_trace = trace;
   }
 
-let run_cell cfg (adapter : Adapter.t) (regime : Regime.t) =
+let run_cell cfg ?(on_event = fun (_ : event) -> ()) ~index
+    (adapter : Adapter.t) (regime : Regime.t) =
   let seeds_run = ref 0 in
   let commits = ref 0 in
   let max_steps = ref 0 in
   let crashed = ref 0 in
   let violation = ref None in
+  (* Every cell owns a private registry, so the -j N merge can fold them
+     back in matrix order.  The rename-latency histogram is fed by the
+     adapter bodies through Metrics.ambient: the scope covers Runner.drive
+     only, so the analyse-phase replays (shrink, trace capture) never
+     double-count an operation. *)
+  let reg = Metrics.create () in
+  let labels = [ ("algo", adapter.Adapter.id); ("regime", regime.Regime.id) ] in
+  let runs_c = Metrics.counter reg "exsel_campaign_runs" ~labels in
+  let commits_c = Metrics.counter reg "exsel_campaign_commits" ~labels in
+  let crashes_c = Metrics.counter reg "exsel_campaign_crashes" ~labels in
+  let violations_c = Metrics.counter reg "exsel_campaign_violations" ~labels in
+  let max_steps_g = Metrics.gauge reg "exsel_campaign_max_steps" ~labels in
+  on_event
+    (Cell_started { index; algo = adapter.Adapter.id; regime = regime.Regime.id });
   let rec go = function
     | [] -> ()
     | seed :: rest ->
@@ -154,29 +177,44 @@ let run_cell cfg (adapter : Adapter.t) (regime : Regime.t) =
             ~steps_multiple:cfg.steps_multiple
         in
         let driver = regime.Regime.make ~seed ~k:cfg.k in
-        let outcome = Runner.drive ~max_commits:cfg.max_commits spec ~driver in
+        let outcome =
+          Metrics.with_ambient reg (fun () ->
+              Runner.drive ~max_commits:cfg.max_commits spec ~driver)
+        in
         incr seeds_run;
         commits := !commits + outcome.Runner.commits;
         max_steps := max !max_steps outcome.Runner.max_steps;
         crashed := !crashed + outcome.Runner.crashed;
+        Metrics.inc runs_c 1;
+        Metrics.inc commits_c outcome.Runner.commits;
+        Metrics.inc crashes_c outcome.Runner.crashed;
+        Metrics.max_gauge max_steps_g outcome.Runner.max_steps;
         (match outcome.Runner.failure with
         | None -> go rest
         | Some failure ->
-            violation := Some (analyse cfg adapter regime ~seed outcome ~failure))
+            let v = analyse cfg adapter regime ~seed outcome ~failure in
+            Metrics.inc violations_c 1;
+            on_event (Cell_violated { index; violation = v });
+            violation := Some v)
   in
   go cfg.seeds;
-  {
-    c_algo = adapter.Adapter.id;
-    c_claim = adapter.Adapter.claim;
-    c_regime = regime.Regime.id;
-    c_seeds_run = !seeds_run;
-    c_commits = !commits;
-    c_max_steps = !max_steps;
-    c_crashed = !crashed;
-    c_violation = !violation;
-  }
+  let cell =
+    {
+      c_algo = adapter.Adapter.id;
+      c_claim = adapter.Adapter.claim;
+      c_regime = regime.Regime.id;
+      c_seeds_run = !seeds_run;
+      c_commits = !commits;
+      c_max_steps = !max_steps;
+      c_crashed = !crashed;
+      c_violation = !violation;
+      c_metrics = reg;
+    }
+  in
+  on_event (Cell_finished { index; cell });
+  cell
 
-let run ?(jobs = 1) ?(on_cell = fun _ -> ()) cfg =
+let run ?(jobs = 1) ?(on_cell = fun _ -> ()) ?(on_event = fun _ -> ()) cfg =
   (* Every cell (algo × regime, seeds run in order inside it) is an
      independent unit of work: each run builds its own memory, runtime,
      rng and observers, and all simulator ambient state is domain-local.
@@ -189,18 +227,20 @@ let run ?(jobs = 1) ?(on_cell = fun _ -> ()) cfg =
       (fun adapter -> List.map (fun regime -> (adapter, regime)) cfg.regimes)
       cfg.algos
   in
+  let matrix = List.mapi (fun index (a, r) -> (index, a, r)) matrix in
   let cells =
     if jobs <= 1 then
       List.map
-        (fun (adapter, regime) ->
-          let cell = run_cell cfg adapter regime in
+        (fun (index, adapter, regime) ->
+          let cell = run_cell cfg ~on_event ~index adapter regime in
           on_cell cell;
           cell)
         matrix
     else begin
       let cells =
         Exsel_sim.Pool.map ~jobs
-          (fun (adapter, regime) -> run_cell cfg adapter regime)
+          (fun (index, adapter, regime) ->
+            run_cell cfg ~on_event ~index adapter regime)
           matrix
       in
       List.iter on_cell cells;
@@ -210,12 +250,19 @@ let run ?(jobs = 1) ?(on_cell = fun _ -> ()) cfg =
   let violations =
     List.length (List.filter (fun c -> c.c_violation <> None) cells)
   in
+  (* Fold the per-cell registries in matrix order.  Metrics.merge is
+     commutative, so any order yields the same rendered bytes — folding
+     in matrix order anyway keeps the in-memory registry identical too. *)
+  let merged = Metrics.create () in
+  Metrics.inc (Metrics.counter merged "exsel_campaign_cells") (List.length cells);
+  List.iter (fun c -> Metrics.merge ~into:merged c.c_metrics) cells;
   {
     r_k = cfg.k;
     r_steps_multiple = cfg.steps_multiple;
     r_seeds = cfg.seeds;
     r_cells = cells;
     r_violations = violations;
+    r_metrics = merged;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -291,6 +338,75 @@ let to_json r =
       ("seeds", Json.List (List.map (fun s -> Json.Int s) r.r_seeds));
       ("cells", Json.List (List.map cell_json r.r_cells));
       ("violations", Json.Int r.r_violations);
+      ("metrics", Metrics.to_json r.r_metrics);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* exsel-events/1                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Event lines carry no wall-clock or job-count data: under [-j N] they
+   interleave in a nondeterministic order but the multiset of lines is
+   identical to [-j 1], so sorted streams compare byte-equal. *)
+
+let start_event cfg =
+  Json.Obj
+    [
+      ("schema", Json.String "exsel-events/1");
+      ("event", Json.String "start");
+      ("kind", Json.String "conformance");
+      ( "algos",
+        Json.List
+          (List.map (fun a -> Json.String a.Adapter.id) cfg.algos) );
+      ( "regimes",
+        Json.List
+          (List.map (fun r -> Json.String r.Regime.id) cfg.regimes) );
+      ("seeds", Json.List (List.map (fun s -> Json.Int s) cfg.seeds));
+      ("k", Json.Int cfg.k);
+      ("cells", Json.Int (List.length cfg.algos * List.length cfg.regimes));
+    ]
+
+let event_json = function
+  | Cell_started { index; algo; regime } ->
+      Json.Obj
+        [
+          ("event", Json.String "cell_started");
+          ("cell", Json.Int index);
+          ("algo", Json.String algo);
+          ("regime", Json.String regime);
+        ]
+  | Cell_violated { index; violation = v } ->
+      Json.Obj
+        [
+          ("event", Json.String "cell_violated");
+          ("cell", Json.Int index);
+          ("algo", Json.String v.v_algo);
+          ("regime", Json.String v.v_regime);
+          ("seed", Json.Int v.v_seed);
+          ("failure", Json.String v.v_failure);
+        ]
+  | Cell_finished { index; cell = c } ->
+      Json.Obj
+        [
+          ("event", Json.String "cell_finished");
+          ("cell", Json.Int index);
+          ("algo", Json.String c.c_algo);
+          ("regime", Json.String c.c_regime);
+          ("seeds_run", Json.Int c.c_seeds_run);
+          ("commits", Json.Int c.c_commits);
+          ("max_steps", Json.Int c.c_max_steps);
+          ("crashed", Json.Int c.c_crashed);
+          ("ok", Json.Bool (c.c_violation = None));
+          ("quantiles", Metrics.quantiles_json c.c_metrics);
+        ]
+
+let done_event r =
+  Json.Obj
+    [
+      ("event", Json.String "done");
+      ("cells", Json.Int (List.length r.r_cells));
+      ("violations", Json.Int r.r_violations);
+      ("metrics", Metrics.summary_json r.r_metrics);
     ]
 
 let pp_summary ppf r =

@@ -63,6 +63,12 @@ type cell = {
   c_max_steps : int;  (** max over the cell's runs *)
   c_crashed : int;  (** crash decisions summed over the cell's runs *)
   c_violation : violation option;
+  c_metrics : Exsel_obs.Metrics.t;
+      (** the cell's private registry: campaign counters/gauges labelled
+          [{algo; regime}] plus the [exsel_rename_latency_commits]
+          histogram fed by the adapter bodies (decide − invoke in
+          commit-clock; only the driven runs record — the analyse-phase
+          replays are outside the ambient scope) *)
 }
 
 type report = {
@@ -71,17 +77,42 @@ type report = {
   r_seeds : int list;
   r_cells : cell list;  (** algo-major, regime-minor order *)
   r_violations : int;
+  r_metrics : Exsel_obs.Metrics.t;
+      (** per-cell registries folded in matrix order plus the
+          [exsel_campaign_cells] total; since {!Exsel_obs.Metrics.merge}
+          is commutative and rendering sorts, this is byte-identical at
+          every [jobs] *)
 }
 
-val run : ?jobs:int -> ?on_cell:(cell -> unit) -> config -> report
+(** Live progress notifications, in the order a cell produces them:
+    [Cell_started], then [Cell_violated] (at most once — seeds stop at
+    the first violation, after shrinking/trace capture), then
+    [Cell_finished] carrying the completed cell. *)
+type event =
+  | Cell_started of { index : int; algo : string; regime : string }
+      (** [index] is the cell's position in matrix order *)
+  | Cell_violated of { index : int; violation : violation }
+  | Cell_finished of { index : int; cell : cell }
+
+val run :
+  ?jobs:int ->
+  ?on_cell:(cell -> unit) ->
+  ?on_event:(event -> unit) ->
+  config ->
+  report
 (** Execute the matrix.  [jobs] (default 1) shards the cells across that
     many domains ({!Exsel_sim.Pool}); every cell is an independent unit
     of work and results are merged in matrix order, so the report —
     cell outcomes, first-violation-per-cell, shrunk counterexamples,
-    replayed traces — is field-for-field identical at every [jobs]
-    (DESIGN.md §10).  [on_cell] is called after each finished cell
-    (progress reporting); under [jobs > 1] it is called once per cell in
-    matrix order after the whole matrix completes. *)
+    replayed traces, merged metrics — is field-for-field identical at
+    every [jobs] (DESIGN.md §10).  [on_cell] is called after each
+    finished cell (progress reporting); under [jobs > 1] it is called
+    once per cell in matrix order after the whole matrix completes.
+    [on_event] instead fires {e live}, as cells start and finish: under
+    [jobs > 1] it runs concurrently on the worker domains and must be
+    thread-safe (the CLI serializes writes with a mutex); event order
+    across cells is then nondeterministic, but the multiset of events is
+    not — see {!event_json}. *)
 
 val seeds_of_string : string -> (int list, string) result
 (** Parse a [--seeds] specification: a single positive count ["5"]
@@ -99,7 +130,33 @@ val to_json : report -> Exsel_obs.Json.t
     trace? }] — [schedule]/[shrunk] are arrays of
     [{ kind: "step"|"crash"; pid }] (omitted above 100_000 choices), and
     [trace] is an embedded [exsel-trace/1] document
-    ({!Exsel_obs.Trace_export.to_json}). *)
+    ({!Exsel_obs.Trace_export.to_json}).  [metrics] embeds the merged
+    registry as an [exsel-metrics/1] document
+    ({!Exsel_obs.Metrics.to_json}). *)
+
+(** {2 exsel-events/1 (NDJSON progress stream)}
+
+    One JSON object per line: a [start] header (the only line carrying
+    the [schema] field), one [cell_started] / optional [cell_violated] /
+    [cell_finished] per cell, and a [done] footer with the merged
+    counters and quantile snapshots.  Lines deliberately carry no
+    wall-clock or job-count data, so the [-j N] stream is a permutation
+    of the [-j 1] stream: [sort]ed files compare byte-equal. *)
+
+val start_event : config -> Exsel_obs.Json.t
+(** [{ schema: "exsel-events/1"; event: "start"; kind: "conformance";
+    algos; regimes; seeds; k; cells }]. *)
+
+val event_json : event -> Exsel_obs.Json.t
+(** [cell_started]: [{ event; cell; algo; regime }];
+    [cell_violated]: [{ event; cell; algo; regime; seed; failure }];
+    [cell_finished]: [{ event; cell; algo; regime; seeds_run; commits;
+    max_steps; crashed; ok; quantiles }] where [quantiles] is
+    {!Exsel_obs.Metrics.quantiles_json} of the cell registry. *)
+
+val done_event : report -> Exsel_obs.Json.t
+(** [{ event: "done"; cells; violations; metrics }] with [metrics] the
+    compact {!Exsel_obs.Metrics.summary_json} of the merged registry. *)
 
 val pp_summary : Format.formatter -> report -> unit
 (** Human-readable matrix: one line per cell, violations expanded. *)

@@ -26,15 +26,19 @@ let entry_to_json e =
       ("runs", Json.List (List.map Experiments.observation_to_json e.runs));
     ]
 
-let document entries =
+let document ?metrics entries =
   Json.Obj
-    [
-      ("schema", Json.String "exsel-bench/1");
-      ("experiments", Json.List (List.map entry_to_json entries));
-    ]
+    ([
+       ("schema", Json.String "exsel-bench/1");
+       ("experiments", Json.List (List.map entry_to_json entries));
+     ]
+    @
+    match metrics with
+    | None -> []
+    | Some reg -> [ ("metrics", Exsel_obs.Metrics.to_json reg) ])
 
-let write_file path entries =
+let write_file ?metrics path entries =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> Json.output oc (document entries))
+    (fun () -> Json.output oc (document ?metrics entries))

@@ -20,6 +20,11 @@ val observe : (string * (unit -> Table.t)) list -> entry list
     if an experiment raises. *)
 
 val entry_to_json : entry -> Exsel_obs.Json.t
-val document : entry list -> Exsel_obs.Json.t
-val write_file : string -> entry list -> unit
-(** Write [document entries] to [path], newline-terminated. *)
+
+val document : ?metrics:Exsel_obs.Metrics.t -> entry list -> Exsel_obs.Json.t
+(** The [exsel-bench/1] document; with [?metrics] the registry is
+    embedded as a top-level ["metrics"] field rendered by
+    {!Exsel_obs.Metrics.to_json} (an [exsel-metrics/1] document). *)
+
+val write_file : ?metrics:Exsel_obs.Metrics.t -> string -> entry list -> unit
+(** Write [document ?metrics entries] to [path], newline-terminated. *)

@@ -1,0 +1,382 @@
+module Runtime = Exsel_sim.Runtime
+
+(* Log-bucketed histogram, HDR-style: [sub_bits] sub-buckets per octave.
+   Bucket [i < 2 * sub_count] holds exactly the value [i]; above that,
+   bucket index = shift * sub_count + (v lsr shift) with
+   shift = bitlen v - 1 - sub_bits, giving relative width <= 2^-sub_bits
+   per bucket.  A dense int array of ~2048 entries covers all of
+   [0, max_int] on 64-bit. *)
+let sub_bits = 5
+
+let sub_count = 1 lsl sub_bits
+
+let bit_length v =
+  let rec go n v = if v = 0 then n else go (n + 1) (v lsr 1) in
+  go 0 v
+
+let bucket_of v =
+  let v = if v < 0 then 0 else v in
+  if v < 2 * sub_count then v
+  else
+    let shift = bit_length v - 1 - sub_bits in
+    (shift * sub_count) + (v lsr shift)
+
+(* Inclusive upper bound of bucket [i] — the quantile estimate. *)
+let bucket_upper i =
+  if i < 2 * sub_count then i
+  else
+    let shift = (i lsr sub_bits) - 1 in
+    let top = i - (shift * sub_count) in
+    ((top + 1) lsl shift) - 1
+
+type hist = {
+  mutable buckets : int array;
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_max : int;
+  mutable h_min : int; (* max_int when empty *)
+}
+
+type histogram = hist
+
+type counter = int ref
+
+type gauge = int ref
+
+type instrument = Counter of counter | Gauge of gauge | Histogram of hist
+
+type key = string * (string * string) list
+
+type t = {
+  tbl : (key, instrument) Hashtbl.t;
+  kinds : (string, string) Hashtbl.t; (* name -> kind, for clash detection *)
+}
+
+let create () = { tbl = Hashtbl.create 16; kinds = Hashtbl.create 16 }
+
+let valid_name s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       s
+
+let check_name what s =
+  if not (valid_name s) then
+    invalid_arg (Printf.sprintf "Metrics: invalid %s %S" what s)
+
+let normalize_labels labels =
+  List.iter (fun (k, _) -> check_name "label name" k) labels;
+  List.sort compare labels
+
+let kind_of = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let find_or_create t name labels fresh =
+  check_name "metric name" name;
+  let key = (name, normalize_labels labels) in
+  match Hashtbl.find_opt t.tbl key with
+  | Some inst -> inst
+  | None ->
+      let inst = fresh () in
+      (match Hashtbl.find_opt t.kinds name with
+      | Some k when k <> kind_of inst ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %S already registered as a %s" name k)
+      | Some _ -> ()
+      | None -> Hashtbl.replace t.kinds name (kind_of inst));
+      Hashtbl.replace t.tbl key inst;
+      inst
+
+let counter t ?(labels = []) name =
+  match find_or_create t name labels (fun () -> Counter (ref 0)) with
+  | Counter c -> c
+  | inst ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %S is a %s, not a counter" name (kind_of inst))
+
+let gauge t ?(labels = []) name =
+  match find_or_create t name labels (fun () -> Gauge (ref 0)) with
+  | Gauge g -> g
+  | inst ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %S is a %s, not a gauge" name (kind_of inst))
+
+let fresh_hist () =
+  Histogram
+    {
+      buckets = Array.make 64 0;
+      h_count = 0;
+      h_sum = 0;
+      h_max = 0;
+      h_min = max_int;
+    }
+
+let histogram t ?(labels = []) name =
+  match find_or_create t name labels fresh_hist with
+  | Histogram h -> h
+  | inst ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %S is a %s, not a histogram" name
+           (kind_of inst))
+
+let inc c n = c := !c + max 0 n
+
+let set_gauge g v = g := v
+
+let max_gauge g v = if v > !g then g := v
+
+let ensure_capacity h i =
+  if i >= Array.length h.buckets then begin
+    let bigger = Array.make (max (i + 1) (2 * Array.length h.buckets)) 0 in
+    Array.blit h.buckets 0 bigger 0 (Array.length h.buckets);
+    h.buckets <- bigger
+  end
+
+let observe h v =
+  let v = if v < 0 then 0 else v in
+  let i = bucket_of v in
+  ensure_capacity h i;
+  h.buckets.(i) <- h.buckets.(i) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum + v;
+  if v > h.h_max then h.h_max <- v;
+  if v < h.h_min then h.h_min <- v
+
+let hist_count h = h.h_count
+
+let hist_sum h = h.h_sum
+
+let hist_max h = h.h_max
+
+let hist_min h = if h.h_count = 0 then 0 else h.h_min
+
+let hquantile h q =
+  if h.h_count = 0 then 0
+  else begin
+    let rank = int_of_float (Float.ceil (q *. float_of_int h.h_count)) in
+    let rank = max 1 (min rank h.h_count) in
+    let res = ref h.h_max in
+    let cum = ref 0 in
+    (try
+       for i = 0 to Array.length h.buckets - 1 do
+         cum := !cum + h.buckets.(i);
+         if !cum >= rank then begin
+           res := min h.h_max (bucket_upper i);
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !res
+  end
+
+let merge ~into src =
+  Hashtbl.iter
+    (fun (name, labels) inst ->
+      match inst with
+      | Counter c ->
+          let d = counter into ~labels name in
+          d := !d + !c
+      | Gauge g -> max_gauge (gauge into ~labels name) !g
+      | Histogram h ->
+          let d = histogram into ~labels name in
+          ensure_capacity d (Array.length h.buckets - 1);
+          Array.iteri
+            (fun i n -> if n > 0 then d.buckets.(i) <- d.buckets.(i) + n)
+            h.buckets;
+          d.h_count <- d.h_count + h.h_count;
+          d.h_sum <- d.h_sum + h.h_sum;
+          if h.h_max > d.h_max then d.h_max <- h.h_max;
+          if h.h_min < d.h_min then d.h_min <- h.h_min)
+    src.tbl
+
+(* ---- Ambient lookup ----------------------------------------------------
+   Mirrors Span's per-domain registry: each domain keeps its own runtime
+   bindings and scope stack in DLS, so worker domains of Pool.map never
+   observe each other's registries. *)
+
+type scope = {
+  mutable bound : (Runtime.t * t) list;
+  mutable stack : t list;
+}
+
+let scope_key =
+  Domain.DLS.new_key (fun () -> { bound = []; stack = [] })
+
+let bind rt reg =
+  let s = Domain.DLS.get scope_key in
+  s.bound <- (rt, reg) :: List.filter (fun (r, _) -> r != rt) s.bound
+
+let unbind rt =
+  let s = Domain.DLS.get scope_key in
+  s.bound <- List.filter (fun (r, _) -> r != rt) s.bound
+
+let with_ambient reg f =
+  let s = Domain.DLS.get scope_key in
+  s.stack <- reg :: s.stack;
+  Fun.protect
+    ~finally:(fun () ->
+      match s.stack with [] -> () | _ :: rest -> s.stack <- rest)
+    f
+
+let ambient () =
+  let s = Domain.DLS.get scope_key in
+  let of_stack () = match s.stack with reg :: _ -> Some reg | [] -> None in
+  match Runtime.current_proc () with
+  | None -> of_stack ()
+  | Some p -> (
+      let rt = Runtime.owner p in
+      match List.find_opt (fun (r, _) -> r == rt) s.bound with
+      | Some (_, reg) -> Some reg
+      | None -> of_stack ())
+
+(* ---- Rendering --------------------------------------------------------- *)
+
+let sorted_instruments t =
+  Hashtbl.fold (fun key inst acc -> (key, inst) :: acc) t.tbl []
+  |> List.sort (fun (k1, _) (k2, _) -> compare k1 k2)
+
+let labels_json labels = Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) labels)
+
+let nonempty_buckets h =
+  let acc = ref [] in
+  for i = Array.length h.buckets - 1 downto 0 do
+    if h.buckets.(i) > 0 then acc := (i, h.buckets.(i)) :: !acc
+  done;
+  !acc
+
+let quantile_fields h =
+  [
+    ("p50", Json.Int (hquantile h 0.5));
+    ("p90", Json.Int (hquantile h 0.9));
+    ("p99", Json.Int (hquantile h 0.99));
+    ("p999", Json.Int (hquantile h 0.999));
+  ]
+
+let scalar_json name labels v =
+  Json.Obj
+    [ ("name", Json.String name); ("labels", labels_json labels); ("value", Json.Int v) ]
+
+let hist_json ?(buckets = true) name labels h =
+  let cum = ref 0 in
+  let bucket_rows =
+    nonempty_buckets h
+    |> List.map (fun (i, n) ->
+           cum := !cum + n;
+           Json.List [ Json.Int (bucket_upper i); Json.Int !cum ])
+  in
+  Json.Obj
+    ([
+       ("name", Json.String name);
+       ("labels", labels_json labels);
+       ("count", Json.Int h.h_count);
+       ("sum", Json.Int h.h_sum);
+       ("min", Json.Int (hist_min h));
+       ("max", Json.Int h.h_max);
+     ]
+    @ quantile_fields h
+    @ if buckets then [ ("buckets", Json.List bucket_rows) ] else [])
+
+let partition t =
+  List.fold_right
+    (fun ((name, labels), inst) (cs, gs, hs) ->
+      match inst with
+      | Counter c -> (scalar_json name labels !c :: cs, gs, hs)
+      | Gauge g -> (cs, scalar_json name labels !g :: gs, hs)
+      | Histogram h -> (cs, gs, (name, labels, h) :: hs))
+    (sorted_instruments t) ([], [], [])
+
+let to_json t =
+  let cs, gs, hs = partition t in
+  Json.Obj
+    [
+      ("schema", Json.String "exsel-metrics/1");
+      ("counters", Json.List cs);
+      ("gauges", Json.List gs);
+      ( "histograms",
+        Json.List (List.map (fun (n, l, h) -> hist_json n l h) hs) );
+    ]
+
+let quantiles_json t =
+  let _, _, hs = partition t in
+  Json.List
+    (List.map
+       (fun (name, labels, h) ->
+         Json.Obj
+           ([
+              ("name", Json.String name);
+              ("labels", labels_json labels);
+              ("count", Json.Int h.h_count);
+            ]
+           @ quantile_fields h))
+       hs)
+
+let summary_json t =
+  let cs, gs, _ = partition t in
+  Json.Obj
+    [
+      ("counters", Json.List cs);
+      ("gauges", Json.List gs);
+      ("quantiles", quantiles_json t);
+    ]
+
+(* OpenMetrics text exposition.  Label values may hold arbitrary bytes;
+   the format requires escaping backslash, double-quote and newline. *)
+let escape_label_value v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let render_labels labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+             labels)
+      ^ "}"
+
+let to_openmetrics t =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  (* Group the sorted instruments into per-name families: sorting makes
+     same-name instruments adjacent, so one pass suffices. *)
+  let insts = sorted_instruments t in
+  let seen_type = Hashtbl.create 16 in
+  List.iter
+    (fun ((name, labels), inst) ->
+      if not (Hashtbl.mem seen_type name) then begin
+        Hashtbl.replace seen_type name ();
+        add "# TYPE %s %s\n" name (kind_of inst)
+      end;
+      let lbl = render_labels labels in
+      match inst with
+      | Counter c -> add "%s_total%s %d\n" name lbl !c
+      | Gauge g -> add "%s%s %d\n" name lbl !g
+      | Histogram h ->
+          let cum = ref 0 in
+          List.iter
+            (fun (i, n) ->
+              cum := !cum + n;
+              let le = ("le", string_of_int (bucket_upper i)) in
+              add "%s_bucket%s %d\n" name (render_labels (labels @ [ le ])) !cum)
+            (nonempty_buckets h);
+          add "%s_bucket%s %d\n" name
+            (render_labels (labels @ [ ("le", "+Inf") ]))
+            h.h_count;
+          add "%s_sum%s %d\n" name lbl h.h_sum;
+          add "%s_count%s %d\n" name lbl h.h_count)
+    insts;
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf

@@ -1,0 +1,144 @@
+(** Domain-safe metrics registry: counters, gauges, and log-bucketed
+    (HDR-style) histograms with tail-latency quantile estimation.
+
+    A {!t} is an explicitly-created registry holding named instruments,
+    each optionally labelled (e.g. [("algo", "efficient")]).  All values
+    are integers — the natural unit here is the {e commit clock}
+    ({!Exsel_sim.Runtime.commits}), which is deterministic per schedule,
+    so every instrument in a registry built from a deterministic run is
+    itself deterministic: two runs of the same work produce registries
+    that render byte-identically.
+
+    {b Histograms} bucket values logarithmically with [2^5 = 32]
+    sub-buckets per octave (values below 64 are exact), bounding the
+    relative quantile error by [2^-5] ≈ 3.2%.  Quantiles are
+    nearest-rank over the bucket cumulative counts, reported as the
+    bucket's upper bound clamped to the observed maximum — integer in,
+    integer out, no floating-point state.
+
+    {b Merging} ({!merge}) is per-instrument: counters and histogram
+    buckets add, gauges take the maximum.  Addition and max are
+    commutative and associative, and every rendering sorts instruments
+    by (name, labels), so folding shard-local registries in {e any}
+    order yields the same document — the property `Campaign.run ~jobs`
+    relies on for byte-identical [-j N] reports (DESIGN.md §11).
+
+    {b Domain safety} follows the {!Probe}/{!Span} split: a registry has
+    no ambient state of its own — every counter lives in the explicitly
+    threaded [t] — and the optional ambient lookup below is
+    [Domain.DLS]-scoped.  {!bind} associates a registry with one runtime
+    (resolved through {!Exsel_sim.Runtime.owner} of the current process,
+    so two live runtimes never cross-attribute), and {!with_ambient}
+    scopes a domain-local default for instrumented code that runs
+    outside any process body.  Registries on different domains never
+    interact; a registry must only be mutated from one domain at a time
+    (merge after joining, as {!Exsel_sim.Pool} does). *)
+
+type t
+(** A metrics registry. *)
+
+type counter
+(** Monotonically increasing integer. *)
+
+type gauge
+(** Last-set integer; merges by maximum. *)
+
+type histogram
+(** Log-bucketed distribution of non-negative integers. *)
+
+val create : unit -> t
+(** A fresh, empty registry. *)
+
+val counter : t -> ?labels:(string * string) list -> string -> counter
+(** [counter t name] finds or creates the counter [name] with the given
+    labels (sorted internally; default none).  Names and label keys must
+    match [[a-zA-Z_][a-zA-Z0-9_]*] (the OpenMetrics charset) and a name
+    must keep one instrument kind across the registry.
+    @raise Invalid_argument on a malformed name or a kind clash. *)
+
+val gauge : t -> ?labels:(string * string) list -> string -> gauge
+(** Find or create a gauge; same rules as {!counter}. *)
+
+val histogram : t -> ?labels:(string * string) list -> string -> histogram
+(** Find or create a histogram; same rules as {!counter}. *)
+
+val inc : counter -> int -> unit
+(** Add a (non-negative) amount to a counter. *)
+
+val set_gauge : gauge -> int -> unit
+(** Set a gauge to a value. *)
+
+val max_gauge : gauge -> int -> unit
+(** Raise a gauge to [max current v] — the merge-friendly update. *)
+
+val observe : histogram -> int -> unit
+(** Record one value (clamped below at 0) into a histogram. *)
+
+val hist_count : histogram -> int
+(** Number of recorded values. *)
+
+val hist_sum : histogram -> int
+(** Exact sum of recorded values. *)
+
+val hist_max : histogram -> int
+(** Largest recorded value ([0] when empty). *)
+
+val hquantile : histogram -> float -> int
+(** [hquantile h q] estimates the [q]-quantile ([0 < q <= 1]) by
+    nearest rank: the upper bound of the bucket holding the
+    [ceil (q * count)]-th smallest value, clamped to {!hist_max}.
+    Relative error is at most [2^-5]; [0] when empty. *)
+
+val merge : into:t -> t -> unit
+(** Fold [src] into [into]: counters and histograms add bucket-wise,
+    gauges take the maximum; instruments missing from [into] are
+    created.  Commutative and associative up to rendering (which sorts).
+    @raise Invalid_argument if a name is used with different kinds. *)
+
+(** {2 Ambient lookup (Domain.DLS)} *)
+
+val bind : Exsel_sim.Runtime.t -> t -> unit
+(** Register [t] as the metrics registry of this runtime on the calling
+    domain.  At most one registry per runtime: re-binding replaces. *)
+
+val unbind : Exsel_sim.Runtime.t -> unit
+(** Remove the runtime's binding on the calling domain, if any. *)
+
+val with_ambient : t -> (unit -> 'a) -> 'a
+(** [with_ambient t f] runs [f] with [t] as the calling domain's default
+    registry (a stack: nested scopes shadow, and the previous default is
+    restored even if [f] raises). *)
+
+val ambient : unit -> t option
+(** The registry instrumented code should record into, resolved in
+    order: the {!bind}-ing of the current process's owning runtime
+    ({!Exsel_sim.Runtime.current_proc} → {!Exsel_sim.Runtime.owner}),
+    else the innermost {!with_ambient} scope of the calling domain,
+    else [None].  Constant-time-ish; instrumentation sites should treat
+    [None] as "recording off". *)
+
+(** {2 Rendering} *)
+
+val to_json : t -> Json.t
+(** The [exsel-metrics/1] document:
+    [{ schema; counters; gauges; histograms }] where counters/gauges are
+    arrays of [{ name; labels; value }] and histograms are arrays of
+    [{ name; labels; count; sum; min; max; p50; p90; p99; p999;
+    buckets }] with [buckets] an array of [[le, cumulative_count]]
+    pairs over the non-empty buckets.  Instruments are sorted by
+    (name, labels), so equal registries render byte-identically. *)
+
+val summary_json : t -> Json.t
+(** Compact form for event streams: counters and gauges as in
+    {!to_json} plus [quantiles] ({!quantiles_json}) — no buckets. *)
+
+val quantiles_json : t -> Json.t
+(** Array of [{ name; labels; count; p50; p90; p99; p999 }], one per
+    histogram, sorted. *)
+
+val to_openmetrics : t -> string
+(** OpenMetrics text exposition: one [# TYPE] block per metric family
+    (sorted by name), counters rendered with the [_total] suffix,
+    histograms as cumulative [_bucket{le="..."}] series over non-empty
+    buckets plus [le="+Inf"], [_sum] and [_count], terminated by
+    [# EOF].  Suitable for a Prometheus/OpenMetrics scraper. *)

@@ -175,6 +175,7 @@ let report t =
 let to_json r =
   Json.Obj
     [
+      ("schema", Json.String "exsel-probe/1");
       ("registers", Json.Int r.registers);
       ("touched", Json.Int r.touched);
       ("max_writers", Json.Int r.max_writers);

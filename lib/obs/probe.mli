@@ -63,9 +63,12 @@ val report : t -> report
 (** Snapshot the profile (the probe keeps observing afterwards). *)
 
 val to_json : report -> Json.t
-(** Contention profile as JSON: the report's totals ([registers],
-    [touched], [max_writers], [peak_pending]) plus a [profiles] array,
-    hot registers first. *)
+(** Contention profile as an [exsel-probe/1] document ([schema] field
+    included, like every other JSON artifact): the report's totals
+    ([registers], [touched], [max_writers], [peak_pending]) plus
+    [profiles] (ascending register id), [steps_histogram] (ascending
+    steps — deterministically ordered, so equal reports render
+    byte-identically) and [processes] (ascending pid). *)
 
 val pp : Format.formatter -> report -> unit
 (** Human-readable rendering: header line plus one line per hot register

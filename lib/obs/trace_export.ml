@@ -62,9 +62,11 @@ let to_json ?label events =
 
    Everything lives in Chrome process 1; the simulator pid becomes the
    Chrome thread id, so Perfetto renders one horizontal track per
-   process.  The commit clock scales by 1000 (1 commit = 1000 µs). *)
+   process.  The commit clock scales by [us_per_commit] (default
+   1 commit = 1000 µs; dense campaign traces stay readable at smaller
+   scales). *)
 
-let us_per_commit = 1000
+let default_us_per_commit = 1000
 let chrome_pid = Json.Int 1
 
 let instant_name (e : Trace.event) =
@@ -76,7 +78,7 @@ let instant_name (e : Trace.event) =
   | Trace.Done -> "done"
   | Trace.Crash -> "crash"
 
-let instant_event (e : Trace.event) =
+let instant_event ~us_per_commit (e : Trace.event) =
   let args =
     match e.kind with
     | Trace.Read { reg; reg_name; value } | Trace.Write { reg; reg_name; value } ->
@@ -99,7 +101,7 @@ let instant_event (e : Trace.event) =
       ("args", Json.Obj args);
     ]
 
-let rec span_events acc (n : Span.node) =
+let rec span_events ~us_per_commit acc (n : Span.node) =
   let acc =
     Json.Obj
       [
@@ -121,7 +123,7 @@ let rec span_events acc (n : Span.node) =
       ]
     :: acc
   in
-  List.fold_left span_events acc (Span.children n)
+  List.fold_left (span_events ~us_per_commit) acc (Span.children n)
 
 let metadata_events processes =
   Json.Obj
@@ -153,13 +155,16 @@ let metadata_events processes =
          ])
        processes
 
-let chrome ?spans events =
+let chrome ?spans ?(us_per_commit = default_us_per_commit) events =
+  if us_per_commit <= 0 then
+    invalid_arg "Trace_export.chrome: us_per_commit must be positive";
   let duration_events =
     match spans with
     | None -> []
     | Some sink ->
         List.concat_map
-          (fun (_pid, _name, roots) -> List.fold_left span_events [] roots)
+          (fun (_pid, _name, roots) ->
+            List.fold_left (span_events ~us_per_commit) [] roots)
           (Span.per_process sink)
   in
   Json.Obj
@@ -169,7 +174,7 @@ let chrome ?spans events =
         Json.List
           (metadata_events (processes_of events)
           @ duration_events
-          @ List.map instant_event events) );
+          @ List.map (instant_event ~us_per_commit) events) );
     ]
 
 let write_file path json =

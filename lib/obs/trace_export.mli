@@ -27,12 +27,16 @@ val to_json : ?label:string -> Trace.event list -> Json.t
     [kind] is one of ["read"], ["write"], ["spawn"], ["done"], ["crash"];
     the register fields are present only on reads/writes. *)
 
-val chrome : ?spans:Span.t -> Trace.event list -> Json.t
+val chrome : ?spans:Span.t -> ?us_per_commit:int -> Trace.event list -> Json.t
 (** Chrome trace-event document ([{displayTimeUnit; traceEvents}]):
     process/thread metadata records naming one track per pid, ["i"]
     (instant) events for every trace event, and — with [?spans] — ["X"]
     (complete) events for every closed span node.  All events live in
-    Chrome pid 1; the simulator pid becomes the Chrome tid. *)
+    Chrome pid 1; the simulator pid becomes the Chrome tid.
+    [us_per_commit] (default 1000) scales the commit clock to trace
+    microseconds; pick a smaller scale to keep dense campaign traces
+    readable in Perfetto.
+    @raise Invalid_argument if [us_per_commit <= 0]. *)
 
 val write_file : string -> Json.t -> unit
 (** Serialize compactly to a file (trailing newline included). *)

@@ -77,8 +77,15 @@ type start = {
 let root_start =
   { st_prefix = []; st_crashes = 0; st_sleep = []; st_states = 0; st_replays = 0 }
 
-let single ~max_crashes ~max_paths ~reduction ~start ~init ~check () =
+(* Progress callbacks fire once per [progress_chunk] completed paths —
+   frequent enough to watch a long exploration, cheap enough (one
+   comparison per path) to leave the P3 throughput envelope alone. *)
+let progress_chunk = 1024
+
+let single ~max_crashes ~max_paths ~reduction ~start ~init ~check
+    ?(on_progress = fun (_ : int) -> ()) () =
   let paths = ref 0 in
+  let last_progress = ref 0 in
   let states = ref start.st_states in
   let max_depth = ref 0 in
   let replays = ref start.st_replays in
@@ -110,6 +117,10 @@ let single ~max_crashes ~max_paths ~reduction ~start ~init ~check () =
   in
   let finish_path ctx rt prefix_rev =
     incr paths;
+    if !paths - !last_progress >= progress_chunk then begin
+      on_progress (!paths - !last_progress);
+      last_progress := !paths
+    end;
     let depth = List.length prefix_rev in
     if depth > !max_depth then max_depth := depth;
     Hashtbl.replace depth_hist depth
@@ -355,11 +366,12 @@ let add_stats a b =
    table across the whole tree, which no per-shard table can reproduce —
    that mode ignores [jobs] and runs sequentially. *)
 let run ?(max_crashes = 0) ?(max_paths = 1_000_000) ?(reduction = `None)
-    ?(jobs = 1) ~init ~check () =
+    ?(jobs = 1) ?(on_progress = fun (_ : int) -> ()) ~init ~check () =
   if reduction = `Sleep_sets && max_crashes > 0 then
     invalid_arg "Explore.run: sleep-set reduction requires max_crashes = 0";
   let sequential () =
-    single ~max_crashes ~max_paths ~reduction ~start:root_start ~init ~check ()
+    single ~max_crashes ~max_paths ~reduction ~start:root_start ~init ~check
+      ~on_progress ()
   in
   if jobs <= 1 || reduction = `State_hash then sequential ()
   else begin
@@ -411,7 +423,7 @@ let run ?(max_crashes = 0) ?(max_paths = 1_000_000) ?(reduction = `None)
       in
       let run_shard ~budget st =
         single ~max_crashes ~max_paths:budget ~reduction ~start:st ~init ~check
-          ()
+          ~on_progress ()
       in
       let results = Pool.map ~jobs (run_shard ~budget:max_paths) starts in
       let rec fold acc_paths acc_states acc_stats = function

@@ -83,6 +83,7 @@ val run :
   ?max_paths:int ->
   ?reduction:reduction ->
   ?jobs:int ->
+  ?on_progress:(int -> unit) ->
   init:(unit -> 'ctx * Runtime.t) ->
   check:('ctx -> Runtime.t -> (unit, string) result) ->
   unit ->
@@ -106,6 +107,15 @@ val run :
     called concurrently from several domains and must not share mutable
     state across calls.  [`State_hash] shares one memo table across the
     whole tree, so that mode ignores [jobs] and runs sequentially.
+
+    [on_progress] (default a no-op) is a purely observational hook for
+    live progress reporting: it receives {e increments} of completed
+    paths, fired about every 1024 paths; the increments sum to at most
+    [outcome.paths] and never affect the result.  Under [jobs > 1] it is
+    called concurrently from the worker domains (it must be thread-safe)
+    and a budget-expiring shard's re-run reports its paths again, so
+    treat the running total as approximate while the exploration is
+    live — the returned [outcome] stays exact and [jobs]-independent.
     @raise Invalid_argument if sleep-set reduction is combined with
     crashes. *)
 

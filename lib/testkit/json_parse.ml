@@ -1,0 +1,174 @@
+module Json = Exsel_obs.Json
+
+exception Parse of string
+
+let parse s =
+  let pos = ref 0 in
+  let len = String.length s in
+  let peek () = if !pos < len then s.[!pos] else raise (Parse "eof") in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    if
+      !pos < len
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    then (
+      advance ();
+      skip_ws ())
+  in
+  let expect c =
+    skip_ws ();
+    if peek () <> c then raise (Parse (Printf.sprintf "expected %c at %d" c !pos));
+    advance ()
+  in
+  let literal word v =
+    if
+      !pos + String.length word <= len
+      && String.sub s !pos (String.length word) = word
+    then (
+      pos := !pos + String.length word;
+      v)
+    else raise (Parse ("bad literal at " ^ string_of_int !pos))
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' ->
+          advance ();
+          Buffer.contents buf
+      | '\\' ->
+          advance ();
+          (match peek () with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'u' ->
+              let hex = String.sub s (!pos + 1) 4 in
+              pos := !pos + 4;
+              Buffer.add_char buf (Char.chr (int_of_string ("0x" ^ hex)))
+          | c -> raise (Parse (Printf.sprintf "bad escape %c" c)));
+          advance ();
+          go ()
+      | c ->
+          advance ();
+          Buffer.add_char buf c;
+          go ()
+    in
+    go ()
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then (
+          advance ();
+          Json.Obj [])
+        else
+          let rec fields acc =
+            let key = parse_string () in
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+                advance ();
+                fields ((key, v) :: acc)
+            | '}' ->
+                advance ();
+                Json.Obj (List.rev ((key, v) :: acc))
+            | c -> raise (Parse (Printf.sprintf "bad obj char %c" c))
+          in
+          fields []
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then (
+          advance ();
+          Json.List [])
+        else
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+                advance ();
+                items (v :: acc)
+            | ']' ->
+                advance ();
+                Json.List (List.rev (v :: acc))
+            | c -> raise (Parse (Printf.sprintf "bad list char %c" c))
+          in
+          items []
+    | '"' -> Json.String (parse_string ())
+    | 't' -> literal "true" (Json.Bool true)
+    | 'f' -> literal "false" (Json.Bool false)
+    | 'n' -> literal "null" Json.Null
+    | _ ->
+        let start = !pos in
+        let rec scan () =
+          if
+            !pos < len
+            && match s.[!pos] with
+               | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+               | _ -> false
+          then (
+            advance ();
+            scan ())
+        in
+        scan ();
+        let tok = String.sub s start (!pos - start) in
+        (match int_of_string_opt tok with
+        | Some i -> Json.Int i
+        | None -> (
+            match float_of_string_opt tok with
+            | Some f -> Json.Float f
+            | None -> raise (Parse (Printf.sprintf "bad token %S" tok))))
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then raise (Parse "trailing input");
+  v
+
+let parse_ndjson s =
+  String.split_on_char '\n' s
+  |> List.mapi (fun i line -> (i + 1, String.trim line))
+  |> List.filter (fun (_, line) -> line <> "")
+  |> List.map (fun (lineno, line) ->
+         try parse line
+         with Parse msg ->
+           raise (Parse (Printf.sprintf "line %d: %s" lineno msg)))
+
+let roundtrip v = parse (Json.to_string v)
+
+let get_int key j =
+  match Json.member key j with
+  | Some (Json.Int i) -> i
+  | _ -> raise (Parse (Printf.sprintf "missing int field %S" key))
+
+let get_string key j =
+  match Json.member key j with
+  | Some (Json.String s) -> s
+  | _ -> raise (Parse (Printf.sprintf "missing string field %S" key))
+
+let get_list key j =
+  match Json.member key j with
+  | Some (Json.List l) -> l
+  | _ -> raise (Parse (Printf.sprintf "missing list field %S" key))
+
+let get_bool key j =
+  match Json.member key j with
+  | Some (Json.Bool b) -> b
+  | _ -> raise (Parse (Printf.sprintf "missing bool field %S" key))
+
+let get_obj key j =
+  match Json.member key j with
+  | Some (Json.Obj fields) -> fields
+  | _ -> raise (Parse (Printf.sprintf "missing object field %S" key))

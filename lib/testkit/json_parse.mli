@@ -1,0 +1,33 @@
+(** A dependency-free JSON parser for test and validation code.
+
+    {!Exsel_obs.Json} is an encoder only — the library deliberately never
+    parses.  Tests and the document validator, however, need to round-trip
+    what the encoder emits ([dune runtest] and CI validate every
+    [exsel-*/1] artifact without python).  This parser handles exactly the
+    JSON the encoder produces plus ordinary whitespace; it is not a
+    general-purpose parser (no surrogate pairs, no leniency about
+    malformed input — malformed input raises {!Parse}). *)
+
+exception Parse of string
+
+val parse : string -> Exsel_obs.Json.t
+(** Parse one JSON value; the whole string must be consumed.
+    @raise Parse on malformed or trailing input. *)
+
+val parse_ndjson : string -> Exsel_obs.Json.t list
+(** Parse newline-delimited JSON: one value per non-empty line.
+    @raise Parse on any malformed line, reporting its 1-based number. *)
+
+val roundtrip : Exsel_obs.Json.t -> Exsel_obs.Json.t
+(** [parse (Json.to_string v)] — the shape most tests want. *)
+
+(** {2 Field accessors}
+
+    Each raises {!Parse} naming the missing/mistyped field, which test
+    runners surface as the failure message. *)
+
+val get_int : string -> Exsel_obs.Json.t -> int
+val get_string : string -> Exsel_obs.Json.t -> string
+val get_list : string -> Exsel_obs.Json.t -> Exsel_obs.Json.t list
+val get_bool : string -> Exsel_obs.Json.t -> bool
+val get_obj : string -> Exsel_obs.Json.t -> (string * Exsel_obs.Json.t) list

@@ -1,0 +1,335 @@
+module Json = Exsel_obs.Json
+
+let ( let* ) = Result.bind
+
+let errf fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+(* ------------------------------------------------------------------ *)
+(* exsel-events/1 (NDJSON)                                             *)
+(* ------------------------------------------------------------------ *)
+
+let events contents =
+  match Json_parse.parse_ndjson contents with
+  | exception Json_parse.Parse msg -> errf "events: %s" msg
+  | [] -> Error "events: empty stream"
+  | lines ->
+      let event_of lineno = function
+        | Json.Obj _ as j -> (
+            match Json.member "event" j with
+            | Some (Json.String e) -> Ok e
+            | _ -> errf "events: line %d has no string \"event\" field" lineno)
+        | _ -> errf "events: line %d is not an object" lineno
+      in
+      let rec check lineno = function
+        | [] -> Ok ()
+        | [ last ] -> (
+            let* e = event_of lineno last in
+            if e = "done" then Ok ()
+            else errf "events: last line is %S, expected \"done\"" e)
+        | j :: rest ->
+            let* _ = event_of lineno j in
+            check (lineno + 1) rest
+      in
+      let first = List.hd lines in
+      let* e = event_of 1 first in
+      if e <> "start" then errf "events: first line is %S, expected \"start\"" e
+      else if Json.member "schema" first <> Some (Json.String "exsel-events/1")
+      then Error "events: start line lacks schema \"exsel-events/1\""
+      else check 2 (List.tl lines)
+
+(* ------------------------------------------------------------------ *)
+(* OpenMetrics text format                                             *)
+(* ------------------------------------------------------------------ *)
+
+let is_name_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+  | _ -> false
+
+(* name{k="v",...} value — returns (name, labels, value). *)
+let parse_sample line =
+  let len = String.length line in
+  let pos = ref 0 in
+  while !pos < len && is_name_char line.[!pos] do
+    incr pos
+  done;
+  if !pos = 0 then errf "bad metric name in %S" line
+  else begin
+    let name = String.sub line 0 !pos in
+    let labels = ref [] in
+    let* () =
+      if !pos < len && line.[!pos] = '{' then begin
+        incr pos;
+        let rec parse_labels () =
+          if !pos >= len then errf "unterminated label set in %S" line
+          else if line.[!pos] = '}' then begin
+            incr pos;
+            Ok ()
+          end
+          else begin
+            let start = !pos in
+            while !pos < len && is_name_char line.[!pos] do
+              incr pos
+            done;
+            let key = String.sub line start (!pos - start) in
+            if key = "" || !pos + 1 >= len || line.[!pos] <> '='
+               || line.[!pos + 1] <> '"'
+            then errf "bad label in %S" line
+            else begin
+              pos := !pos + 2;
+              let buf = Buffer.create 16 in
+              let rec value () =
+                if !pos >= len then errf "unterminated label value in %S" line
+                else
+                  match line.[!pos] with
+                  | '"' ->
+                      incr pos;
+                      Ok (Buffer.contents buf)
+                  | '\\' when !pos + 1 < len ->
+                      (match line.[!pos + 1] with
+                      | 'n' -> Buffer.add_char buf '\n'
+                      | c -> Buffer.add_char buf c);
+                      pos := !pos + 2;
+                      value ()
+                  | c ->
+                      Buffer.add_char buf c;
+                      incr pos;
+                      value ()
+              in
+              let* v = value () in
+              labels := (key, v) :: !labels;
+              if !pos < len && line.[!pos] = ',' then begin
+                incr pos;
+                parse_labels ()
+              end
+              else parse_labels ()
+            end
+          end
+        in
+        parse_labels ()
+      end
+      else Ok ()
+    in
+    if !pos >= len || line.[!pos] <> ' ' then
+      errf "missing value separator in %S" line
+    else begin
+      let v = String.sub line (!pos + 1) (len - !pos - 1) in
+      let value =
+        if v = "+Inf" then Some infinity else float_of_string_opt v
+      in
+      match value with
+      | None -> errf "bad sample value %S in %S" v line
+      | Some f -> Ok (name, List.rev !labels, f)
+    end
+  end
+
+type hist_acc = {
+  mutable buckets : (float * float) list; (* (le, cumulative), reversed *)
+  mutable sum : float option;
+  mutable count : float option;
+}
+
+let openmetrics contents =
+  let lines =
+    String.split_on_char '\n' contents |> List.filter (fun l -> l <> "")
+  in
+  match List.rev lines with
+  | [] -> Error "openmetrics: empty exposition"
+  | last :: _ when last <> "# EOF" ->
+      errf "openmetrics: last line is %S, expected \"# EOF\"" last
+  | _ :: body_rev ->
+      let body = List.rev body_rev in
+      let types = Hashtbl.create 16 in
+      let hists : (string * (string * string) list, hist_acc) Hashtbl.t =
+        Hashtbl.create 16
+      in
+      let strip name suffix =
+        if String.length name > String.length suffix
+           && String.sub name
+                (String.length name - String.length suffix)
+                (String.length suffix)
+              = suffix
+        then
+          Some (String.sub name 0 (String.length name - String.length suffix))
+        else None
+      in
+      let sample name labels value =
+        let declared n = Hashtbl.find_opt types n in
+        let fail_undeclared () =
+          errf "openmetrics: sample %S precedes its # TYPE declaration" name
+        in
+        match declared name with
+        | Some "gauge" | Some "counter" (* bare counter: non-suffixed *) ->
+            Ok ()
+        | Some kind -> errf "openmetrics: %S sampled as bare %s" name kind
+        | None -> (
+            match strip name "_total" with
+            | Some base when declared base = Some "counter" -> Ok ()
+            | _ -> (
+                let hist_part suffix =
+                  match strip name suffix with
+                  | Some base when declared base = Some "histogram" -> Some base
+                  | _ -> None
+                in
+                match hist_part "_bucket" with
+                | Some base ->
+                    let key =
+                      ( base,
+                        List.filter (fun (k, _) -> k <> "le") labels
+                        |> List.sort compare )
+                    in
+                    let le =
+                      match List.assoc_opt "le" labels with
+                      | Some "+Inf" -> Some infinity
+                      | Some v -> float_of_string_opt v
+                      | None -> None
+                    in
+                    let acc =
+                      match Hashtbl.find_opt hists key with
+                      | Some a -> a
+                      | None ->
+                          let a = { buckets = []; sum = None; count = None } in
+                          Hashtbl.replace hists key a;
+                          a
+                    in
+                    (match le with
+                    | None ->
+                        errf "openmetrics: %S bucket lacks a float le label"
+                          base
+                    | Some le ->
+                        acc.buckets <- (le, value) :: acc.buckets;
+                        Ok ())
+                | None -> (
+                    match (hist_part "_sum", hist_part "_count") with
+                    | Some base, _ ->
+                        let key = (base, List.sort compare labels) in
+                        (match Hashtbl.find_opt hists key with
+                        | Some a ->
+                            a.sum <- Some value;
+                            Ok ()
+                        | None ->
+                            errf "openmetrics: %S_sum precedes its buckets"
+                              base)
+                    | None, Some base ->
+                        let key = (base, List.sort compare labels) in
+                        (match Hashtbl.find_opt hists key with
+                        | Some a ->
+                            a.count <- Some value;
+                            Ok ()
+                        | None ->
+                            errf "openmetrics: %S_count precedes its buckets"
+                              base)
+                    | None, None -> fail_undeclared ())))
+      in
+      let handle line =
+        if String.length line > 0 && line.[0] = '#' then
+          match String.split_on_char ' ' line with
+          | "#" :: "TYPE" :: name :: [ kind ]
+            when List.mem kind [ "counter"; "gauge"; "histogram" ] ->
+              if Hashtbl.mem types name then
+                errf "openmetrics: duplicate # TYPE for %S" name
+              else begin
+                Hashtbl.replace types name kind;
+                Ok ()
+              end
+          | "#" :: "TYPE" :: _ -> errf "openmetrics: bad TYPE line %S" line
+          | "#" :: ("HELP" | "UNIT") :: _ -> Ok ()
+          | _ -> errf "openmetrics: unexpected comment %S" line
+        else
+          let* name, labels, value = parse_sample line in
+          sample name labels value
+      in
+      let* () =
+        List.fold_left
+          (fun acc line ->
+            let* () = acc in
+            handle line)
+          (Ok ()) body
+      in
+      Hashtbl.fold
+        (fun (base, _labels) acc res ->
+          let* () = res in
+          let buckets = List.rev acc.buckets in
+          let rec monotone = function
+            | (le1, c1) :: ((le2, c2) :: _ as rest) ->
+                if le1 >= le2 then
+                  errf "openmetrics: %S buckets not ascending by le" base
+                else if c1 > c2 then
+                  errf "openmetrics: %S cumulative counts decrease" base
+                else monotone rest
+            | _ -> Ok ()
+          in
+          let* () = monotone buckets in
+          match (List.rev buckets, acc.sum, acc.count) with
+          | [], _, _ -> errf "openmetrics: %S has no buckets" base
+          | (le, c) :: _, Some _, Some count ->
+              if le <> infinity then
+                errf "openmetrics: %S lacks a le=\"+Inf\" bucket" base
+              else if c <> count then
+                errf "openmetrics: %S +Inf bucket %g disagrees with _count %g"
+                  base c count
+              else Ok ()
+          | _, None, _ -> errf "openmetrics: %S lacks _sum" base
+          | _, _, None -> errf "openmetrics: %S lacks _count" base)
+        hists (Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* exsel-metrics/1 (embedded JSON document)                            *)
+(* ------------------------------------------------------------------ *)
+
+let metrics_doc j =
+  let scalar what entry =
+    match (Json.member "name" entry, Json.member "value" entry) with
+    | Some (Json.String _), Some (Json.Int _) -> Ok ()
+    | _ -> errf "metrics: malformed %s entry" what
+  in
+  let histogram entry =
+    let num k =
+      match Json.member k entry with
+      | Some (Json.Int i) -> Ok i
+      | _ -> errf "metrics: histogram lacks int %S" k
+    in
+    let* count = num "count" in
+    let* p50 = num "p50" in
+    let* p90 = num "p90" in
+    let* p99 = num "p99" in
+    let* p999 = num "p999" in
+    let* hmax = num "max" in
+    if not (p50 <= p90 && p90 <= p99 && p99 <= p999 && p999 <= hmax) then
+      Error "metrics: quantiles not monotone"
+    else
+      match Json.member "buckets" entry with
+      | Some (Json.List rows) -> (
+          let cum =
+            List.fold_left
+              (fun acc row ->
+                match (acc, row) with
+                | Error _, _ -> acc
+                | Ok prev, Json.List [ Json.Int _le; Json.Int c ] ->
+                    if c < prev then Error "metrics: buckets not cumulative"
+                    else Ok c
+                | Ok _, _ -> Error "metrics: malformed bucket row")
+              (Ok 0) rows
+          in
+          match cum with
+          | Error e -> Error e
+          | Ok total when total <> count ->
+              errf "metrics: buckets end at %d, count is %d" total count
+          | Ok _ -> Ok ())
+      | _ -> Error "metrics: histogram lacks buckets"
+  in
+  match Json.member "schema" j with
+  | Some (Json.String "exsel-metrics/1") ->
+      let each what f =
+        match Json.member what j with
+        | Some (Json.List entries) ->
+            List.fold_left
+              (fun acc e ->
+                let* () = acc in
+                f e)
+              (Ok ()) entries
+        | _ -> errf "metrics: missing %s array" what
+      in
+      let* () = each "counters" (scalar "counter") in
+      let* () = each "gauges" (scalar "gauge") in
+      each "histograms" histogram
+  | _ -> Error "metrics: missing schema \"exsel-metrics/1\""

@@ -1,0 +1,30 @@
+(** Validators for the streaming observability artifacts.
+
+    CI used to shell out to python to sanity-check JSON artifacts; the
+    documents introduced with the metrics subsystem ([exsel-events/1]
+    NDJSON streams, OpenMetrics text, embedded [exsel-metrics/1]) are
+    validated here instead, in-toolchain, so [dune runtest] and the CI
+    steps exercise the very same checks. *)
+
+val events : string -> (unit, string) result
+(** Validate an [exsel-events/1] NDJSON stream (whole-file contents):
+    every non-empty line parses as a JSON object with a string [event]
+    field; the first line is the [start] header carrying
+    [schema = "exsel-events/1"]; the last line is the [done] footer.
+    Returns a line-numbered error message otherwise. *)
+
+val openmetrics : string -> (unit, string) result
+(** Validate an OpenMetrics text exposition: every line is a
+    [# TYPE]/[# HELP]/[# UNIT] comment or a [name{labels} value] sample
+    whose family was declared by a preceding [# TYPE]; counter samples
+    carry the [_total] suffix; histogram series have ascending
+    [le] buckets with non-decreasing cumulative counts, a [le="+Inf"]
+    bucket agreeing with [_count], and matching [_sum]/[_count] samples;
+    the final line is [# EOF]. *)
+
+val metrics_doc : Exsel_obs.Json.t -> (unit, string) result
+(** Validate the shape of an [exsel-metrics/1] document (as embedded in
+    [exsel-bench/1] and [exsel-conformance/1] reports): schema tag,
+    [counters]/[gauges] entries with [name]/[value], [histograms]
+    entries whose quantiles are monotone ([p50 <= p90 <= p99 <= p999 <=
+    max]) and whose cumulative [buckets] end at [count]. *)

@@ -257,13 +257,23 @@ let test_report_json_schema () =
       ~regimes:[ regime "lockstep" ]
       ~seeds:[ 1 ] ~k:4
   in
-  let j = Campaign.to_json (Campaign.run cfg) in
+  (* round-trip through the shared testkit parser: the checks below run
+     against what a consumer of the rendered document actually sees *)
+  let j =
+    Exsel_testkit.Json_parse.roundtrip (Campaign.to_json (Campaign.run cfg))
+  in
   Alcotest.(check (option string))
     "schema" (Some "exsel-conformance/1")
     (match Json.member "schema" j with Some (Json.String s) -> Some s | _ -> None);
   (match Json.member "violations" j with
   | Some (Json.Int 1) -> ()
   | _ -> Alcotest.fail "violations count wrong");
+  (match Json.member "metrics" j with
+  | Some m -> (
+      match Exsel_testkit.Validate.metrics_doc m with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "embedded exsel-metrics/1 invalid: %s" msg)
+  | None -> Alcotest.fail "embedded metrics document missing");
   match Json.member "cells" j with
   | Some (Json.List [ ok_cell; bad_cell ]) -> (
       (match Json.member "ok" ok_cell with

@@ -1,0 +1,339 @@
+(* Tests for Exsel_obs.Metrics: histogram bucketing and quantile
+   estimation (qcheck rank-error property against an exact sort), merge
+   algebra (commutative/associative, gauges max), ambient registry
+   resolution across runtimes, the campaign's -j N byte-identity for
+   both the OpenMetrics exposition and the exsel-events/1 stream, and
+   acceptance of every rendered document by Exsel_testkit.Validate —
+   the same validators CI's validate_docs runs. *)
+
+module M = Exsel_obs.Metrics
+module Json = Exsel_obs.Json
+module JP = Exsel_testkit.Json_parse
+module V = Exsel_testkit.Validate
+module C = Exsel_conformance.Campaign
+module A = Exsel_conformance.Adapter
+module Regime = Exsel_conformance.Regime
+module Runtime = Exsel_sim.Runtime
+module Memory = Exsel_sim.Memory
+
+let render reg = Json.to_string (M.to_json reg)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram basics                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_hist_exact_below_64 () =
+  let reg = M.create () in
+  let h = M.histogram reg "h" in
+  for v = 0 to 63 do
+    M.observe h v
+  done;
+  Alcotest.(check int) "count" 64 (M.hist_count h);
+  Alcotest.(check int) "sum" (63 * 64 / 2) (M.hist_sum h);
+  Alcotest.(check int) "max" 63 (M.hist_max h);
+  (* values below 64 land in exact buckets: every quantile is exact *)
+  for v = 0 to 63 do
+    let q = float_of_int (v + 1) /. 64.0 in
+    Alcotest.(check int) (Printf.sprintf "q=%g" q) v (M.hquantile h q)
+  done
+
+let test_hist_empty () =
+  let reg = M.create () in
+  let h = M.histogram reg "h" in
+  Alcotest.(check int) "count" 0 (M.hist_count h);
+  Alcotest.(check int) "max" 0 (M.hist_max h);
+  Alcotest.(check int) "p50" 0 (M.hquantile h 0.5);
+  Alcotest.(check int) "p999" 0 (M.hquantile h 0.999)
+
+let test_kind_clash_and_bad_name () =
+  let reg = M.create () in
+  ignore (M.counter reg "c");
+  (* same key: the instrument itself has the wrong kind *)
+  Alcotest.check_raises "kind clash, same labels"
+    (Invalid_argument "Metrics: \"c\" is a counter, not a histogram")
+    (fun () -> ignore (M.histogram reg "c"));
+  (* different labels: the family kind still clashes *)
+  Alcotest.check_raises "kind clash, fresh labels"
+    (Invalid_argument "Metrics: \"c\" already registered as a counter")
+    (fun () -> ignore (M.histogram reg "c" ~labels:[ ("x", "y") ]));
+  Alcotest.check_raises "bad name"
+    (Invalid_argument "Metrics: invalid metric name \"no spaces\"")
+    (fun () -> ignore (M.counter reg "no spaces"))
+
+(* exact nearest-rank quantile off a sorted sample *)
+let exact_quantile sorted q =
+  let n = Array.length sorted in
+  let rank = max 1 (min (int_of_float (Float.ceil (q *. float_of_int n))) n) in
+  sorted.(rank - 1)
+
+let qcheck_rank_error =
+  QCheck.Test.make ~count:200 ~name:"hquantile within 2^-5 of exact rank"
+    QCheck.(pair (list_of_size Gen.(1 -- 200) (int_bound 100_000)) (0 -- 999))
+    (fun (sample, qi) ->
+      let q = float_of_int (qi + 1) /. 1000.0 in
+      let reg = M.create () in
+      let h = M.histogram reg "h" in
+      List.iter (M.observe h) sample;
+      let sorted = Array.of_list sample in
+      Array.sort compare sorted;
+      let exact = exact_quantile sorted q in
+      let est = M.hquantile h q in
+      (* the estimate is the bucket's upper bound clamped to the observed
+         max: never below the exact answer, never more than the bucket
+         width (<= exact/32, with slack for rounding) above it *)
+      est >= exact && est - exact <= max 1 (exact / 16))
+
+(* ------------------------------------------------------------------ *)
+(* Merge algebra                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* a registry built from a list of small operations; name pools are
+   disjoint per kind so random programs never clash kinds *)
+type op = Inc of int * int * int | SetMax of int * int | Obs of int * int
+
+let label_pool = [| []; [ ("algo", "a") ]; [ ("algo", "b"); ("n", "4") ] |]
+
+let apply reg = function
+  | Inc (n, l, v) ->
+      M.inc
+        (M.counter reg
+           (Printf.sprintf "c%d" (n mod 2))
+           ~labels:label_pool.(l mod 3))
+        (abs v)
+  | SetMax (n, v) ->
+      M.max_gauge (M.gauge reg (Printf.sprintf "g%d" (n mod 2))) (abs v)
+  | Obs (n, v) ->
+      M.observe
+        (M.histogram reg (Printf.sprintf "h%d" (n mod 2)))
+        (abs v mod 100_000)
+
+let build ops =
+  let reg = M.create () in
+  List.iter (apply reg) ops;
+  reg
+
+let gen_op =
+  QCheck.Gen.(
+    oneof
+      [
+        map3 (fun a b c -> Inc (a, b, c)) (int_bound 3) (int_bound 3) (int_bound 1000);
+        map2 (fun a b -> SetMax (a, b)) (int_bound 3) (int_bound 1000);
+        map2 (fun a b -> Obs (a, b)) (int_bound 3) (int_bound 100_000);
+      ])
+
+let arb_ops = QCheck.make QCheck.Gen.(list_size (0 -- 40) gen_op)
+
+let qcheck_merge_commutative =
+  QCheck.Test.make ~count:100 ~name:"merge commutative (up to rendering)"
+    QCheck.(pair arb_ops arb_ops)
+    (fun (a, b) ->
+      let ab = build a in
+      M.merge ~into:ab (build b);
+      let ba = build b in
+      M.merge ~into:ba (build a);
+      render ab = render ba)
+
+let qcheck_merge_associative =
+  QCheck.Test.make ~count:100 ~name:"merge associative"
+    QCheck.(triple arb_ops arb_ops arb_ops)
+    (fun (a, b, c) ->
+      let left = build a in
+      M.merge ~into:left (build b);
+      M.merge ~into:left (build c);
+      let bc = build b in
+      M.merge ~into:bc (build c);
+      let right = build a in
+      M.merge ~into:right bc;
+      render left = render right)
+
+let test_gauge_merges_by_max () =
+  let a = M.create () in
+  M.set_gauge (M.gauge a "g") 7;
+  let b = M.create () in
+  M.set_gauge (M.gauge b "g") 3;
+  M.merge ~into:b a;
+  M.max_gauge (M.gauge b "g") 5;
+  Alcotest.(check string) "max wins" (render b)
+    (let c = M.create () in
+     M.set_gauge (M.gauge c "g") 7;
+     render c)
+
+(* ------------------------------------------------------------------ *)
+(* Ambient resolution                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_bind_attributes_per_runtime () =
+  (* two interleaved runtimes, each bound to its own registry: process
+     bodies must record into their owner's registry, never the other's *)
+  let mk tag =
+    let mem = Memory.create () in
+    let rt = Runtime.create mem in
+    let r = Exsel_sim.Register.create mem ~name:"r" 0 in
+    let reg = M.create () in
+    M.bind rt reg;
+    let p =
+      Runtime.spawn rt ~name:tag (fun () ->
+          Runtime.write r 1;
+          (match M.ambient () with
+          | Some m -> M.inc (M.counter m "seen" ~labels:[ ("rt", tag) ]) 1
+          | None -> ());
+          Runtime.write r 2)
+    in
+    (rt, reg, p)
+  in
+  let rt1, reg1, p1 = mk "one" in
+  let rt2, reg2, p2 = mk "two" in
+  (* interleave the two runtimes' commits: the ambient lookup between the
+     writes runs with the *other* runtime's registry also bound *)
+  Runtime.commit rt1 p1;
+  Runtime.commit rt2 p2;
+  Runtime.commit rt1 p1;
+  Runtime.commit rt2 p2;
+  M.unbind rt1;
+  M.unbind rt2;
+  let count reg tag =
+    JP.roundtrip (M.to_json reg) |> fun j ->
+    match JP.get_list "counters" j with
+    | [ c ] ->
+        Alcotest.(check string) "name" "seen" (JP.get_string "name" c);
+        (match Json.member "labels" c with
+        | Some (Json.Obj [ ("rt", Json.String t) ]) ->
+            Alcotest.(check string) "label" tag t
+        | _ -> Alcotest.fail "bad labels");
+        JP.get_int "value" c
+    | l -> Alcotest.failf "expected one counter, got %d" (List.length l)
+  in
+  Alcotest.(check int) "rt1 sees its own increment" 1 (count reg1 "one");
+  Alcotest.(check int) "rt2 sees its own increment" 1 (count reg2 "two")
+
+let test_with_ambient_nests_and_restores () =
+  let outer = M.create () in
+  let inner = M.create () in
+  let is reg what =
+    match M.ambient () with
+    | Some m when m == reg -> ()
+    | Some _ -> Alcotest.failf "%s: wrong registry ambient" what
+    | None -> Alcotest.failf "%s: no registry ambient" what
+  in
+  Alcotest.(check bool) "no ambient outside" true (M.ambient () = None);
+  M.with_ambient outer (fun () ->
+      is outer "outer";
+      M.with_ambient inner (fun () -> is inner "inner shadows");
+      is outer "outer restored";
+      (try M.with_ambient inner (fun () -> failwith "boom") with _ -> ());
+      is outer "restored after raise");
+  Alcotest.(check bool) "cleared" true (M.ambient () = None)
+
+(* ------------------------------------------------------------------ *)
+(* Campaign: -j N byte-identity and document validity                  *)
+(* ------------------------------------------------------------------ *)
+
+let small_cfg () =
+  let find_a id = Option.get (A.find id) in
+  let find_r id = Option.get (Regime.find id) in
+  {
+    C.default with
+    C.algos = [ find_a "ma"; find_a "efficient" ];
+    regimes = [ find_r "random"; find_r "crash-half" ];
+    seeds = [ 1; 2 ];
+    k = 4;
+  }
+
+(* run a campaign collecting the full exsel-events/1 stream (mutex: the
+   on_event callback fires from worker domains under jobs > 1) *)
+let run_with_events ~jobs cfg =
+  let mu = Mutex.create () in
+  let lines = ref [] in
+  let push j =
+    Mutex.lock mu;
+    lines := Json.to_string j :: !lines;
+    Mutex.unlock mu
+  in
+  push (C.start_event cfg);
+  let report = C.run ~jobs ~on_event:(fun ev -> push (C.event_json ev)) cfg in
+  push (C.done_event report);
+  (report, List.rev !lines)
+
+let test_campaign_jobs_byte_identical () =
+  let cfg = small_cfg () in
+  let r1, ev1 = run_with_events ~jobs:1 cfg in
+  let r2, ev2 = run_with_events ~jobs:2 cfg in
+  Alcotest.(check string) "openmetrics identical"
+    (M.to_openmetrics r1.C.r_metrics)
+    (M.to_openmetrics r2.C.r_metrics);
+  Alcotest.(check string) "exsel-metrics/1 identical"
+    (render r1.C.r_metrics) (render r2.C.r_metrics);
+  (* the event stream is a permutation: sorted lines compare equal *)
+  Alcotest.(check (list string)) "event multiset identical"
+    (List.sort compare ev1) (List.sort compare ev2);
+  Alcotest.(check bool) "streams differ only in order" true
+    (List.length ev1 = List.length ev2)
+
+let test_campaign_documents_validate () =
+  let cfg = small_cfg () in
+  let report, lines = run_with_events ~jobs:2 cfg in
+  (match V.events (String.concat "\n" lines ^ "\n") with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "events stream rejected: %s" msg);
+  (match V.openmetrics (M.to_openmetrics report.C.r_metrics) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "openmetrics rejected: %s" msg);
+  (match V.metrics_doc (JP.roundtrip (M.to_json report.C.r_metrics)) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "metrics doc rejected: %s" msg);
+  (* the full conformance report embeds the same registry *)
+  let rj = JP.roundtrip (C.to_json report) in
+  match Json.member "metrics" rj with
+  | Some m -> (
+      match V.metrics_doc m with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "embedded metrics rejected: %s" msg)
+  | None -> Alcotest.fail "report embeds no metrics"
+
+let test_openmetrics_escapes_label_values () =
+  let reg = M.create () in
+  M.inc (M.counter reg "c" ~labels:[ ("weird", "a\"b\\c\nd") ]) 2;
+  M.observe (M.histogram reg "h" ~labels:[ ("weird", "x\"y") ]) 100;
+  let text = M.to_openmetrics reg in
+  match V.openmetrics text with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "escaped exposition rejected: %s\n%s" msg text
+
+(* ------------------------------------------------------------------ *)
+
+let q t = QCheck_alcotest.to_alcotest t
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "histogram",
+        [
+          Alcotest.test_case "exact below 64" `Quick test_hist_exact_below_64;
+          Alcotest.test_case "empty" `Quick test_hist_empty;
+          Alcotest.test_case "kind clash / bad name" `Quick
+            test_kind_clash_and_bad_name;
+          q qcheck_rank_error;
+        ] );
+      ( "merge",
+        [
+          q qcheck_merge_commutative;
+          q qcheck_merge_associative;
+          Alcotest.test_case "gauge max" `Quick test_gauge_merges_by_max;
+        ] );
+      ( "ambient",
+        [
+          Alcotest.test_case "bind per runtime" `Quick
+            test_bind_attributes_per_runtime;
+          Alcotest.test_case "with_ambient nests" `Quick
+            test_with_ambient_nests_and_restores;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "-j 2 byte-identical to -j 1" `Quick
+            test_campaign_jobs_byte_identical;
+          Alcotest.test_case "documents validate" `Quick
+            test_campaign_documents_validate;
+          Alcotest.test_case "openmetrics escaping" `Quick
+            test_openmetrics_escapes_label_values;
+        ] );
+    ]

@@ -1,139 +1,24 @@
 (* Tests for the observability layer: Metrics.of_runtime against a
    hand-scheduled execution, the register probe against a deliberately
    contended schedule, the span sink, and the JSON encoder (escaping
-   plus shape checks through a tiny in-test parser). *)
+   plus shape checks round-tripped through Exsel_testkit.Json_parse —
+   the shared parser CI's validate_docs uses too). *)
 
 open Exsel_sim
 module Json = Exsel_obs.Json
 module Probe = Exsel_obs.Probe
 module Span = Exsel_obs.Span
+module JP = Exsel_testkit.Json_parse
 
-(* ------------------------------------------------------------------ *)
-(* a tiny JSON parser, just enough to round-trip what the encoder emits *)
-(* ------------------------------------------------------------------ *)
+let parse_json s = JP.parse s
+let roundtrip = JP.roundtrip
 
-exception Parse of string
-
-let parse_json s =
-  let pos = ref 0 in
-  let len = String.length s in
-  let peek () = if !pos < len then s.[!pos] else raise (Parse "eof") in
-  let advance () = incr pos in
-  let rec skip_ws () =
-    if !pos < len && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
-    then (advance (); skip_ws ())
-  in
-  let expect c =
-    skip_ws ();
-    if peek () <> c then raise (Parse (Printf.sprintf "expected %c at %d" c !pos));
-    advance ()
-  in
-  let literal word v =
-    if !pos + String.length word <= len && String.sub s !pos (String.length word) = word
-    then (pos := !pos + String.length word; v)
-    else raise (Parse ("bad literal at " ^ string_of_int !pos))
-  in
-  let parse_string () =
-    expect '"';
-    let buf = Buffer.create 16 in
-    let rec go () =
-      match peek () with
-      | '"' -> advance (); Buffer.contents buf
-      | '\\' ->
-          advance ();
-          (match peek () with
-          | '"' -> Buffer.add_char buf '"'
-          | '\\' -> Buffer.add_char buf '\\'
-          | '/' -> Buffer.add_char buf '/'
-          | 'n' -> Buffer.add_char buf '\n'
-          | 't' -> Buffer.add_char buf '\t'
-          | 'r' -> Buffer.add_char buf '\r'
-          | 'b' -> Buffer.add_char buf '\b'
-          | 'f' -> Buffer.add_char buf '\012'
-          | 'u' ->
-              let hex = String.sub s (!pos + 1) 4 in
-              pos := !pos + 4;
-              Buffer.add_char buf (Char.chr (int_of_string ("0x" ^ hex)))
-          | c -> raise (Parse (Printf.sprintf "bad escape %c" c)));
-          advance ();
-          go ()
-      | c -> advance (); Buffer.add_char buf c; go ()
-    in
-    go ()
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = '}' then (advance (); Json.Obj [])
-        else
-          let rec fields acc =
-            let key = parse_string () in
-            expect ':';
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | ',' -> advance (); fields ((key, v) :: acc)
-            | '}' -> advance (); Json.Obj (List.rev ((key, v) :: acc))
-            | c -> raise (Parse (Printf.sprintf "bad obj char %c" c))
-          in
-          fields []
-    | '[' ->
-        advance ();
-        skip_ws ();
-        if peek () = ']' then (advance (); Json.List [])
-        else
-          let rec items acc =
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | ',' -> advance (); items (v :: acc)
-            | ']' -> advance (); Json.List (List.rev (v :: acc))
-            | c -> raise (Parse (Printf.sprintf "bad list char %c" c))
-          in
-          items []
-    | '"' -> Json.String (parse_string ())
-    | 't' -> literal "true" (Json.Bool true)
-    | 'f' -> literal "false" (Json.Bool false)
-    | 'n' -> literal "null" Json.Null
-    | _ ->
-        let start = !pos in
-        let rec scan () =
-          if !pos < len
-             && (match s.[!pos] with
-                | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-                | _ -> false)
-          then (advance (); scan ())
-        in
-        scan ();
-        let tok = String.sub s start (!pos - start) in
-        (match int_of_string_opt tok with
-        | Some i -> Json.Int i
-        | None -> Json.Float (float_of_string tok))
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> len then raise (Parse "trailing input");
-  v
-
-let roundtrip v = parse_json (Json.to_string v)
-
-let get_int key j =
-  match Json.member key j with
-  | Some (Json.Int i) -> i
-  | _ -> Alcotest.failf "missing int field %s" key
-
-let get_list key j =
-  match Json.member key j with
-  | Some (Json.List l) -> l
-  | _ -> Alcotest.failf "missing list field %s" key
-
-let get_string key j =
-  match Json.member key j with
-  | Some (Json.String s) -> s
-  | _ -> Alcotest.failf "missing string field %s" key
+(* Json_parse's accessors raise Parse; surface that as the alcotest
+   failure message so a shape regression names the field. *)
+let wrap f key j = try f key j with JP.Parse msg -> Alcotest.failf "%s" msg
+let get_int key j = wrap JP.get_int key j
+let get_list key j = wrap JP.get_list key j
+let get_string key j = wrap JP.get_string key j
 
 (* ------------------------------------------------------------------ *)
 (* Metrics.of_runtime on a hand-scheduled execution                    *)
@@ -395,6 +280,7 @@ let test_json_probe_shape () =
   Runtime.commit rt p0;
   Runtime.commit rt p1;
   let j = roundtrip (Probe.to_json (Probe.report probe)) in
+  Alcotest.(check string) "schema" "exsel-probe/1" (get_string "schema" j);
   Alcotest.(check int) "registers" 1 (get_int "registers" j);
   Alcotest.(check int) "peak_pending" 2 (get_int "peak_pending" j);
   match get_list "profiles" j with
@@ -523,6 +409,21 @@ let test_chrome_export_shape () =
   | [ rd ] -> Alcotest.(check int) "instant ts scaled x1000" 3000 (get_int "ts" rd)
   | l -> Alcotest.failf "expected one read instant, got %d" (List.length l)
 
+let test_chrome_export_custom_scale () =
+  let trace, sink = export_fixture () in
+  let j =
+    roundtrip (Trace_export.chrome ~spans:sink ~us_per_commit:10 (Trace.events trace))
+  in
+  let evs = get_list "traceEvents" j in
+  (match List.filter (fun e -> get_string "ph" e = "X") evs with
+  | [ span ] ->
+      Alcotest.(check int) "span start still 0" 0 (get_int "ts" span);
+      Alcotest.(check int) "span duration scaled x10" 30 (get_int "dur" span)
+  | l -> Alcotest.failf "expected one X event, got %d" (List.length l));
+  Alcotest.check_raises "rejects non-positive scale"
+    (Invalid_argument "Trace_export.chrome: us_per_commit must be positive")
+    (fun () -> ignore (Trace_export.chrome ~us_per_commit:0 (Trace.events trace)))
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -555,5 +456,7 @@ let () =
         [
           Alcotest.test_case "exsel-trace/1 shape" `Quick test_trace_export_shape;
           Alcotest.test_case "chrome trace shape" `Quick test_chrome_export_shape;
+          Alcotest.test_case "chrome custom us_per_commit" `Quick
+            test_chrome_export_custom_scale;
         ] );
     ]

@@ -1,0 +1,58 @@
+(* CI front-end for Exsel_testkit.Validate: check an artifact file and
+   exit 0 (valid) or 1 (invalid, reason on stderr).  Usage errors exit 2.
+   This replaces the inline python validation for the streaming
+   documents, so CI runs the exact checks the test suite runs. *)
+
+module Json = Exsel_obs.Json
+module JP = Exsel_testkit.Json_parse
+module V = Exsel_testkit.Validate
+
+let usage () =
+  prerr_endline
+    "usage: validate_docs {events|openmetrics|json SCHEMA|metrics-in-report} \
+     FILE\n\
+    \  events             FILE is an exsel-events/1 NDJSON stream\n\
+    \  openmetrics        FILE is an OpenMetrics text exposition\n\
+    \  json SCHEMA        FILE is a JSON document with the given schema tag\n\
+    \  metrics-in-report  FILE is a report embedding an exsel-metrics/1 \
+     document";
+  exit 2
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | contents -> contents
+  | exception Sys_error msg ->
+      Printf.eprintf "validate_docs: %s\n" msg;
+      exit 2
+
+let finish what path = function
+  | Ok () ->
+      Printf.printf "validate_docs: %s ok: %s\n" what path;
+      exit 0
+  | Error msg ->
+      Printf.eprintf "validate_docs: %s INVALID: %s: %s\n" what path msg;
+      exit 1
+
+let parse_json path contents =
+  try JP.parse contents
+  with JP.Parse msg ->
+    Printf.eprintf "validate_docs: %s does not parse: %s\n" path msg;
+    exit 1
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; "events"; path ] -> finish "events" path (V.events (read_file path))
+  | [ _; "openmetrics"; path ] ->
+      finish "openmetrics" path (V.openmetrics (read_file path))
+  | [ _; "json"; schema; path ] ->
+      let j = parse_json path (read_file path) in
+      finish "json" path
+        (if Json.member "schema" j = Some (Json.String schema) then Ok ()
+         else Error (Printf.sprintf "schema is not %S" schema))
+  | [ _; "metrics-in-report"; path ] ->
+      let j = parse_json path (read_file path) in
+      finish "metrics-in-report" path
+        (match Json.member "metrics" j with
+        | Some m -> V.metrics_doc m
+        | None -> Error "report embeds no \"metrics\" field")
+  | _ -> usage ()
