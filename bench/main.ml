@@ -107,7 +107,8 @@ let run_conformance ~json =
 let usage_text () =
   Printf.sprintf
     "usage: %s [--bechamel | --perf | --conformance] [--json <file>]\n\
-    \       %*s [--baseline <file>] [--only <T1..T9|F1|F2|A1..A3|X1..X3>]\n\n\
+    \       %*s [--baseline <file>] [--only <T1..T9|F1|F2|A1..A3|X1..X3|P1..P7>]\n\
+    \       %*s [--p7-max-n <n>]\n\n\
      modes (mutually exclusive):\n\
     \  (default)          print the experiment tables\n\
     \  --bechamel         wall-clock one Bechamel benchmark per experiment\n\
@@ -120,11 +121,17 @@ let usage_text () =
     \                     --bechamel)\n\
     \  --baseline <file>  with --perf: fail (exit 1) if any metric drops\n\
     \                     below half its reference value in <file>\n\
-    \  --only <ID>        restrict to one experiment.  IDs are\n\
-    \                     case-insensitive: they are normalized to upper\n\
-    \                     case before matching, so `--only t3` selects T3\n\
+    \  --only <ID>        restrict to one experiment (or, with --perf, one\n\
+    \                     perf suite P1..P7).  IDs are case-insensitive:\n\
+    \                     they are normalized to upper case before\n\
+    \                     matching, so `--only t3` selects T3\n\
+    \  --p7-max-n <n>     with --perf: cap the native-suite sweep at n\n\
+    \                     contenders (full sweep reaches n=1024; CI smokes\n\
+    \                     cap it to stay fast)\n\
     \  --help             show this message\n"
     Sys.argv.(0)
+    (String.length Sys.argv.(0))
+    ""
     (String.length Sys.argv.(0))
     ""
 
@@ -134,34 +141,42 @@ let usage_error msg =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let rec parse bech perf conf only json baseline = function
-    | [] -> (bech, perf, conf, only, json, baseline)
+  let rec parse bech perf conf only json baseline p7_max_n = function
+    | [] -> (bech, perf, conf, only, json, baseline, p7_max_n)
     | ("--help" | "-help" | "-h") :: _ ->
         print_string (usage_text ());
         exit 0
-    | "--bechamel" :: rest -> parse true perf conf only json baseline rest
-    | "--perf" :: rest -> parse bech true conf only json baseline rest
-    | "--conformance" :: rest -> parse bech perf true only json baseline rest
-    | "--only" :: id :: rest -> parse bech perf conf (Some id) json baseline rest
+    | "--bechamel" :: rest -> parse true perf conf only json baseline p7_max_n rest
+    | "--perf" :: rest -> parse bech true conf only json baseline p7_max_n rest
+    | "--conformance" :: rest ->
+        parse bech perf true only json baseline p7_max_n rest
+    | "--only" :: id :: rest ->
+        parse bech perf conf (Some id) json baseline p7_max_n rest
     | "--json" :: path :: rest ->
-        parse bech perf conf only (Some path) baseline rest
+        parse bech perf conf only (Some path) baseline p7_max_n rest
     | "--baseline" :: path :: rest ->
-        parse bech perf conf only json (Some path) rest
-    | [ ("--only" | "--json" | "--baseline") ] as flag ->
+        parse bech perf conf only json (Some path) p7_max_n rest
+    | "--p7-max-n" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n when n > 0 -> parse bech perf conf only json baseline (Some n) rest
+        | Some _ | None ->
+            usage_error
+              (Printf.sprintf "--p7-max-n expects a positive integer (got %S)" v))
+    | [ ("--only" | "--json" | "--baseline" | "--p7-max-n") ] as flag ->
         usage_error (Printf.sprintf "%s requires an argument" (List.hd flag))
     | arg :: _ -> usage_error (Printf.sprintf "unexpected argument %S" arg)
   in
-  let bech, perf, conf, only, json, baseline =
-    parse false false false None None None args
+  let bech, perf, conf, only, json, baseline, p7_max_n =
+    parse false false false None None None None args
   in
   if (bech && perf) || (bech && conf) || (perf && conf) then
     usage_error "--bechamel, --perf and --conformance are mutually exclusive";
   if bech && json <> None then
     usage_error "--bechamel and --json are mutually exclusive";
   if baseline <> None && not perf then usage_error "--baseline requires --perf";
-  if only <> None && (perf || conf) then
-    usage_error "--only applies only to the experiment modes";
-  if perf then Perf.run ~json ~baseline
+  if p7_max_n <> None && not perf then usage_error "--p7-max-n requires --perf";
+  if only <> None && conf then usage_error "--only does not apply to --conformance";
+  if perf then Perf.run ~json ~baseline ~only ~p7_max_n
   else if conf then run_conformance ~json
   else
     match json with

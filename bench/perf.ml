@@ -423,20 +423,132 @@ let p6_latency_quantiles () =
     List.rev !metrics,
     merged )
 
+(* --- P7: native rename throughput and tail latency ---------------------- *)
+
+(* Real OCaml 5 domains over Atomic.t registers (lib/native): one run per
+   (algorithm, n, domains) cell, n logical processes work-queued onto the
+   domain pool.  Every cell's decision log is claim-checked post hoc
+   (exclusiveness, name bound, completion) — a violation aborts the bench
+   with exit 1, the same contract as P6.  Baseline-gated metrics are the
+   machine-independent decided counts at the small n only, so a
+   [--p7-max-n]-capped run (CI) gates the same keys as the full sweep;
+   larger cells are still claim-checked.  Wall-clock throughput and the
+   per-process latency quantiles are machine-dependent: table and JSON
+   only, with the ns histograms merged into the embedded exsel-metrics/1
+   document. *)
+let p7_native_rename ?(max_n = 1024) () =
+  let module H = Exsel_native.Harness in
+  let module M = Exsel_obs.Metrics in
+  let merged = M.create () in
+  let metrics = ref [] in
+  let ns = List.filter (fun n -> n <= max_n) [ 16; 64; 256; 1024 ] in
+  let domain_counts = [ 1; 2; 4; 8 ] in
+  let gated_n = [ 16; 64 ] in
+  let rows =
+    List.concat_map
+      (fun (algo, name) ->
+        List.concat_map
+          (fun n ->
+            let decided_at_n = ref 0 in
+            let rows =
+              List.map
+                (fun domains ->
+                  let r = H.run ~algo ~n ~domains ~seed:1 () in
+                  (match H.check r with
+                  | Ok () -> ()
+                  | Error msg ->
+                      Printf.eprintf
+                        "P7: %s at n=%d domains=%d violates its claim: %s\n"
+                        name n domains msg;
+                      exit 1);
+                  decided_at_n := !decided_at_n + H.decided r;
+                  let reg = M.create () in
+                  H.observe reg r;
+                  M.merge ~into:merged reg;
+                  let h =
+                    M.histogram reg "exsel_rename_latency_ns"
+                      ~labels:[ ("algo", name); ("backend", "native") ]
+                  in
+                  let wall_s = Int64.to_float r.H.wall_ns /. 1e9 in
+                  let throughput = float_of_int n /. wall_s in
+                  [
+                    name;
+                    Table.cell_int n;
+                    Table.cell_int domains;
+                    Table.cell_int (H.decided r);
+                    Printf.sprintf "%.0f" throughput;
+                    Table.cell_int (M.hquantile h 0.50);
+                    Table.cell_int (M.hquantile h 0.90);
+                    Table.cell_int (M.hquantile h 0.99);
+                    Table.cell_int (M.hquantile h 0.999);
+                    Table.cell_int (M.hist_max h);
+                  ])
+                domain_counts
+            in
+            if List.mem n gated_n then
+              metrics :=
+                ( Printf.sprintf "p7_%s_decided_n%d" name n,
+                  float_of_int !decided_at_n )
+                :: !metrics;
+            rows)
+          ns)
+      [ (H.Ma, "ma"); (H.Efficient, "efficient"); (H.Adaptive, "adaptive") ]
+  in
+  ( Table.make ~id:"P7"
+      ~title:"perf: native rename throughput and tail latency (OCaml 5 domains)"
+      ~header:
+        [
+          "algo"; "n"; "domains"; "decided"; "renames/sec"; "p50 ns"; "p90 ns";
+          "p99 ns"; "p999 ns"; "max ns";
+        ]
+      ~notes:
+        [
+          "Real Atomic.t registers and Domain-pool processes (lib/native),";
+          "one engine run per cell; latencies are wall-clock nanoseconds";
+          "per rename.  Decision logs are claim-checked post hoc; the";
+          "decided counts at n <= 64 are baseline-gated (present under any";
+          "--p7-max-n cap), throughput and quantiles are machine-dependent";
+          "and tracked in the JSON only.";
+        ]
+      rows,
+    List.rev !metrics,
+    merged )
+
 (* --- driver ------------------------------------------------------------ *)
 
-let run ~json ~baseline =
-  let tables_metrics =
+let suite_ids = [ "P1"; "P2"; "P3"; "P4"; "P5"; "P6"; "P7" ]
+
+let run ~json ~baseline ~only ~p7_max_n =
+  let registry = Exsel_obs.Metrics.create () in
+  let with_registry f () =
+    let table, metrics, reg = f () in
+    Exsel_obs.Metrics.merge ~into:registry reg;
+    (table, metrics)
+  in
+  let suites =
     [
-      p1_commit_throughput ();
-      p2_scheduler_overhead ();
-      p3_explorer ();
-      p4_pruning_stats ();
-      p5_campaign_scaling ();
+      ("P1", p1_commit_throughput);
+      ("P2", p2_scheduler_overhead);
+      ("P3", p3_explorer);
+      ("P4", p4_pruning_stats);
+      ("P5", p5_campaign_scaling);
+      ("P6", with_registry p6_latency_quantiles);
+      ("P7", with_registry (fun () -> p7_native_rename ?max_n:p7_max_n ()));
     ]
   in
-  let p6_table, p6_metrics, p6_registry = p6_latency_quantiles () in
-  let tables_metrics = tables_metrics @ [ (p6_table, p6_metrics) ] in
+  let selected =
+    match only with
+    | None -> suites
+    | Some id -> (
+        let id = String.uppercase_ascii id in
+        match List.filter (fun (i, _) -> i = id) suites with
+        | [] ->
+            Printf.eprintf "unknown perf suite %S; valid ids: %s\n" id
+              (String.concat " " suite_ids);
+            exit 2
+        | sel -> sel)
+  in
+  let tables_metrics = List.map (fun (_, f) -> f ()) selected in
   let entries =
     List.map (fun (table, _) -> { Report.table; runs = [] }) tables_metrics
   in
@@ -445,7 +557,7 @@ let run ~json ~baseline =
   (match json with
   | None -> ()
   | Some path ->
-      Report.write_file ~metrics:p6_registry path entries;
+      Report.write_file ~metrics:registry path entries;
       Printf.printf "wrote %s (%d perf suites, %d metrics)\n" path (List.length entries)
         (List.length metrics));
   match baseline with
@@ -464,6 +576,13 @@ let run ~json ~baseline =
       List.iter
         (fun (key, reference) ->
           match List.assoc_opt key metrics with
+          | None
+            when only <> None
+                 || (p7_max_n <> None && String.starts_with ~prefix:"p7_" key)
+            ->
+              (* a restricted run (--only, or a --p7-max-n cap below the
+                 gated n) legitimately skips those keys *)
+              ()
           | None ->
               incr failures;
               Printf.eprintf "perf baseline: metric %S missing from this run\n" key

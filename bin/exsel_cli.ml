@@ -156,7 +156,105 @@ let build_renamer algo mem ~k ~n ~n_names ~seed =
       let c = R.Chain_rename.create mem ~name:"ch" ~m:((2 * k) - 1) in
       ((fun ~me -> R.Chain_rename.rename c ~me), R.Chain_rename.names c)
 
-let run_rename algo k n n_names procs seed crashes profile json chrome
+(* Native-backend rename: real Atomic.t registers, real domains
+   (lib/native).  The contender count is --procs and the instance is
+   sized for exactly that contention; there is no scheduler, no crash
+   injection and no commit clock, so the sim-only flags are rejected up
+   front and claims are checked post hoc on the decision log. *)
+let run_rename_native algo procs seed domains json =
+  let module H = Exsel_native.Harness in
+  let halgo =
+    match algo with
+    | Moir_anderson -> H.Ma
+    | Efficient -> H.Efficient
+    | Adaptive -> H.Adaptive
+    | _ ->
+        Printf.eprintf
+          "--backend native supports --algo ma, efficient and adaptive (got %s)\n"
+          (Format.asprintf "%a" (Cmdliner.Arg.conv_printer algo_conv) algo);
+        exit 2
+  in
+  let r = H.run ~algo:halgo ~n:procs ~domains ~seed () in
+  let reg =
+    match Obs_metrics.ambient () with
+    | Some reg -> reg
+    | None -> Obs_metrics.create ()
+  in
+  H.observe reg r;
+  Printf.printf "process  original  new-name  latency-ns  status\n";
+  Array.iteri
+    (fun i me ->
+      Printf.printf "p%-6d  %-8d  %-8s  %-10Ld  done\n" i me
+        (match r.H.names.(i) with Some nm -> string_of_int nm | None -> "-")
+        r.H.latency_ns.(i))
+    r.H.ids;
+  Printf.printf "backend: native  domains: %d  registers: %d  wall: %.3f ms\n"
+    domains r.H.registers
+    (Int64.to_float r.H.wall_ns /. 1e6);
+  let h =
+    Obs_metrics.histogram reg "exsel_rename_latency_ns"
+      ~labels:[ ("algo", r.H.algo); ("backend", "native") ]
+  in
+  Printf.printf
+    "latency ns: p50=%d p90=%d p99=%d p999=%d max=%d (%d renames)\n"
+    (Obs_metrics.hquantile h 0.50)
+    (Obs_metrics.hquantile h 0.90)
+    (Obs_metrics.hquantile h 0.99)
+    (Obs_metrics.hquantile h 0.999)
+    (Obs_metrics.hist_max h) (Obs_metrics.hist_count h);
+  let claim = H.check r in
+  (match claim with
+  | Ok () ->
+      let names = Array.to_list r.H.names |> List.filter_map Fun.id in
+      Printf.printf "exclusive: yes  max-name: %d  bound: %d\n"
+        (List.fold_left max (-1) names)
+        r.H.bound
+  | Error msg -> Printf.printf "claim VIOLATED: %s\n" msg);
+  (match json with
+  | Some path ->
+      let assignment =
+        Array.to_list
+          (Array.mapi
+             (fun i me ->
+               Json.Obj
+                 [
+                   ("process", Json.String (Printf.sprintf "p%d" i));
+                   ("original", Json.Int me);
+                   ( "name",
+                     match r.H.names.(i) with
+                     | Some nm -> Json.Int nm
+                     | None -> Json.Null );
+                   ("latency_ns", Json.Int (Int64.to_int r.H.latency_ns.(i)));
+                   ("status", Json.String "done");
+                 ])
+             r.H.ids)
+      in
+      let doc =
+        Json.Obj
+          [
+            ("schema", Json.String "exsel-rename/1");
+            ( "algorithm",
+              Json.String
+                (Format.asprintf "%a" (Cmdliner.Arg.conv_printer algo_conv) algo)
+            );
+            ("backend", Json.String "native");
+            ("domains", Json.Int domains);
+            ("seed", Json.Int seed);
+            ("assignment", Json.List assignment);
+            ("wall_ns", Json.Int (Int64.to_int r.H.wall_ns));
+            ("registers", Json.Int r.H.registers);
+            ("metrics", Obs_metrics.to_json reg);
+          ]
+      in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> Json.output oc doc);
+      Printf.printf "wrote %s\n" path
+  | None -> ());
+  if claim <> Ok () then exit 1
+
+let run_rename_sim algo k n n_names procs seed crashes profile json chrome
     us_per_commit =
   check_us_per_commit us_per_commit;
   let mem = Memory.create () in
@@ -260,6 +358,53 @@ let run_rename algo k n n_names procs seed crashes profile json chrome
       Span.detach sp
   | _ -> ());
   if not distinct then exit 1
+
+(* Backend dispatch.  The sim path is byte-identical to the historical
+   behaviour; the native path rejects the sim-only flags (scheduler
+   seeds aside, they presume a commit clock or crash injection) and the
+   sim path rejects --domains, each with a specific message and exit 2. *)
+let run_rename backend domains algo k n n_names procs seed crashes profile
+    json chrome us_per_commit =
+  match backend with
+  | "sim" ->
+      (match domains with
+      | Some _ ->
+          Printf.eprintf "--domains applies only to --backend native\n";
+          exit 2
+      | None -> ());
+      run_rename_sim algo k n n_names procs seed crashes profile json chrome
+        us_per_commit
+  | "native" ->
+      if crashes <> [] then begin
+        Printf.eprintf
+          "--crash applies only to --backend sim (native domains cannot be \
+           crashed mid-run)\n";
+        exit 2
+      end;
+      if profile then begin
+        Printf.eprintf
+          "--profile applies only to --backend sim (no commit clock on native \
+           domains)\n";
+        exit 2
+      end;
+      if chrome <> None then begin
+        Printf.eprintf
+          "--chrome applies only to --backend sim (no commit clock on native \
+           domains)\n";
+        exit 2
+      end;
+      let domains =
+        match domains with
+        | Some d when d <= 0 ->
+            Printf.eprintf "--domains must be positive (got %d)\n" d;
+            exit 2
+        | Some d -> d
+        | None -> 4
+      in
+      run_rename_native algo procs seed domains json
+  | other ->
+      Printf.eprintf "unknown backend %S (expected sim or native)\n" other;
+      exit 2
 
 (* ------------------------------------------------------------------ *)
 (* deposit subcommand                                                  *)
@@ -904,12 +1049,33 @@ let progress_t =
     & info [ "progress" ]
         ~doc:"Mirror the exsel-events/1 NDJSON progress stream to stderr.")
 
+let backend_t =
+  Arg.(
+    value & opt string "sim"
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Substrate to run on: $(b,sim) (the deterministic simulator; \
+           default) or $(b,native) (real Atomic.t registers on OCaml 5 \
+           domains; supports --algo ma, efficient and adaptive, sizes the \
+           instance from --procs, and checks the paper's claims post hoc \
+           on the decision log).")
+
+let domains_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"D"
+        ~doc:
+          "With --backend native: real domains in the worker pool (default \
+           4); logical processes beyond $(docv) are work-queued.")
+
 let rename_cmd =
   let doc = "run a renaming algorithm and print the assignment" in
   Cmd.v (Cmd.info "rename" ~doc)
     Term.(
-      const run_rename $ algo_t $ k_t $ n_t $ n_names_t $ procs_t $ seed_t $ crash_t
-      $ profile_t $ json_t $ chrome_t $ us_per_commit_t)
+      const run_rename $ backend_t $ domains_t $ algo_t $ k_t $ n_t $ n_names_t
+      $ procs_t $ seed_t $ crash_t $ profile_t $ json_t $ chrome_t
+      $ us_per_commit_t)
 
 let deposit_cmd =
   let doc = "run a repository (Selfish- or Altruistic-Deposit) with crashes" in

@@ -1,0 +1,98 @@
+(* Decision-log claim checking, shared by the conformance adapters (sim
+   runs, where it also enforces the commit-clock step budgets) and the
+   native harness (post-hoc, against the recorded decision log — there
+   is no commit clock on real domains, so the steps check is simply not
+   requested).  Pure: everything it needs is in the outcome records. *)
+
+type completion = All_named | Half_renamed | Winners_exclusive
+
+type status = Done | Crashed | Runnable
+
+type outcome = {
+  name : string;  (** process name, e.g. ["p3"] — used in messages *)
+  status : status;
+  result : int option;  (** the decided new name, if any *)
+  steps : int;  (** local steps taken (0 when the backend has no clock) *)
+}
+
+let check ~completion ~k ~(outcomes : outcome array) ~bound ?steps_budget () =
+  let winners = ref 0 in
+  let crashed = ref 0 in
+  Array.iter (fun o -> if o.result <> None then incr winners) outcomes;
+  Array.iter (fun o -> if o.status = Crashed then incr crashed) outcomes;
+  let exception Violation of string in
+  try
+    (* termination: at quiescence no process may still be runnable *)
+    Array.iter
+      (fun o ->
+        if o.status = Runnable then
+          raise
+            (Violation
+               (Printf.sprintf "termination: %s still runnable at quiescence"
+                  o.name)))
+      outcomes;
+    (* pairwise-exclusive names *)
+    let seen = Hashtbl.create 16 in
+    Array.iteri
+      (fun i o ->
+        match o.result with
+        | None -> ()
+        | Some v -> (
+            match Hashtbl.find_opt seen v with
+            | Some j ->
+                raise
+                  (Violation
+                     (Printf.sprintf
+                        "exclusiveness: name %d assigned to both p%d and p%d" v
+                        j i))
+            | None -> Hashtbl.add seen v i))
+      outcomes;
+    (* names within the claimed bound *)
+    Array.iteri
+      (fun i o ->
+        match o.result with
+        | Some v when v < 0 || v >= bound ->
+            raise
+              (Violation
+                 (Printf.sprintf "name bound: p%d holds name %d outside [0, %d)"
+                    i v bound))
+        | Some _ | None -> ())
+      outcomes;
+    (* completion *)
+    (match completion with
+    | All_named ->
+        Array.iteri
+          (fun i o ->
+            if o.result = None && o.status = Done then
+              raise
+                (Violation
+                   (Printf.sprintf "completion: p%d terminated without a name" i)))
+          outcomes
+    | Half_renamed ->
+        let need = ((k + 1) / 2) - !crashed in
+        if !winners < need then
+          raise
+            (Violation
+               (Printf.sprintf
+                  "completion: %d of %d renamed with %d crashed (Lemma 4 needs \
+                   at least %d)"
+                  !winners k !crashed need))
+    | Winners_exclusive ->
+        if !winners > 1 then
+          raise
+            (Violation (Printf.sprintf "exclusiveness: %d winners" !winners)));
+    (* local steps within the claimed shape (commit-clock backends only) *)
+    (match steps_budget with
+    | None -> ()
+    | Some budget ->
+        let cap = int_of_float (Float.ceil budget) in
+        Array.iteri
+          (fun i o ->
+            if o.steps > cap then
+              raise
+                (Violation
+                   (Printf.sprintf "steps: p%d took %d local steps, budget %d" i
+                      o.steps cap)))
+          outcomes);
+    Ok ()
+  with Violation msg -> Error msg

@@ -1,0 +1,36 @@
+(** Backend-independent claim checking over a recorded decision log.
+
+    Extracted from the conformance adapters so the same per-claim checks
+    — termination, pairwise name exclusiveness, the name bound, the
+    algorithm's completion contract, and (when a step clock exists) the
+    local-step budget — apply to simulator runs and to post-hoc native
+    runs alike.  The error messages are the conformance reports' exact
+    strings. *)
+
+type completion =
+  | All_named  (** every non-crashed contender decides a name *)
+  | Half_renamed  (** Lemma 4: at least ⌈k/2⌉ − crashed decide *)
+  | Winners_exclusive  (** Compete: at most one winner, nothing more *)
+
+type status = Done | Crashed | Runnable
+
+type outcome = {
+  name : string;  (** process name, used in the termination message *)
+  status : status;
+  result : int option;  (** decided new name, if any *)
+  steps : int;  (** local steps ([0] when the backend has no clock) *)
+}
+
+val check :
+  completion:completion ->
+  k:int ->
+  outcomes:outcome array ->
+  bound:int ->
+  ?steps_budget:float ->
+  unit ->
+  (unit, string) result
+(** [check ~completion ~k ~outcomes ~bound ?steps_budget ()] returns the
+    first violated claim as [Error msg] (checks run in a fixed order:
+    termination, exclusiveness, name bound, completion, steps), [Ok ()]
+    otherwise.  The steps check only runs when [steps_budget] is given —
+    native runs have no commit clock and omit it (DESIGN.md §12). *)

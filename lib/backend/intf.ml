@@ -1,0 +1,61 @@
+(* The register/runtime substrate every renaming algorithm is written
+   against (DESIGN.md §12).  Two instantiations exist:
+
+   - [Exsel_sim.Backend]: the deterministic effect-handler simulator.
+     [read]/[write] suspend the calling logical process so the scheduler
+     commits one shared-memory operation at a time — exploration,
+     conformance regimes and replay all live here.
+   - [Exsel_native.Backend]: registers are [Atomic.t] cells and logical
+     processes are work-queued onto a pool of OCaml 5 domains —
+     real silicon, measured with wall clocks and checked post hoc.
+
+   The interface is deliberately the simulator's op set and nothing
+   more: single-word atomic registers with sequentially consistent
+   read/write, allocation against a memory that counts registers, and
+   process spawning against a runner.  Everything the algorithms need
+   beyond it (randomness at construction time, name-range bookkeeping)
+   is pure OCaml and backend-independent. *)
+
+module type S = sig
+  val backend : string
+  (** Label for documents and bench tables: ["sim"] or ["native"]. *)
+
+  type memory
+  (** Register allocation arena (counts allocations for the paper's
+      register-complexity accounting). *)
+
+  type 'a reg
+  (** A single shared register holding an ['a]. *)
+
+  type runner
+  (** Whatever executes spawned logical processes: the simulator
+      runtime, or the native domain-pool engine. *)
+
+  val alloc : memory -> name:string -> 'a -> 'a reg
+  (** Allocate a fresh register with an initial value.  Only called at
+      construction time, before any process runs. *)
+
+  val read : 'a reg -> 'a
+  (** One shared-memory read — a local step of the calling process. *)
+
+  val write : 'a reg -> 'a -> unit
+  (** One shared-memory write — a local step of the calling process. *)
+
+  val peek : 'a reg -> 'a
+  (** Immediate, non-step inspection of a register from outside the
+      execution (test/diagnostic use only; on the simulator this is
+      [Register.peek], natively it is an ordinary atomic load). *)
+
+  val registers : memory -> int
+  (** Registers allocated so far. *)
+
+  val spawn : runner -> name:string -> (unit -> unit) -> unit
+  (** Enqueue one logical process.  When it runs is the backend's
+      business: the simulator suspends it at every register access,
+      the native engine runs it to completion on some domain. *)
+
+  val yield : unit -> unit
+  (** Politeness hint inside spin-ish retry loops.  A no-op on the
+      simulator (every read/write is already a scheduling point); maps
+      to [Domain.cpu_relax] natively. *)
+end

@@ -9,90 +9,37 @@ module Metrics = Exsel_obs.Metrics
 (* What "everyone is served" means for this algorithm: the wait-free
    constructions name every non-crashed contender; Majority claims only
    Lemma 4's half bound; Compete claims nothing beyond win
-   exclusiveness (contested objects may be won by nobody). *)
-type completion = All_named | Half_renamed | Winners_exclusive
+   exclusiveness (contested objects may be won by nobody).
+
+   The checks themselves live in Exsel_backend.Claims, backend-free over
+   a decision log, so the native harness runs the very same logic
+   post hoc; this wrapper snapshots the simulator's per-process state
+   (name, status, local-step clock) into outcome records. *)
+module Claims = Exsel_backend.Claims
+
+type completion = Claims.completion =
+  | All_named
+  | Half_renamed
+  | Winners_exclusive
 
 let check_claims ~completion ~k ~(results : int option array)
     ~(procs : Runtime.proc array) ~bound ~budget () =
-  let winners = ref 0 in
-  let crashed = ref 0 in
-  Array.iter (fun r -> if r <> None then incr winners) results;
-  Array.iter
-    (fun p -> if Runtime.status p = Runtime.Crashed then incr crashed)
-    procs;
-  let exception Violation of string in
-  try
-    (* termination: at quiescence no process may still be runnable *)
-    Array.iter
-      (fun p ->
-        if Runtime.status p = Runtime.Runnable then
-          raise
-            (Violation
-               (Printf.sprintf "termination: %s still runnable at quiescence"
-                  (Runtime.proc_name p))))
-      procs;
-    (* pairwise-exclusive names *)
-    let seen = Hashtbl.create 16 in
-    Array.iteri
-      (fun i r ->
-        match r with
-        | None -> ()
-        | Some v -> (
-            match Hashtbl.find_opt seen v with
-            | Some j ->
-                raise
-                  (Violation
-                     (Printf.sprintf
-                        "exclusiveness: name %d assigned to both p%d and p%d" v
-                        j i))
-            | None -> Hashtbl.add seen v i))
-      results;
-    (* names within the claimed bound *)
-    Array.iteri
-      (fun i r ->
-        match r with
-        | Some v when v < 0 || v >= bound ->
-            raise
-              (Violation
-                 (Printf.sprintf "name bound: p%d holds name %d outside [0, %d)"
-                    i v bound))
-        | Some _ | None -> ())
-      results;
-    (* completion *)
-    (match completion with
-    | All_named ->
-        Array.iteri
-          (fun i r ->
-            if r = None && Runtime.status procs.(i) = Runtime.Done then
-              raise
-                (Violation
-                   (Printf.sprintf "completion: p%d terminated without a name" i)))
-          results
-    | Half_renamed ->
-        let need = ((k + 1) / 2) - !crashed in
-        if !winners < need then
-          raise
-            (Violation
-               (Printf.sprintf
-                  "completion: %d of %d renamed with %d crashed (Lemma 4 needs \
-                   at least %d)"
-                  !winners k !crashed need))
-    | Winners_exclusive ->
-        if !winners > 1 then
-          raise
-            (Violation (Printf.sprintf "exclusiveness: %d winners" !winners)));
-    (* local steps within the claimed shape *)
-    let cap = int_of_float (Float.ceil budget) in
-    Array.iteri
+  let outcomes =
+    Array.mapi
       (fun i p ->
-        if Runtime.steps p > cap then
-          raise
-            (Violation
-               (Printf.sprintf "steps: p%d took %d local steps, budget %d" i
-                  (Runtime.steps p) cap)))
-      procs;
-    Ok ()
-  with Violation msg -> Error msg
+        {
+          Claims.name = Runtime.proc_name p;
+          status =
+            (match Runtime.status p with
+            | Runtime.Done -> Claims.Done
+            | Runtime.Crashed -> Claims.Crashed
+            | Runtime.Runnable -> Claims.Runnable);
+          result = results.(i);
+          steps = Runtime.steps p;
+        })
+      procs
+  in
+  Claims.check ~completion ~k ~outcomes ~bound ~steps_budget:budget ()
 
 (* ------------------------------------------------------------------ *)
 (* Generic spec factory                                                *)

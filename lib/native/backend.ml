@@ -1,0 +1,22 @@
+let backend = "native"
+
+(* Registers are allocated while the memory is built on one domain,
+   before the engine starts any worker, so a plain counter suffices. *)
+type memory = { mutable registers : int }
+
+type 'a reg = 'a Atomic.t
+
+type runner = Engine.t
+
+let create () = { registers = 0 }
+
+let alloc mem ~name:_ init =
+  mem.registers <- mem.registers + 1;
+  Atomic.make init
+
+let read = Atomic.get
+let write = Atomic.set
+let peek = Atomic.get
+let registers mem = mem.registers
+let spawn eng ~name body = Engine.spawn eng ~name body
+let yield () = Domain.cpu_relax ()

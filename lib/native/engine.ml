@@ -1,0 +1,57 @@
+type task = { name : string; body : unit -> unit }
+
+type state = Fresh | Running | Finished
+
+type t = {
+  mutable tasks : task list;  (* reversed spawn order *)
+  mutable count : int;
+  mutable state : state;
+}
+
+exception Task_failed of string * exn
+
+let create () = { tasks = []; count = 0; state = Fresh }
+
+let spawn t ~name body =
+  if t.state <> Fresh then invalid_arg "Engine.spawn: engine already run";
+  t.tasks <- { name; body } :: t.tasks;
+  t.count <- t.count + 1
+
+let tasks t = t.count
+
+(* Work-queue execution: a shared cursor hands tasks out in spawn order;
+   each domain loops until the queue drains.  With [domains = 1] no domain
+   is spawned and the tasks run sequentially in spawn order on the calling
+   domain — the deterministic mode the cross-validation tests pin down.
+   The first failing task wins the failure CAS; the queue still drains so
+   every task runs exactly once before the exception is re-raised. *)
+let run t ~domains =
+  if domains <= 0 then invalid_arg "Engine.run: domains must be positive";
+  if t.state <> Fresh then invalid_arg "Engine.run: engine already run";
+  t.state <- Running;
+  let tasks = Array.of_list (List.rev t.tasks) in
+  let n = Array.length tasks in
+  let cursor = Atomic.make 0 in
+  let failure = Atomic.make None in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add cursor 1 in
+      if i < n then begin
+        (try tasks.(i).body ()
+         with e ->
+           ignore
+             (Atomic.compare_and_set failure None (Some (tasks.(i).name, e))));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let helpers =
+    Array.init (max 0 (min domains n - 1)) (fun _ -> Domain.spawn worker)
+  in
+  worker ();
+  Array.iter Domain.join helpers;
+  t.state <- Finished;
+  match Atomic.get failure with
+  | Some (name, e) -> raise (Task_failed (name, e))
+  | None -> ()

@@ -1,0 +1,35 @@
+(** Domain-pool executor for native logical processes.
+
+    The native backend maps the paper's asynchronous processes onto a
+    bounded pool of OCaml 5 domains: spawned bodies go into a queue, and
+    [run ~domains:d] drains it with [min d tasks] domains (the calling
+    domain included), so the logical process count can exceed the core
+    count.  Within one domain tasks run to completion sequentially —
+    there is no preemption inside a task, only true parallelism between
+    domains, which is exactly the asynchronous-adversary regime the
+    algorithms must tolerate (and strictly weaker than the simulator's
+    per-step interleaving).
+
+    Engines are one-shot: spawn, run once, inspect. *)
+
+type t
+
+exception Task_failed of string * exn
+(** Re-raised by {!run} after the queue drains: the name of the first
+    task that raised, with the original exception. *)
+
+val create : unit -> t
+
+val spawn : t -> name:string -> (unit -> unit) -> unit
+(** Enqueue a task.  @raise Invalid_argument after {!run}. *)
+
+val tasks : t -> int
+(** Number of tasks spawned so far. *)
+
+val run : t -> domains:int -> unit
+(** Execute every task.  With [domains = 1] tasks run sequentially in
+    spawn order on the calling domain (deterministic); with more, tasks
+    are handed out in spawn order but interleave in real time.  Returns
+    after all tasks finish.
+    @raise Task_failed if any task raised (first failure wins).
+    @raise Invalid_argument if [domains <= 0] or the engine already ran. *)

@@ -1,0 +1,125 @@
+module R = Exsel_renaming
+module Claims = Exsel_backend.Claims
+module Metrics = Exsel_obs.Metrics
+module Rng = Exsel_sim.Rng
+
+module MA = R.Moir_anderson.Make (Backend)
+module Eff = R.Efficient_rename.Make (Backend)
+module Ada = R.Adaptive_rename.Make (Backend)
+
+type algo = Ma | Efficient | Adaptive
+
+let algo_name = function
+  | Ma -> "ma"
+  | Efficient -> "efficient"
+  | Adaptive -> "adaptive"
+
+let algo_of_string = function
+  | "ma" -> Some Ma
+  | "efficient" -> Some Efficient
+  | "adaptive" -> Some Adaptive
+  | _ -> None
+
+type run = {
+  algo : string;
+  n : int;
+  domains : int;
+  seed : int;
+  ids : int array;
+  names : int option array;
+  latency_ns : int64 array;
+  wall_ns : int64;
+  bound : int;
+  registers : int;
+}
+
+(* Original names mirror the conformance adapters' conventions (strides
+   keep them arbitrary — never usable as indices), so a native run and a
+   sim run of the same algorithm face the same identifier stream. *)
+let ids_for algo n =
+  match algo with
+  | Ma -> Array.init n (fun i -> 100 + (37 * i))
+  | Efficient -> Array.init n (fun i -> 1000 + (37 * i))
+  | Adaptive -> Array.init n (fun i -> 5000 + (101 * i))
+
+(* Instance construction happens on the calling domain, before any worker
+   starts; rng seeding matches the adapters so the sampled expanders are
+   the ones the conformance campaigns certified. *)
+let build algo ~seed ~n mem =
+  match algo with
+  | Ma ->
+      let ma = MA.create mem ~name:"ma" ~side:n in
+      ( (fun ~me -> MA.rename ma ~me),
+        R.Moir_anderson.max_name_bound ~contenders:n )
+  | Efficient ->
+      let e = Eff.create ~rng:(Rng.create ~seed:(seed * 5)) mem ~name:"ef" ~k:n in
+      ((fun ~me -> Eff.rename e ~me), Eff.names e)
+  | Adaptive ->
+      let a = Ada.create ~rng:(Rng.create ~seed:(seed * 17)) mem ~name:"ad" ~n in
+      ( (fun ~me -> Some (Ada.rename a ~me)),
+        R.Adaptive_rename.name_bound_for_contention ~k:n )
+
+let run ~algo ~n ~domains ~seed () =
+  if n <= 0 then invalid_arg "Harness.run: n must be positive";
+  if domains <= 0 then invalid_arg "Harness.run: domains must be positive";
+  let mem = Backend.create () in
+  let rename, bound = build algo ~seed ~n mem in
+  let ids = ids_for algo n in
+  let names = Array.make n None in
+  let latency_ns = Array.make n 0L in
+  let engine = Engine.create () in
+  Array.iteri
+    (fun i id ->
+      Engine.spawn engine
+        ~name:(Printf.sprintf "p%d" i)
+        (fun () ->
+          (* each task owns slots [i] exclusively; reads happen after the
+             engine joins, so plain array writes are safe *)
+          let t0 = Monotonic_clock.now () in
+          let r = rename ~me:id in
+          let t1 = Monotonic_clock.now () in
+          names.(i) <- r;
+          latency_ns.(i) <- Int64.sub t1 t0))
+    ids;
+  let w0 = Monotonic_clock.now () in
+  Engine.run engine ~domains;
+  let w1 = Monotonic_clock.now () in
+  {
+    algo = algo_name algo;
+    n;
+    domains;
+    seed;
+    ids;
+    names;
+    latency_ns;
+    wall_ns = Int64.sub w1 w0;
+    bound;
+    registers = Backend.registers mem;
+  }
+
+let decided r = Array.fold_left (fun acc o -> if o = None then acc else acc + 1) 0 r.names
+
+(* Post-hoc claim checking against the recorded decision log: same
+   checker the conformance adapters run, minus the steps budget (no
+   commit clock on real domains) and minus crash faults (domains are not
+   crashed mid-flight; every task runs to completion). *)
+let check r =
+  let outcomes =
+    Array.mapi
+      (fun i o ->
+        {
+          Claims.name = Printf.sprintf "p%d" i;
+          status = Claims.Done;
+          result = o;
+          steps = 0;
+        })
+      r.names
+  in
+  Claims.check ~completion:Claims.All_named ~k:r.n ~outcomes ~bound:r.bound ()
+
+let observe reg r =
+  let labels = [ ("algo", r.algo); ("backend", Backend.backend) ] in
+  let h = Metrics.histogram reg "exsel_rename_latency_ns" ~labels in
+  Array.iter (fun l -> Metrics.observe h (Int64.to_int l)) r.latency_ns;
+  let c = Metrics.counter reg "exsel_rename_decisions_total" ~labels in
+  Metrics.inc c (decided r)

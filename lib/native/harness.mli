@@ -1,0 +1,52 @@
+(** Native rename campaigns: build an algorithm on {!Backend}, run one
+    logical process per contender on the {!Engine} domain pool, record a
+    decision log with wall-clock latencies, and check the paper's claims
+    post hoc.
+
+    The semantic gap to the simulator (DESIGN.md §12): there is no
+    commit clock, so step budgets are not checked; there is no crash
+    injection, so completion is always [All_named]; and the claim checks
+    run after quiescence against the recorded log rather than inside the
+    scheduler.  Exclusiveness and the name bounds are
+    contention-independent, so they transfer unchanged. *)
+
+type algo = Ma | Efficient | Adaptive
+
+val algo_name : algo -> string
+(** ["ma"], ["efficient"], ["adaptive"] — matches the conformance
+    adapter ids. *)
+
+val algo_of_string : string -> algo option
+
+type run = {
+  algo : string;
+  n : int;  (** contenders (= the algorithm's k, or n for Adaptive) *)
+  domains : int;
+  seed : int;
+  ids : int array;  (** original names, one per process *)
+  names : int option array;  (** decision log, index-aligned with [ids] *)
+  latency_ns : int64 array;  (** per-process wall-clock rename latency *)
+  wall_ns : int64;  (** end-to-end wall clock of the engine run *)
+  bound : int;  (** claimed exclusive upper bound on names *)
+  registers : int;  (** atomic cells allocated *)
+}
+
+val run : algo:algo -> n:int -> domains:int -> seed:int -> unit -> run
+(** Build and execute one native campaign.  [domains] bounds real
+    parallelism; [n] logical processes are work-queued onto the pool.
+    @raise Invalid_argument if [n <= 0] or [domains <= 0].
+    @raise Engine.Task_failed if a process body raised. *)
+
+val decided : run -> int
+(** Number of processes holding a name ([= n] for these algorithms). *)
+
+val check : run -> (unit, string) result
+(** The paper's claims over the decision log: termination,
+    exclusiveness, name bound, completion ([All_named]).  [Error msg]
+    carries the same message format the conformance campaigns print. *)
+
+val observe : Exsel_obs.Metrics.t -> run -> unit
+(** Record the run into a registry: per-process latencies into the
+    [exsel_rename_latency_ns] histogram and the decision count into
+    [exsel_rename_decisions_total], both labelled
+    [algo=<algo>, backend=native]. *)

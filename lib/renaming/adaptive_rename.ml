@@ -1,72 +1,98 @@
-module Memory = Exsel_sim.Memory
 module Span = Exsel_obs.Span
 
 let span_reserve = "adaptive:reserve"
 
-type level = { eff : Efficient_rename.t; range : Name_range.range; span_label : string }
-
-type t = {
-  levels : level array;
-  reserve : Moir_anderson.t;
-  reserve_range : Name_range.range;
-  mutable reserve_uses : int;
-}
-
 let rec ceil_lg n = if n <= 1 then 0 else 1 + ceil_lg ((n + 1) / 2)
-
-let create ?params ~rng mem ~name ~n =
-  if n <= 0 then invalid_arg "Adaptive_rename.create: n must be positive";
-  let ranges = Name_range.allocator () in
-  let levels =
-    Array.init
-      (ceil_lg n + 1)
-      (fun i ->
-        let k = min n (1 lsl i) in
-        let eff =
-          Efficient_rename.create ?params ~rng:(Exsel_sim.Rng.split rng) mem
-            ~name:(Printf.sprintf "%s.lvl%d" name i)
-            ~k
-        in
-        {
-          eff;
-          range = Name_range.take ranges (Efficient_rename.names eff);
-          span_label = Printf.sprintf "adaptive:level=%d" i;
-        })
-  in
-  let reserve = Moir_anderson.create mem ~name:(name ^ ".reserve") ~side:n in
-  let reserve_range = Name_range.take ranges (Moir_anderson.capacity reserve) in
-  { levels; reserve; reserve_range; reserve_uses = 0 }
-
-let levels t = Array.length t.levels
-
-let rename_leveled t ~me =
-  let rec go i =
-    if i >= Array.length t.levels then begin
-      t.reserve_uses <- t.reserve_uses + 1;
-      match Span.wrap span_reserve (fun () -> Moir_anderson.rename t.reserve ~me) with
-      | Some w -> (Name_range.global t.reserve_range w, i)
-      | None ->
-          (* unreachable: the reserve grid has side n >= contention *)
-          assert false
-    end
-    else
-      let lvl = t.levels.(i) in
-      match Span.wrap lvl.span_label (fun () -> Efficient_rename.rename lvl.eff ~me) with
-      | Some w -> (Name_range.global lvl.range w, i)
-      | None -> go (i + 1)
-  in
-  go 0
-
-let rename t ~me = fst (rename_leveled t ~me)
-
 let rec lg_floor n = if n <= 1 then 0 else 1 + lg_floor (n / 2)
 
 let name_bound_for_contention ~k =
   if k <= 0 then invalid_arg "Adaptive_rename.name_bound_for_contention";
   (8 * k) - lg_floor k - 1
 
-let reserve_uses t = t.reserve_uses
+module type S = sig
+  type memory
+  type t
 
-let registers t =
-  Array.fold_left (fun acc l -> acc + Efficient_rename.registers l.eff) 0 t.levels
-  + (Moir_anderson.side t.reserve * (Moir_anderson.side t.reserve + 1))
+  val create :
+    ?params:Exsel_expander.Params.t ->
+    rng:Exsel_sim.Rng.t ->
+    memory ->
+    name:string ->
+    n:int ->
+    t
+
+  val levels : t -> int
+  val rename : t -> me:int -> int
+  val rename_leveled : t -> me:int -> int * int
+  val reserve_uses : t -> int
+  val registers : t -> int
+end
+
+module Make (B : Exsel_backend.Intf.S) = struct
+  module Eff = Efficient_rename.Make (B)
+  module MA = Moir_anderson.Make (B)
+
+  type memory = B.memory
+
+  type level = { eff : Eff.t; range : Name_range.range; span_label : string }
+
+  type t = {
+    levels : level array;
+    reserve : MA.t;
+    reserve_range : Name_range.range;
+    reserve_uses : int Atomic.t;  (* concurrent increments on native *)
+  }
+
+  let create ?params ~rng mem ~name ~n =
+    if n <= 0 then invalid_arg "Adaptive_rename.create: n must be positive";
+    let ranges = Name_range.allocator () in
+    let levels =
+      Array.init
+        (ceil_lg n + 1)
+        (fun i ->
+          let k = min n (1 lsl i) in
+          let eff =
+            Eff.create ?params ~rng:(Exsel_sim.Rng.split rng) mem
+              ~name:(Printf.sprintf "%s.lvl%d" name i)
+              ~k
+          in
+          {
+            eff;
+            range = Name_range.take ranges (Eff.names eff);
+            span_label = Printf.sprintf "adaptive:level=%d" i;
+          })
+    in
+    let reserve = MA.create mem ~name:(name ^ ".reserve") ~side:n in
+    let reserve_range = Name_range.take ranges (MA.capacity reserve) in
+    { levels; reserve; reserve_range; reserve_uses = Atomic.make 0 }
+
+  let levels t = Array.length t.levels
+
+  let rename_leveled t ~me =
+    let rec go i =
+      if i >= Array.length t.levels then begin
+        Atomic.incr t.reserve_uses;
+        match Span.wrap span_reserve (fun () -> MA.rename t.reserve ~me) with
+        | Some w -> (Name_range.global t.reserve_range w, i)
+        | None ->
+            (* unreachable: the reserve grid has side n >= contention *)
+            assert false
+      end
+      else
+        let lvl = t.levels.(i) in
+        match Span.wrap lvl.span_label (fun () -> Eff.rename lvl.eff ~me) with
+        | Some w -> (Name_range.global lvl.range w, i)
+        | None -> go (i + 1)
+    in
+    go 0
+
+  let rename t ~me = fst (rename_leveled t ~me)
+
+  let reserve_uses t = Atomic.get t.reserve_uses
+
+  let registers t =
+    Array.fold_left (fun acc l -> acc + Eff.registers l.eff) 0 t.levels
+    + (MA.side t.reserve * (MA.side t.reserve + 1))
+end
+
+include Make (Exsel_sim.Backend)

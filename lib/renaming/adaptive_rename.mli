@@ -12,29 +12,38 @@
     grid of side [n] backs the construction as an unconditional
     wait-freedom reserve (unused in certified runs). *)
 
-type t
+(** The composition over any {!Exsel_backend.Intf.S} substrate. *)
+module type S = sig
+  type memory
+  type t
 
-val create :
-  ?params:Exsel_expander.Params.t ->
-  rng:Exsel_sim.Rng.t ->
-  Exsel_sim.Memory.t ->
-  name:string ->
-  n:int ->
-  t
-(** [n] bounds the number of processes in the system; neither the realised
-    contention [k] nor the original-name range appears anywhere. *)
+  val create :
+    ?params:Exsel_expander.Params.t ->
+    rng:Exsel_sim.Rng.t ->
+    memory ->
+    name:string ->
+    n:int ->
+    t
+  (** [n] bounds the number of processes in the system; neither the realised
+      contention [k] nor the original-name range appears anywhere. *)
 
-val levels : t -> int
+  val levels : t -> int
 
-val rename : t -> me:int -> int
-(** Always succeeds; [me] is any integer identifier unique per process. *)
+  val rename : t -> me:int -> int
+  (** Always succeeds; [me] is any integer identifier unique per process. *)
 
-val rename_leveled : t -> me:int -> int * int
-(** Name with the serving level ([levels t] for the reserve). *)
+  val rename_leveled : t -> me:int -> int * int
+  (** Name with the serving level ([levels t] for the reserve). *)
+
+  val reserve_uses : t -> int
+  val registers : t -> int
+end
+
+module Make (B : Exsel_backend.Intf.S) : S with type memory = B.memory
+
+include S with type memory = Exsel_sim.Memory.t
+(** The simulator instantiation. *)
 
 val name_bound_for_contention : k:int -> int
 (** The paper's bound [8k − lg k − 1] (exclusive upper bound on names,
     0-based). *)
-
-val reserve_uses : t -> int
-val registers : t -> int

@@ -1,23 +1,7 @@
-module Memory = Exsel_sim.Memory
-module Runtime = Exsel_sim.Runtime
-module Snapshot = Exsel_snapshot.Snapshot
-
 (* A participant's published state: joined with no proposal yet, or
    proposing a concrete name.  [None] in a component means absent
    (never joined, or withdrawn). *)
 type cell = { id : int; proposal : int option }
-
-type t = {
-  slots : int;
-  cap : int option;
-  snap : cell option Snapshot.t;
-}
-
-let create mem ~name ~slots ?cap () =
-  if slots <= 0 then invalid_arg "Attiya_renaming.create: slots must be positive";
-  { slots; cap; snap = Snapshot.create mem ~name ~n:slots ~init:None }
-
-let slots t = t.slots
 
 (* The [rank]-th (1-based) natural number not present in [taken]. *)
 let nth_free taken rank =
@@ -31,32 +15,61 @@ let nth_free taken rank =
   in
   go 0 rank taken
 
-let rename t ~slot =
-  if slot < 0 || slot >= t.slots then
-    invalid_arg "Attiya_renaming.rename: slot out of range";
-  let rec round proposal =
-    Snapshot.update t.snap ~me:slot (Some { id = slot; proposal });
-    let view = Snapshot.scan t.snap ~me:slot in
-    let others =
-      view |> Array.to_list
-      |> List.filter_map (fun c -> c)
-      |> List.filter (fun c -> c.id <> slot)
+module type S = sig
+  type memory
+  type t
+
+  val create : memory -> name:string -> slots:int -> ?cap:int -> unit -> t
+  val slots : t -> int
+  val rename : t -> slot:int -> int option
+end
+
+module Make (B : Exsel_backend.Intf.S) = struct
+  module Snapshot = Exsel_snapshot.Snapshot.Make (B)
+
+  type memory = B.memory
+
+  type t = {
+    slots : int;
+    cap : int option;
+    snap : cell option Snapshot.t;
+  }
+
+  let create mem ~name ~slots ?cap () =
+    if slots <= 0 then invalid_arg "Attiya_renaming.create: slots must be positive";
+    { slots; cap; snap = Snapshot.create mem ~name ~n:slots ~init:None }
+
+  let slots t = t.slots
+
+  let rename t ~slot =
+    if slot < 0 || slot >= t.slots then
+      invalid_arg "Attiya_renaming.rename: slot out of range";
+    let rec round proposal =
+      Snapshot.update t.snap ~me:slot (Some { id = slot; proposal });
+      let view = Snapshot.scan t.snap ~me:slot in
+      let others =
+        view |> Array.to_list
+        |> List.filter_map (fun c -> c)
+        |> List.filter (fun c -> c.id <> slot)
+      in
+      let taken = List.filter_map (fun c -> c.proposal) others in
+      match proposal with
+      | Some name when not (List.mem name taken) -> Some name
+      | Some _ | None -> (
+          let participants_below =
+            List.length (List.filter (fun c -> c.id < slot) others)
+          in
+          let rank = participants_below + 1 in
+          let next = nth_free taken rank in
+          match t.cap with
+          | Some cap when next > cap ->
+              Snapshot.update t.snap ~me:slot None;
+              None
+          | Some _ | None -> round (Some next))
     in
-    let taken = List.filter_map (fun c -> c.proposal) others in
-    match proposal with
-    | Some name when not (List.mem name taken) -> Some name
-    | Some _ | None -> (
-        let participants_below =
-          List.length (List.filter (fun c -> c.id < slot) others)
-        in
-        let rank = participants_below + 1 in
-        let next = nth_free taken rank in
-        match t.cap with
-        | Some cap when next > cap ->
-            Snapshot.update t.snap ~me:slot None;
-            None
-        | Some _ | None -> round (Some next))
-  in
-  round None
+    round None
+end
+
+include Make (Exsel_sim.Backend)
 
 let name_bound ~contenders = (2 * contenders) - 1

@@ -17,23 +17,32 @@
     component and reports failure), so an overloaded instance never emits
     a name outside its reserved interval. *)
 
-type t
+(** The protocol over any {!Exsel_backend.Intf.S} substrate (it only needs
+    the atomic snapshot, itself a functor over the backend). *)
+module type S = sig
+  type memory
+  type t
 
-val create :
-  Exsel_sim.Memory.t -> name:string -> slots:int -> ?cap:int -> unit -> t
-(** [create mem ~name ~slots ?cap ()] allocates the snapshot object.
-    [slots] bounds the number of distinct participants; each caller must
-    use a distinct [slot] in [0 .. slots−1] (composed algorithms use the
-    exclusive name of the previous stage).  [cap], if given, is the
-    largest name (inclusive) the instance may assign. *)
+  val create : memory -> name:string -> slots:int -> ?cap:int -> unit -> t
+  (** [create mem ~name ~slots ?cap ()] allocates the snapshot object.
+      [slots] bounds the number of distinct participants; each caller must
+      use a distinct [slot] in [0 .. slots−1] (composed algorithms use the
+      exclusive name of the previous stage).  [cap], if given, is the
+      largest name (inclusive) the instance may assign. *)
 
-val slots : t -> int
+  val slots : t -> int
 
-val rename : t -> slot:int -> int option
-(** Run the protocol in the given slot (which also serves as the process
-    identifier for ranking).  [Some name] on decision; [None] after a
-    withdrawal (only possible when [cap] is set).  Must be called from
-    inside a runtime process, once per slot. *)
+  val rename : t -> slot:int -> int option
+  (** Run the protocol in the given slot (which also serves as the process
+      identifier for ranking).  [Some name] on decision; [None] after a
+      withdrawal (only possible when [cap] is set).  Must be called from
+      inside a backend process, once per slot. *)
+end
+
+module Make (B : Exsel_backend.Intf.S) : S with type memory = B.memory
+
+include S with type memory = Exsel_sim.Memory.t
+(** The simulator instantiation. *)
 
 val name_bound : contenders:int -> int
 (** Exclusive upper bound on decided names with [contenders] concurrent

@@ -1,9 +1,4 @@
-module Memory = Exsel_sim.Memory
 module Span = Exsel_obs.Span
-
-type stage = { majority : Majority.t; range : Name_range.range; span_label : string }
-
-type t = { stages : stage array; names : int }
 
 (* Contention budgets k, ⌈k/2⌉, …, 2, 1 — the paper's lg k + 1 stages plus
    the terminal singleton stage that absorbs the last contender. *)
@@ -18,47 +13,81 @@ let plan_names ?(params = Exsel_expander.Params.practical) ~k ~inputs () =
     (fun acc l -> acc + Exsel_expander.Params.width params ~inputs ~l)
     0 (budgets k)
 
-let create ?params ~rng mem ~name ~k ~inputs =
-  if k <= 0 then invalid_arg "Basic_rename.create: k must be positive";
-  let ranges = Name_range.allocator () in
-  let stages =
-    budgets k
-    |> List.mapi (fun i l ->
-           let majority =
-             Majority.create ?params ~rng:(Exsel_sim.Rng.split rng) mem
-               ~name:(Printf.sprintf "%s.stage%d" name i)
-               ~l ~inputs
-           in
-           {
-             majority;
-             range = Name_range.take ranges (Majority.names majority);
-             span_label = Printf.sprintf "basic:stage=%d:budget=%d" i l;
-           })
-    |> Array.of_list
-  in
-  { stages; names = Name_range.used ranges }
+module type S = sig
+  type memory
+  type t
 
-let stages t = Array.length t.stages
-let names t = t.names
+  val create :
+    ?params:Exsel_expander.Params.t ->
+    rng:Exsel_sim.Rng.t ->
+    memory ->
+    name:string ->
+    k:int ->
+    inputs:int ->
+    t
 
-let stage_budgets t =
-  Array.to_list (Array.map (fun s -> Majority.contention_budget s.majority) t.stages)
+  val stages : t -> int
+  val names : t -> int
+  val stage_budgets : t -> int list
+  val rename : t -> me:int -> int option
+  val rename_traced : t -> me:int -> int option * int
+  val steps_bound : t -> int
+  val registers : t -> int
+end
 
-let rename_traced t ~me =
-  let rec go i =
-    if i >= Array.length t.stages then (None, i)
-    else
-      let s = t.stages.(i) in
-      match Span.wrap s.span_label (fun () -> Majority.rename s.majority ~me) with
-      | Some w -> (Some (Name_range.global s.range w), i)
-      | None -> go (i + 1)
-  in
-  go 0
+module Make (B : Exsel_backend.Intf.S) = struct
+  module Maj = Majority.Make (B)
 
-let rename t ~me = fst (rename_traced t ~me)
+  type memory = B.memory
 
-let steps_bound t =
-  Array.fold_left (fun acc s -> acc + Majority.steps_bound s.majority) 0 t.stages
+  type stage = { majority : Maj.t; range : Name_range.range; span_label : string }
 
-let registers t =
-  Array.fold_left (fun acc s -> acc + Majority.registers s.majority) 0 t.stages
+  type t = { stages : stage array; names : int }
+
+  let create ?params ~rng mem ~name ~k ~inputs =
+    if k <= 0 then invalid_arg "Basic_rename.create: k must be positive";
+    let ranges = Name_range.allocator () in
+    let stages =
+      budgets k
+      |> List.mapi (fun i l ->
+             let majority =
+               Maj.create ?params ~rng:(Exsel_sim.Rng.split rng) mem
+                 ~name:(Printf.sprintf "%s.stage%d" name i)
+                 ~l ~inputs
+             in
+             {
+               majority;
+               range = Name_range.take ranges (Maj.names majority);
+               span_label = Printf.sprintf "basic:stage=%d:budget=%d" i l;
+             })
+      |> Array.of_list
+    in
+    { stages; names = Name_range.used ranges }
+
+  let stages t = Array.length t.stages
+  let names t = t.names
+
+  let stage_budgets t =
+    Array.to_list (Array.map (fun s -> Maj.contention_budget s.majority) t.stages)
+
+  let rename_traced t ~me =
+    let rec go i =
+      if i >= Array.length t.stages then (None, i)
+      else
+        let s = t.stages.(i) in
+        match Span.wrap s.span_label (fun () -> Maj.rename s.majority ~me) with
+        | Some w -> (Some (Name_range.global s.range w), i)
+        | None -> go (i + 1)
+    in
+    go 0
+
+  let rename t ~me = fst (rename_traced t ~me)
+
+  let steps_bound t =
+    Array.fold_left (fun acc s -> acc + Maj.steps_bound s.majority) 0 t.stages
+
+  let registers t =
+    Array.fold_left (fun acc s -> acc + Maj.registers s.majority) 0 t.stages
+end
+
+include Make (Exsel_sim.Backend)

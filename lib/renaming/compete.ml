@@ -1,34 +1,47 @@
-module Memory = Exsel_sim.Memory
-module Register = Exsel_sim.Register
-module Runtime = Exsel_sim.Runtime
+module type S = sig
+  type memory
+  type t
 
-type t = {
-  hr : int option Register.t;  (* placeholder holding a reservation for r *)
-  r : int option Register.t;
-}
+  val create : memory -> name:string -> t
+  val compete : t -> me:int -> bool
+  val occupant : t -> int option
+end
 
-let create mem ~name =
-  {
-    hr = Register.create mem ~name:(name ^ ".HR") None;
-    r = Register.create mem ~name:(name ^ ".R") None;
+(* Written once against the BACKEND interface (DESIGN.md §12); the
+   simulator instantiation below keeps the historical API. *)
+module Make (B : Exsel_backend.Intf.S) = struct
+  type memory = B.memory
+
+  type t = {
+    hr : int option B.reg;  (* placeholder holding a reservation for r *)
+    r : int option B.reg;
   }
 
-(* Figure 1.  Exclusiveness argument (Lemma 1): p's value in HR is only
-   overwritten once R already stores p, so any later contender fails the
-   read of R; an earlier contender that wrote HR before p would have made
-   p's first read non-null. *)
-let compete t ~me =
-  match Runtime.read t.hr with
-  | Some _ -> false
-  | None -> (
-      Runtime.write t.hr (Some me);
-      match Runtime.read t.r with
-      | Some _ -> false
-      | None ->
-          Runtime.write t.r (Some me);
-          Runtime.read t.hr = Some me)
+  let create mem ~name =
+    {
+      hr = B.alloc mem ~name:(name ^ ".HR") None;
+      r = B.alloc mem ~name:(name ^ ".R") None;
+    }
 
-let occupant t = Register.peek t.r
+  (* Figure 1.  Exclusiveness argument (Lemma 1): p's value in HR is only
+     overwritten once R already stores p, so any later contender fails the
+     read of R; an earlier contender that wrote HR before p would have made
+     p's first read non-null. *)
+  let compete t ~me =
+    match B.read t.hr with
+    | Some _ -> false
+    | None -> (
+        B.write t.hr (Some me);
+        match B.read t.r with
+        | Some _ -> false
+        | None ->
+            B.write t.r (Some me);
+            B.read t.hr = Some me)
+
+  let occupant t = B.peek t.r
+end
+
+include Make (Exsel_sim.Backend)
 
 let steps_bound = 5
 let registers_per_instance = 2

@@ -10,22 +10,32 @@
     what the expander machinery compensates for.  Costs at most 5 local
     steps and uses exactly 2 registers. *)
 
-type t
+(** The object over any {!Exsel_backend.Intf.S} substrate. *)
+module type S = sig
+  type memory
+  type t
 
-val create : Exsel_sim.Memory.t -> name:string -> t
-(** Allocate the register pair, both initialised to the paper's [null]. *)
+  val create : memory -> name:string -> t
+  (** Allocate the register pair, both initialised to the paper's [null]. *)
 
-val compete : t -> me:int -> bool
-(** [compete t ~me] runs the procedure of Figure 1 for a process with
-    identifier [me] (any integer unique to the caller).  Returns [true] on
-    a win.  Must be called from inside a runtime process, at most once per
-    process per object. *)
+  val compete : t -> me:int -> bool
+  (** [compete t ~me] runs the procedure of Figure 1 for a process with
+      identifier [me] (any integer unique to the caller).  Returns [true]
+      on a win.  Must be called from inside a backend process, at most
+      once per process per object. *)
 
-val occupant : t -> int option
-(** The identifier currently stored in [R] (test inspection, non-atomic).
-    Note this is {e not} necessarily a winner: a contender may write [R]
-    and still lose the final placeholder check.  Exclusiveness is about
-    [compete] returning [true], which tests must collect at call sites. *)
+  val occupant : t -> int option
+  (** The identifier currently stored in [R] (test inspection,
+      non-atomic).  Note this is {e not} necessarily a winner: a contender
+      may write [R] and still lose the final placeholder check.
+      Exclusiveness is about [compete] returning [true], which tests must
+      collect at call sites. *)
+end
+
+module Make (B : Exsel_backend.Intf.S) : S with type memory = B.memory
+
+include S with type memory = Exsel_sim.Memory.t
+(** The simulator instantiation. *)
 
 val steps_bound : int
 (** Worst-case local steps of one [compete] call (5: three reads

@@ -13,27 +13,36 @@
     [rename] returns [None] — the detector Theorem 4's doubling needs.
     Names are exclusive under any contention. *)
 
-type t
+(** The composition over any {!Exsel_backend.Intf.S} substrate. *)
+module type S = sig
+  type memory
+  type t
 
-val create :
-  ?params:Exsel_expander.Params.t ->
-  rng:Exsel_sim.Rng.t ->
-  Exsel_sim.Memory.t ->
-  name:string ->
-  k:int ->
-  t
+  val create :
+    ?params:Exsel_expander.Params.t ->
+    rng:Exsel_sim.Rng.t ->
+    memory ->
+    name:string ->
+    k:int ->
+    t
 
-val k : t -> int
+  val k : t -> int
 
-val names : t -> int
-(** Bound on final names: [2k − 1]. *)
+  val names : t -> int
+  (** Bound on final names: [2k − 1]. *)
 
-val intermediate_names : t -> int
-(** Size of the range entering the final compression stage (the paper's
-    M′), for the register-accounting experiments. *)
+  val intermediate_names : t -> int
+  (** Size of the range entering the final compression stage (the paper's
+      M′), for the register-accounting experiments. *)
 
-val rename : t -> me:int -> int option
-(** [me] is any integer identifier, unique per process. *)
+  val rename : t -> me:int -> int option
+  (** [me] is any integer identifier, unique per process. *)
 
-val steps_bound : t -> int
-val registers : t -> int
+  val steps_bound : t -> int
+  val registers : t -> int
+end
+
+module Make (B : Exsel_backend.Intf.S) : S with type memory = B.memory
+
+include S with type memory = Exsel_sim.Memory.t
+(** The simulator instantiation. *)

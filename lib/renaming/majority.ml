@@ -1,17 +1,8 @@
-module Memory = Exsel_sim.Memory
 module Bipartite = Exsel_expander.Bipartite
 module Gen = Exsel_expander.Gen
 module Params = Exsel_expander.Params
 
 module Span = Exsel_obs.Span
-
-type t = {
-  graph : Bipartite.t;
-  l : int;
-  competitions : Compete.t array;  (* one per output *)
-  span_label : string;
-}
-
 module Check = Exsel_expander.Check
 
 (* Sample a graph and certify the unique-neighbour majority property
@@ -33,31 +24,67 @@ let sample_certified rng params ~inputs ~l ~attempts =
   in
   go attempts
 
-let create ?(params = Params.practical) ~rng mem ~name ~l ~inputs =
-  if l <= 0 then invalid_arg "Majority.create: l must be positive";
-  if inputs <= 0 then invalid_arg "Majority.create: inputs must be positive";
-  let graph = sample_certified rng params ~inputs ~l ~attempts:16 in
-  let competitions =
-    Array.init (Bipartite.outputs graph) (fun w ->
-        Compete.create mem ~name:(Printf.sprintf "%s.out%d" name w))
-  in
-  { graph; l; competitions; span_label = Printf.sprintf "majority:budget=%d" l }
+module type S = sig
+  type memory
+  type t
 
-let graph t = t.graph
-let contention_budget t = t.l
-let names t = Bipartite.outputs t.graph
+  val create :
+    ?params:Exsel_expander.Params.t ->
+    rng:Exsel_sim.Rng.t ->
+    memory ->
+    name:string ->
+    l:int ->
+    inputs:int ->
+    t
 
-let rename t ~me =
-  if me < 0 || me >= Bipartite.inputs t.graph then
-    invalid_arg "Majority.rename: name out of range";
-  Span.wrap t.span_label (fun () ->
-      let adj = Bipartite.neighbours t.graph me in
-      let rec try_from i =
-        if i >= Array.length adj then None
-        else if Compete.compete t.competitions.(adj.(i)) ~me then Some adj.(i)
-        else try_from (i + 1)
-      in
-      try_from 0)
+  val graph : t -> Exsel_expander.Bipartite.t
+  val contention_budget : t -> int
+  val names : t -> int
+  val rename : t -> me:int -> int option
+  val steps_bound : t -> int
+  val registers : t -> int
+end
 
-let steps_bound t = Compete.steps_bound * Bipartite.degree t.graph
-let registers t = Compete.registers_per_instance * names t
+module Make (B : Exsel_backend.Intf.S) = struct
+  module C = Compete.Make (B)
+
+  type memory = B.memory
+
+  type t = {
+    graph : Bipartite.t;
+    l : int;
+    competitions : C.t array;  (* one per output *)
+    span_label : string;
+  }
+
+  let create ?(params = Params.practical) ~rng mem ~name ~l ~inputs =
+    if l <= 0 then invalid_arg "Majority.create: l must be positive";
+    if inputs <= 0 then invalid_arg "Majority.create: inputs must be positive";
+    let graph = sample_certified rng params ~inputs ~l ~attempts:16 in
+    let competitions =
+      Array.init (Bipartite.outputs graph) (fun w ->
+          C.create mem ~name:(Printf.sprintf "%s.out%d" name w))
+    in
+    { graph; l; competitions; span_label = Printf.sprintf "majority:budget=%d" l }
+
+  let graph t = t.graph
+  let contention_budget t = t.l
+  let names t = Bipartite.outputs t.graph
+
+  let rename t ~me =
+    if me < 0 || me >= Bipartite.inputs t.graph then
+      invalid_arg "Majority.rename: name out of range";
+    Span.wrap t.span_label (fun () ->
+        let adj = Bipartite.neighbours t.graph me in
+        let rec try_from i =
+          if i >= Array.length adj then None
+          else if C.compete t.competitions.(adj.(i)) ~me then Some adj.(i)
+          else try_from (i + 1)
+        in
+        try_from 0)
+
+  let steps_bound t = Compete.steps_bound * Bipartite.degree t.graph
+  let registers t = Compete.registers_per_instance * names t
+end
+
+include Make (Exsel_sim.Backend)

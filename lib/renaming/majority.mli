@@ -12,33 +12,44 @@
     [5Δ = O(log N)] local steps.  Uses [2·M] registers where
     [M = O(ℓ log(N/ℓ))] is the output count. *)
 
-type t
+(** The construction over any {!Exsel_backend.Intf.S} substrate.  Graph
+    sampling stays on the deterministic simulator RNG on every backend so
+    a seed names the same expander everywhere. *)
+module type S = sig
+  type memory
+  type t
 
-val create :
-  ?params:Exsel_expander.Params.t ->
-  rng:Exsel_sim.Rng.t ->
-  Exsel_sim.Memory.t ->
-  name:string ->
-  l:int ->
-  inputs:int ->
-  t
-(** [create ~rng mem ~name ~l ~inputs] builds an instance for contention
-    budget [l] over original names [0 .. inputs−1].  [params] defaults to
-    {!Exsel_expander.Params.practical}. *)
+  val create :
+    ?params:Exsel_expander.Params.t ->
+    rng:Exsel_sim.Rng.t ->
+    memory ->
+    name:string ->
+    l:int ->
+    inputs:int ->
+    t
+  (** [create ~rng mem ~name ~l ~inputs] builds an instance for contention
+      budget [l] over original names [0 .. inputs−1].  [params] defaults to
+      {!Exsel_expander.Params.practical}. *)
 
-val graph : t -> Exsel_expander.Bipartite.t
-val contention_budget : t -> int
+  val graph : t -> Exsel_expander.Bipartite.t
+  val contention_budget : t -> int
 
-val names : t -> int
-(** The bound [M] on new names (the graph's output count). *)
+  val names : t -> int
+  (** The bound [M] on new names (the graph's output count). *)
 
-val rename : t -> me:int -> int option
-(** Traverse and compete; [Some w] is the captured output index.
-    [me] must lie in [0 .. inputs−1].  Must run inside a runtime process,
-    once per process. *)
+  val rename : t -> me:int -> int option
+  (** Traverse and compete; [Some w] is the captured output index.
+      [me] must lie in [0 .. inputs−1].  Must run inside a backend process,
+      once per process. *)
 
-val steps_bound : t -> int
-(** Worst-case local steps: [5·Δ]. *)
+  val steps_bound : t -> int
+  (** Worst-case local steps: [5·Δ]. *)
 
-val registers : t -> int
-(** Registers allocated: [2·names]. *)
+  val registers : t -> int
+  (** Registers allocated: [2·names]. *)
+end
+
+module Make (B : Exsel_backend.Intf.S) : S with type memory = B.memory
+
+include S with type memory = Exsel_sim.Memory.t
+(** The simulator instantiation. *)

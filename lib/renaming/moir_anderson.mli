@@ -15,22 +15,31 @@
     which case [rename] reports failure — exactly the detector the paper's
     doubling constructions (Theorems 3 and 4) need. *)
 
-type t
+(** The grid over any {!Exsel_backend.Intf.S} substrate. *)
+module type S = sig
+  type memory
+  type t
 
-val create : Exsel_sim.Memory.t -> name:string -> side:int -> t
-(** [create mem ~name ~side] allocates the triangular grid.
-    @raise Invalid_argument if [side <= 0]. *)
+  val create : memory -> name:string -> side:int -> t
+  (** [create mem ~name ~side] allocates the triangular grid.
+      @raise Invalid_argument if [side <= 0]. *)
 
-val side : t -> int
+  val side : t -> int
 
-val capacity : t -> int
-(** Total names available, [side·(side+1)/2]. *)
+  val capacity : t -> int
+  (** Total names available, [side·(side+1)/2]. *)
 
-val rename : t -> me:int -> int option
-(** Walk the grid from the origin.  [Some name] when the process stops —
-    names of processes that stop are exclusive regardless of contention;
-    [None] when it walks off the grid (contention exceeded [side]).
-    Must be called from inside a runtime process, once per process. *)
+  val rename : t -> me:int -> int option
+  (** Walk the grid from the origin.  [Some name] when the process stops —
+      names of processes that stop are exclusive regardless of contention;
+      [None] when it walks off the grid (contention exceeded [side]).
+      Must be called from inside a backend process, once per process. *)
+end
+
+module Make (B : Exsel_backend.Intf.S) : S with type memory = B.memory
+
+include S with type memory = Exsel_sim.Memory.t
+(** The simulator instantiation. *)
 
 val name_of_position : r:int -> c:int -> int
 (** Anti-diagonal numbering: position [(r,c)] on diagonal [d = r+c] gets

@@ -1,60 +1,88 @@
-module Memory = Exsel_sim.Memory
 module Span = Exsel_obs.Span
 
-type t = {
-  epochs : Basic_rename.t array;
-  epoch_labels : string array;
-  inputs : int;
-  names : int;
-}
+module type S = sig
+  type memory
+  type t
 
-(* Build epochs while the range strictly contracts, mirroring the paper's
-   stopping rule (iterate until N_j reaches its Θ(k) fixpoint). *)
-let create ?params ~rng mem ~name ~k ~inputs =
-  if k <= 0 then invalid_arg "Polylog_rename.create: k must be positive";
-  if inputs <= 0 then invalid_arg "Polylog_rename.create: inputs must be positive";
-  let rec go j current acc =
-    let planned = Basic_rename.plan_names ?params ~k ~inputs:current () in
-    if planned >= current then (current, List.rev acc)
-    else
-      let basic =
-        Basic_rename.create ?params ~rng:(Exsel_sim.Rng.split rng) mem
-          ~name:(Printf.sprintf "%s.epoch%d" name j)
-          ~k ~inputs:current
-      in
-      go (j + 1) (Basic_rename.names basic) (basic :: acc)
-  in
-  let names, epochs = go 1 inputs [] in
-  let epochs = Array.of_list epochs in
-  {
-    epochs;
-    epoch_labels =
-      Array.init (Array.length epochs) (fun i -> Printf.sprintf "polylog:epoch=%d" (i + 1));
-    inputs;
-    names;
+  val create :
+    ?params:Exsel_expander.Params.t ->
+    rng:Exsel_sim.Rng.t ->
+    memory ->
+    name:string ->
+    k:int ->
+    inputs:int ->
+    t
+
+  val epochs : t -> int
+  val epoch_ranges : t -> int list
+  val names : t -> int
+  val rename : t -> me:int -> int option
+  val steps_bound : t -> int
+  val registers : t -> int
+end
+
+module Make (B : Exsel_backend.Intf.S) = struct
+  module Basic = Basic_rename.Make (B)
+
+  type memory = B.memory
+
+  type t = {
+    epochs : Basic.t array;
+    epoch_labels : string array;
+    inputs : int;
+    names : int;
   }
 
-let epochs t = Array.length t.epochs
+  (* Build epochs while the range strictly contracts, mirroring the paper's
+     stopping rule (iterate until N_j reaches its Θ(k) fixpoint). *)
+  let create ?params ~rng mem ~name ~k ~inputs =
+    if k <= 0 then invalid_arg "Polylog_rename.create: k must be positive";
+    if inputs <= 0 then invalid_arg "Polylog_rename.create: inputs must be positive";
+    let rec go j current acc =
+      let planned = Basic_rename.plan_names ?params ~k ~inputs:current () in
+      if planned >= current then (current, List.rev acc)
+      else
+        let basic =
+          Basic.create ?params ~rng:(Exsel_sim.Rng.split rng) mem
+            ~name:(Printf.sprintf "%s.epoch%d" name j)
+            ~k ~inputs:current
+        in
+        go (j + 1) (Basic.names basic) (basic :: acc)
+    in
+    let names, epochs = go 1 inputs [] in
+    let epochs = Array.of_list epochs in
+    {
+      epochs;
+      epoch_labels =
+        Array.init (Array.length epochs) (fun i -> Printf.sprintf "polylog:epoch=%d" (i + 1));
+      inputs;
+      names;
+    }
 
-let epoch_ranges t =
-  t.inputs :: (Array.to_list t.epochs |> List.map Basic_rename.names)
+  let epochs t = Array.length t.epochs
 
-let names t = t.names
+  let epoch_ranges t =
+    t.inputs :: (Array.to_list t.epochs |> List.map Basic.names)
 
-let rename t ~me =
-  let rec go i current =
-    if i >= Array.length t.epochs then Some current
-    else
-      match
-        Span.wrap t.epoch_labels.(i) (fun () -> Basic_rename.rename t.epochs.(i) ~me:current)
-      with
-      | Some next -> go (i + 1) next
-      | None -> None
-  in
-  go 0 me
+  let names t = t.names
 
-let steps_bound t =
-  Array.fold_left (fun acc b -> acc + Basic_rename.steps_bound b) 0 t.epochs
+  let rename t ~me =
+    let rec go i current =
+      if i >= Array.length t.epochs then Some current
+      else
+        match
+          Span.wrap t.epoch_labels.(i) (fun () -> Basic.rename t.epochs.(i) ~me:current)
+        with
+        | Some next -> go (i + 1) next
+        | None -> None
+    in
+    go 0 me
 
-let registers t =
-  Array.fold_left (fun acc b -> acc + Basic_rename.registers b) 0 t.epochs
+  let steps_bound t =
+    Array.fold_left (fun acc b -> acc + Basic.steps_bound b) 0 t.epochs
+
+  let registers t =
+    Array.fold_left (fun acc b -> acc + Basic.registers b) 0 t.epochs
+end
+
+include Make (Exsel_sim.Backend)

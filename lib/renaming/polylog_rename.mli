@@ -10,30 +10,39 @@
     fixpoint the construction has zero epochs and renaming is the
     identity — the paper's epoch loop simply does not start. *)
 
-type t
+(** The construction over any {!Exsel_backend.Intf.S} substrate. *)
+module type S = sig
+  type memory
+  type t
 
-val create :
-  ?params:Exsel_expander.Params.t ->
-  rng:Exsel_sim.Rng.t ->
-  Exsel_sim.Memory.t ->
-  name:string ->
-  k:int ->
-  inputs:int ->
-  t
+  val create :
+    ?params:Exsel_expander.Params.t ->
+    rng:Exsel_sim.Rng.t ->
+    memory ->
+    name:string ->
+    k:int ->
+    inputs:int ->
+    t
 
-val epochs : t -> int
+  val epochs : t -> int
 
-val epoch_ranges : t -> int list
-(** The contracting sequence [N₁ = inputs, N₂, …, M]; for tests of the
-    geometric-contraction claim in Theorem 1's proof. *)
+  val epoch_ranges : t -> int list
+  (** The contracting sequence [N₁ = inputs, N₂, …, M]; for tests of the
+      geometric-contraction claim in Theorem 1's proof. *)
 
-val names : t -> int
-(** Final bound [M] on new names. *)
+  val names : t -> int
+  (** Final bound [M] on new names. *)
 
-val rename : t -> me:int -> int option
-(** Run the epochs, threading names.  [None] means some epoch failed
-    (overflow beyond the certified contention, absorbed by the caller's
-    reserve or doubling logic). *)
+  val rename : t -> me:int -> int option
+  (** Run the epochs, threading names.  [None] means some epoch failed
+      (overflow beyond the certified contention, absorbed by the caller's
+      reserve or doubling logic). *)
 
-val steps_bound : t -> int
-val registers : t -> int
+  val steps_bound : t -> int
+  val registers : t -> int
+end
+
+module Make (B : Exsel_backend.Intf.S) : S with type memory = B.memory
+
+include S with type memory = Exsel_sim.Memory.t
+(** The simulator instantiation. *)

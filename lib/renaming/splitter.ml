@@ -1,52 +1,67 @@
-module Memory = Exsel_sim.Memory
-module Register = Exsel_sim.Register
-module Runtime = Exsel_sim.Runtime
-
 type outcome = Stop | Right | Down
 
-type t = {
-  door : int option Register.t;  (* last entrant *)
-  closed : bool Register.t;  (* set by the first process past the door *)
-  mutable stopped : int option;  (* diagnostic mirror of the Stop outcome *)
-}
+module type S = sig
+  type memory
+  type t
 
-let create mem ~name =
-  {
-    door = Register.create mem ~name:(name ^ ".X") None;
-    closed = Register.create mem ~name:(name ^ ".Y") false;
-    stopped = None;
+  val create : memory -> name:string -> t
+  val enter : t -> me:int -> outcome
+  val enter_racy : t -> me:int -> outcome
+  val captured_by : t -> int option
+end
+
+(* Written once against the BACKEND interface (DESIGN.md §12); the
+   simulator instantiation below keeps the historical API, and
+   Exsel_native re-instantiates the same functor over Atomic.t cells. *)
+module Make (B : Exsel_backend.Intf.S) = struct
+  type memory = B.memory
+
+  type t = {
+    door : int option B.reg;  (* last entrant *)
+    closed : bool B.reg;  (* set by the first process past the door *)
+    mutable stopped : int option;  (* diagnostic mirror of the Stop outcome *)
   }
 
-(* Classic argument: a process that finds the door still holding its own
-   identifier after closing the gate is alone past the gate; any later
-   process sees the gate closed and goes right, any gate-racer that lost
-   the door goes down. *)
-let enter t ~me =
-  Runtime.write t.door (Some me);
-  if Runtime.read t.closed then Right
-  else begin
-    Runtime.write t.closed true;
-    if Runtime.read t.door = Some me then begin
+  let create mem ~name =
+    {
+      door = B.alloc mem ~name:(name ^ ".X") None;
+      closed = B.alloc mem ~name:(name ^ ".Y") false;
+      stopped = None;
+    }
+
+  (* Classic argument: a process that finds the door still holding its own
+     identifier after closing the gate is alone past the gate; any later
+     process sees the gate closed and goes right, any gate-racer that lost
+     the door goes down. *)
+  let enter t ~me =
+    B.write t.door (Some me);
+    if B.read t.closed then Right
+    else begin
+      B.write t.closed true;
+      if B.read t.door = Some me then begin
+        t.stopped <- Some me;
+        Stop
+      end
+      else Down
+    end
+
+  (* The stop/right race deliberately reintroduced: the final door re-check
+     is skipped, so two contenders that both pass the open gate both stop.
+     Negative control for the conformance harness — never call from real
+     compositions. *)
+  let enter_racy t ~me =
+    B.write t.door (Some me);
+    if B.read t.closed then Right
+    else begin
+      B.write t.closed true;
       t.stopped <- Some me;
       Stop
     end
-    else Down
-  end
 
-(* The stop/right race deliberately reintroduced: the final door re-check
-   is skipped, so two contenders that both pass the open gate both stop.
-   Negative control for the conformance harness — never call from real
-   compositions. *)
-let enter_racy t ~me =
-  Runtime.write t.door (Some me);
-  if Runtime.read t.closed then Right
-  else begin
-    Runtime.write t.closed true;
-    t.stopped <- Some me;
-    Stop
-  end
+  let captured_by t = t.stopped
+end
 
-let captured_by t = t.stopped
+include Make (Exsel_sim.Backend)
 
 let steps_bound = 4
 let registers_per_instance = 2

@@ -8,27 +8,40 @@
 
 type outcome = Stop | Right | Down
 
-type t
+(** The splitter over any {!Exsel_backend.Intf.S} substrate ([memory] is
+    that backend's allocation arena). *)
+module type S = sig
+  type memory
+  type t
 
-val create : Exsel_sim.Memory.t -> name:string -> t
-(** Allocates the 2 registers of the splitter. *)
+  val create : memory -> name:string -> t
+  (** Allocates the 2 registers of the splitter. *)
 
-val enter : t -> me:int -> outcome
-(** Run the splitter.  At most 4 local steps.  Must be called from inside a
-    runtime process, at most once per process per splitter. *)
+  val enter : t -> me:int -> outcome
+  (** Run the splitter.  At most 4 local steps.  Must be called from
+      inside a backend process, at most once per process per splitter. *)
 
-val enter_racy : t -> me:int -> outcome
-(** {!enter} with the stop/right race {e deliberately reintroduced}: the
-    final door re-check is skipped, so two contenders can both stop.
-    This is the negative-control target of the conformance campaigns
-    ({!Exsel_conformance}) — a grid built on it assigns duplicate names
-    under contention, proving the harness catches and shrinks real
-    violations.  Never use it in an actual composition. *)
+  val enter_racy : t -> me:int -> outcome
+  (** {!enter} with the stop/right race {e deliberately reintroduced}: the
+      final door re-check is skipped, so two contenders can both stop.
+      This is the negative-control target of the conformance campaigns
+      ({!Exsel_conformance}) — a grid built on it assigns duplicate names
+      under contention, proving the harness catches and shrinks real
+      violations.  Never use it in an actual composition. *)
 
-val captured_by : t -> int option
-(** Identifier that stopped here, if any (test inspection, non-atomic;
-    sound only after the execution is quiet, when it equals the unique
-    stopped process). *)
+  val captured_by : t -> int option
+  (** Identifier that stopped here, if any (test inspection, non-atomic;
+      sound only after the execution is quiet, when it equals the unique
+      stopped process). *)
+end
+
+module Make (B : Exsel_backend.Intf.S) : S with type memory = B.memory
+(** The algorithm, written once against the backend interface
+    (DESIGN.md §12). *)
+
+include S with type memory = Exsel_sim.Memory.t
+(** The simulator instantiation — what every existing composition,
+    explorer target and test uses. *)
 
 val steps_bound : int
 (** Worst-case local steps of [enter] (4). *)

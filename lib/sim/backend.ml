@@ -1,0 +1,18 @@
+(* The simulator as a BACKEND (DESIGN.md §12): registers suspend the
+   calling process via the effect handler, so the scheduler commits one
+   shared-memory operation at a time.  [yield] is a no-op — every
+   read/write is already a scheduling point. *)
+
+let backend = "sim"
+
+type memory = Memory.t
+type 'a reg = 'a Register.t
+type runner = Runtime.t
+
+let alloc mem ~name init = Register.create mem ~name init
+let read = Runtime.read
+let write = Runtime.write
+let peek = Register.peek
+let registers = Memory.registers
+let spawn rt ~name body = ignore (Runtime.spawn rt ~name body)
+let yield () = ()

@@ -1,0 +1,14 @@
+(** The simulator instantiation of {!Exsel_backend.Intf.S}.
+
+    [read]/[write] are {!Runtime.read}/{!Runtime.write} — they suspend
+    the calling logical process at every register access, which is what
+    makes exploration, conformance regimes and replay possible.  The
+    renaming algorithms are functors over the interface and are
+    instantiated with this module at their top level, so their existing
+    simulator APIs (and every seeded output) are unchanged. *)
+
+include
+  Exsel_backend.Intf.S
+    with type memory = Memory.t
+     and type 'a reg = 'a Register.t
+     and type runner = Runtime.t

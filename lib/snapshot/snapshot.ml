@@ -1,67 +1,84 @@
-module Memory = Exsel_sim.Memory
-module Register = Exsel_sim.Register
-module Runtime = Exsel_sim.Runtime
-
 type 'a cell = { value : 'a; seq : int; view : 'a array option }
 
-type 'a t = {
-  n : int;
-  cells : 'a cell Register.t array;
-  next_seq : int array;  (* owner-local sequence counters, one per slot *)
-}
+module type S = sig
+  type memory
+  type 'a t
 
-let create mem ~name ~n ~init =
-  if n <= 0 then invalid_arg "Snapshot.create: n must be positive";
-  let cells =
-    Array.init n (fun i ->
-        Register.create mem
-          ~name:(Printf.sprintf "%s[%d]" name i)
-          { value = init; seq = 0; view = None })
-  in
-  { n; cells; next_seq = Array.make n 0 }
+  val create : memory -> name:string -> n:int -> init:'a -> 'a t
+  val size : 'a t -> int
+  val update : 'a t -> me:int -> 'a -> unit
+  val scan : 'a t -> me:int -> 'a array
+  val peek : 'a t -> 'a array
+end
 
-let size t = t.n
+(* Written once against the BACKEND interface (DESIGN.md §12): the
+   double-collect-with-helping argument only needs atomic registers, so
+   the same source is linearizable on the simulator and on native
+   Atomic.t cells. *)
+module Make (B : Exsel_backend.Intf.S) = struct
+  type memory = B.memory
 
-let collect t = Array.map Runtime.read t.cells
+  type 'a t = {
+    n : int;
+    cells : 'a cell B.reg array;
+    next_seq : int array;  (* owner-local sequence counters, one per slot *)
+  }
 
-let seqs_equal a b =
-  let n = Array.length a in
-  let rec go i = i >= n || (a.(i).seq = b.(i).seq && go (i + 1)) in
-  go 0
+  let create mem ~name ~n ~init =
+    if n <= 0 then invalid_arg "Snapshot.create: n must be positive";
+    let cells =
+      Array.init n (fun i ->
+          B.alloc mem
+            ~name:(Printf.sprintf "%s[%d]" name i)
+            { value = init; seq = 0; view = None })
+    in
+    { n; cells; next_seq = Array.make n 0 }
 
-(* Double collect with embedded-view helping.  A scanner that sees the same
-   component advance in two distinct collect rounds knows that component's
-   owner completed a full update — including its embedded scan — entirely
-   within this scan's interval, so the embedded view is a valid
-   linearization point. *)
-let scan t ~me:_ =
-  let moved = Array.make t.n 0 in
-  let rec attempt prev =
-    let cur = collect t in
-    if seqs_equal prev cur then Array.map (fun c -> c.value) cur
-    else begin
-      let borrowed = ref None in
-      Array.iteri
-        (fun i c ->
-          if c.seq <> prev.(i).seq then begin
-            moved.(i) <- moved.(i) + 1;
-            if moved.(i) >= 2 && !borrowed = None then
-              match c.view with
-              | Some view -> borrowed := Some view
-              | None ->
-                  (* unreachable: every committed update embeds a view *)
-                  assert false
-          end)
-        cur;
-      match !borrowed with Some view -> view | None -> attempt cur
-    end
-  in
-  attempt (collect t)
+  let size t = t.n
 
-let update t ~me v =
-  if me < 0 || me >= t.n then invalid_arg "Snapshot.update: slot out of range";
-  let view = scan t ~me in
-  t.next_seq.(me) <- t.next_seq.(me) + 1;
-  Runtime.write t.cells.(me) { value = v; seq = t.next_seq.(me); view = Some view }
+  let collect t = Array.map B.read t.cells
 
-let peek t = Array.map (fun r -> (Register.peek r).value) t.cells
+  let seqs_equal a b =
+    let n = Array.length a in
+    let rec go i = i >= n || (a.(i).seq = b.(i).seq && go (i + 1)) in
+    go 0
+
+  (* Double collect with embedded-view helping.  A scanner that sees the
+     same component advance in two distinct collect rounds knows that
+     component's owner completed a full update — including its embedded
+     scan — entirely within this scan's interval, so the embedded view is
+     a valid linearization point. *)
+  let scan t ~me:_ =
+    let moved = Array.make t.n 0 in
+    let rec attempt prev =
+      let cur = collect t in
+      if seqs_equal prev cur then Array.map (fun c -> c.value) cur
+      else begin
+        let borrowed = ref None in
+        Array.iteri
+          (fun i c ->
+            if c.seq <> prev.(i).seq then begin
+              moved.(i) <- moved.(i) + 1;
+              if moved.(i) >= 2 && !borrowed = None then
+                match c.view with
+                | Some view -> borrowed := Some view
+                | None ->
+                    (* unreachable: every committed update embeds a view *)
+                    assert false
+            end)
+          cur;
+        match !borrowed with Some view -> view | None -> attempt cur
+      end
+    in
+    attempt (collect t)
+
+  let update t ~me v =
+    if me < 0 || me >= t.n then invalid_arg "Snapshot.update: slot out of range";
+    let view = scan t ~me in
+    t.next_seq.(me) <- t.next_seq.(me) + 1;
+    B.write t.cells.(me) { value = v; seq = t.next_seq.(me); view = Some view }
+
+  let peek t = Array.map (fun r -> (B.peek r).value) t.cells
+end
+
+include Make (Exsel_sim.Backend)

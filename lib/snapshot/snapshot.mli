@@ -12,25 +12,36 @@
     embedded view.  Both operations are wait-free: [scan] commits at most
     O(n²) reads, [update] O(n²) reads and one write.
 
-    All operations must be called from inside a {!Exsel_sim.Runtime}
-    process. *)
+    All operations must be called from inside a backend process
+    ({!Exsel_sim.Runtime} on the simulator, an engine task natively). *)
 
-type 'a t
+(** The snapshot over any {!Exsel_backend.Intf.S} substrate.  The
+    single-writer discipline and the helping argument only need atomic
+    registers, so the functor is sound on both backends. *)
+module type S = sig
+  type memory
+  type 'a t
 
-val create : Exsel_sim.Memory.t -> name:string -> n:int -> init:'a -> 'a t
-(** [create mem ~name ~n ~init] allocates an [n]-component snapshot whose
-    components all start as [init].  Uses [n] shared registers. *)
+  val create : memory -> name:string -> n:int -> init:'a -> 'a t
+  (** [create mem ~name ~n ~init] allocates an [n]-component snapshot whose
+      components all start as [init].  Uses [n] shared registers. *)
 
-val size : 'a t -> int
+  val size : 'a t -> int
 
-val update : 'a t -> me:int -> 'a -> unit
-(** [update t ~me v] sets component [me] to [v].  Only one process may ever
-    act as writer of a given slot (single-writer discipline is the caller's
-    responsibility). *)
+  val update : 'a t -> me:int -> 'a -> unit
+  (** [update t ~me v] sets component [me] to [v].  Only one process may
+      ever act as writer of a given slot (single-writer discipline is the
+      caller's responsibility). *)
 
-val scan : 'a t -> me:int -> 'a array
-(** [scan t ~me] returns an atomic view of all [n] components. *)
+  val scan : 'a t -> me:int -> 'a array
+  (** [scan t ~me] returns an atomic view of all [n] components. *)
 
-val peek : 'a t -> 'a array
-(** Current component values, outside of any simulated execution (test
-    inspection only; not linearizable). *)
+  val peek : 'a t -> 'a array
+  (** Current component values, outside of any execution (test inspection
+      only; not linearizable). *)
+end
+
+module Make (B : Exsel_backend.Intf.S) : S with type memory = B.memory
+
+include S with type memory = Exsel_sim.Memory.t
+(** The simulator instantiation. *)

@@ -333,3 +333,133 @@ let metrics_doc j =
       let* () = each "gauges" (scalar "gauge") in
       each "histograms" histogram
   | _ -> Error "metrics: missing schema \"exsel-metrics/1\""
+
+(* ------------------------------------------------------------------ *)
+(* P7 native bench section (exsel-bench/1 document)                    *)
+(* ------------------------------------------------------------------ *)
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let bench_p7 j =
+  let* () =
+    match Json.member "schema" j with
+    | Some (Json.String "exsel-bench/1") -> Ok ()
+    | _ -> Error "bench-p7: missing schema \"exsel-bench/1\""
+  in
+  let* experiments =
+    match Json.member "experiments" j with
+    | Some (Json.List es) -> Ok es
+    | _ -> Error "bench-p7: missing experiments array"
+  in
+  let* table =
+    let p7 =
+      List.find_opt
+        (fun e -> Json.member "id" e = Some (Json.String "P7"))
+        experiments
+    in
+    match p7 with
+    | None -> Error "bench-p7: no experiment with id \"P7\""
+    | Some e -> (
+        match Json.member "table" e with
+        | Some (Json.Obj _ as t) -> Ok t
+        | _ -> Error "bench-p7: P7 experiment has no table")
+  in
+  let* () =
+    match Json.member "title" table with
+    | Some (Json.String t) when contains_sub t "native" -> Ok ()
+    | Some (Json.String t) ->
+        errf "bench-p7: title %S does not mention \"native\"" t
+    | _ -> Error "bench-p7: table lacks a string title"
+  in
+  let* () =
+    match Json.member "header" table with
+    | Some
+        (Json.List
+           (Json.String "algo" :: Json.String "n" :: Json.String "domains"
+            :: Json.String "decided" :: _)) ->
+        Ok ()
+    | _ -> Error "bench-p7: header must start algo, n, domains, decided"
+  in
+  let* rows =
+    match Json.member "rows" table with
+    | Some (Json.List rows) when rows <> [] -> Ok rows
+    | Some (Json.List []) -> Error "bench-p7: table has no rows"
+    | _ -> Error "bench-p7: table lacks rows"
+  in
+  (* each row: decided = n; accumulate the domain sweep per (algo, n) *)
+  let sweeps : (string * int, int list) Hashtbl.t = Hashtbl.create 16 in
+  let* () =
+    List.fold_left
+      (fun acc row ->
+        let* () = acc in
+        match row with
+        | Json.List
+            (Json.String algo :: Json.String n :: Json.String domains
+             :: Json.String decided :: _) -> (
+            match
+              ( int_of_string_opt n,
+                int_of_string_opt domains,
+                int_of_string_opt decided )
+            with
+            | Some n, Some d, Some dec ->
+                if dec <> n then
+                  errf "bench-p7: %s at n=%d decided %d of %d" algo n dec n
+                else begin
+                  let key = (algo, n) in
+                  let seen =
+                    Option.value (Hashtbl.find_opt sweeps key) ~default:[]
+                  in
+                  if not (List.mem d seen) then
+                    Hashtbl.replace sweeps key (d :: seen);
+                  Ok ()
+                end
+            | _ -> errf "bench-p7: non-integer cells in a %s row" algo)
+        | _ -> Error "bench-p7: malformed row")
+      (Ok ()) rows
+  in
+  let* () =
+    Hashtbl.fold
+      (fun (algo, n) domains acc ->
+        let* () = acc in
+        if List.length domains < 2 then
+          errf "bench-p7: %s at n=%d swept %d domain count(s), need >= 2" algo
+            n (List.length domains)
+        else Ok ())
+      sweeps (Ok ())
+  in
+  let* () =
+    let algos =
+      Hashtbl.fold (fun (algo, _) _ acc -> algo :: acc) sweeps []
+    in
+    List.fold_left
+      (fun acc want ->
+        let* () = acc in
+        if List.mem want algos then Ok ()
+        else errf "bench-p7: no rows for algorithm %S" want)
+      (Ok ())
+      [ "ma"; "efficient"; "adaptive" ]
+  in
+  let* metrics =
+    match Json.member "metrics" j with
+    | Some m -> Ok m
+    | None -> Error "bench-p7: document embeds no metrics"
+  in
+  let* () = metrics_doc metrics in
+  match Json.member "histograms" metrics with
+  | Some (Json.List hists) ->
+      let is_native_latency h =
+        Json.member "name" h = Some (Json.String "exsel_rename_latency_ns")
+        && match Json.member "labels" h with
+           | Some (Json.Obj labels) ->
+               List.assoc_opt "backend" labels = Some (Json.String "native")
+           | _ -> false
+      in
+      if List.exists is_native_latency hists then Ok ()
+      else
+        Error
+          "bench-p7: metrics lack an exsel_rename_latency_ns histogram \
+           labelled backend=\"native\""
+  | _ -> Error "bench-p7: metrics lack a histograms array"

@@ -28,3 +28,14 @@ val metrics_doc : Exsel_obs.Json.t -> (unit, string) result
     [counters]/[gauges] entries with [name]/[value], [histograms]
     entries whose quantiles are monotone ([p50 <= p90 <= p99 <= p999 <=
     max]) and whose cumulative [buckets] end at [count]. *)
+
+val bench_p7 : Exsel_obs.Json.t -> (unit, string) result
+(** Validate the P7 native-bench section of an [exsel-bench/1] document:
+    schema tag; an experiment with id [P7] whose table title mentions
+    the native backend and whose header starts
+    [algo, n, domains, decided]; every row fully decided
+    ([decided = n]); at least two distinct domain counts per
+    [(algo, n)] cell; rows for [ma], [efficient] and [adaptive]; and an
+    embedded [exsel-metrics/1] registry (checked with {!metrics_doc})
+    carrying an [exsel_rename_latency_ns] histogram labelled
+    [backend="native"]. *)

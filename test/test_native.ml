@@ -1,0 +1,247 @@
+(* Tests for the native OCaml 5 backend (DESIGN.md §12): the pure
+   decision-log claim checker shared with the conformance adapters, the
+   one-shot domain-pool engine, register accounting on the atomic
+   backend, cross-validation of every ported renaming algorithm against
+   the paper's claims across several domain counts and repeated trials,
+   and the harness's metrics observation. *)
+
+module Claims = Exsel_backend.Claims
+module Engine = Exsel_native.Engine
+module Backend = Exsel_native.Backend
+module H = Exsel_native.Harness
+module M = Exsel_obs.Metrics
+module Json = Exsel_obs.Json
+module JP = Exsel_testkit.Json_parse
+
+(* ------------------------------------------------------------------ *)
+(* Claims: the pure checker, exact message formats                     *)
+(* ------------------------------------------------------------------ *)
+
+let outcome ?(status = Claims.Done) ?(steps = 0) name result =
+  { Claims.name; status; result; steps }
+
+let check_err what expected = function
+  | Ok () -> Alcotest.failf "%s: expected %S, got Ok" what expected
+  | Error msg -> Alcotest.(check string) what expected msg
+
+let test_claims_ok () =
+  let outcomes = [| outcome "p0" (Some 2); outcome "p1" (Some 0) |] in
+  match
+    Claims.check ~completion:Claims.All_named ~k:2 ~outcomes ~bound:3 ()
+  with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "clean log rejected: %s" msg
+
+let test_claims_exclusiveness () =
+  let outcomes =
+    [| outcome "p0" (Some 5); outcome "p1" (Some 1); outcome "p2" (Some 5) |]
+  in
+  check_err "duplicate name"
+    "exclusiveness: name 5 assigned to both p0 and p2"
+    (Claims.check ~completion:Claims.All_named ~k:3 ~outcomes ~bound:8 ())
+
+let test_claims_name_bound () =
+  let outcomes = [| outcome "p0" (Some 0); outcome "p1" (Some 9) |] in
+  check_err "out of range" "name bound: p1 holds name 9 outside [0, 7)"
+    (Claims.check ~completion:Claims.All_named ~k:2 ~outcomes ~bound:7 ())
+
+let test_claims_completion () =
+  let outcomes = [| outcome "p0" (Some 0); outcome "p1" None |] in
+  check_err "nameless finisher" "completion: p1 terminated without a name"
+    (Claims.check ~completion:Claims.All_named ~k:2 ~outcomes ~bound:3 ())
+
+let test_claims_termination () =
+  let outcomes =
+    [| outcome "p0" (Some 0); outcome ~status:Claims.Runnable "p1" None |]
+  in
+  check_err "still runnable" "termination: p1 still runnable at quiescence"
+    (Claims.check ~completion:Claims.All_named ~k:2 ~outcomes ~bound:3 ())
+
+let test_claims_steps_budget_optional () =
+  (* steps over budget fail only when a budget is requested: the native
+     harness omits it (no commit clock), so steps = 0 vs real steps must
+     not matter *)
+  let outcomes = [| outcome ~steps:9 "p0" (Some 0) |] in
+  check_err "budgeted" "steps: p0 took 9 local steps, budget 8"
+    (Claims.check ~completion:Claims.All_named ~k:1 ~outcomes ~bound:1
+       ~steps_budget:8.0 ());
+  match Claims.check ~completion:Claims.All_named ~k:1 ~outcomes ~bound:1 () with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "unbudgeted check rejected: %s" msg
+
+(* ------------------------------------------------------------------ *)
+(* Engine: one-shot pool semantics                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_sequential_deterministic () =
+  (* domains = 1 runs tasks in spawn order on the calling domain *)
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    Engine.spawn e ~name:(Printf.sprintf "t%d" i) (fun () ->
+        log := i :: !log)
+  done;
+  Alcotest.(check int) "tasks" 10 (Engine.tasks e);
+  Engine.run e ~domains:1;
+  Alcotest.(check (list int)) "spawn order" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !log)
+
+let test_engine_parallel_drains () =
+  (* more tasks than domains: the queue must still drain completely *)
+  let e = Engine.create () in
+  let hits = Atomic.make 0 in
+  for i = 0 to 31 do
+    Engine.spawn e ~name:(Printf.sprintf "t%d" i) (fun () ->
+        Atomic.incr hits)
+  done;
+  Engine.run e ~domains:4;
+  Alcotest.(check int) "all ran" 32 (Atomic.get hits)
+
+let test_engine_failure_propagates () =
+  let e = Engine.create () in
+  let survivors = Atomic.make 0 in
+  Engine.spawn e ~name:"ok0" (fun () -> Atomic.incr survivors);
+  Engine.spawn e ~name:"boom" (fun () -> failwith "exploded");
+  Engine.spawn e ~name:"ok1" (fun () -> Atomic.incr survivors);
+  (match Engine.run e ~domains:2 with
+  | () -> Alcotest.fail "expected Task_failed"
+  | exception Engine.Task_failed (name, Failure msg) ->
+      Alcotest.(check string) "task name" "boom" name;
+      Alcotest.(check string) "original exn" "exploded" msg
+  | exception e -> Alcotest.failf "wrong exception %s" (Printexc.to_string e));
+  (* the queue still drained: failure is recorded, not a hard stop *)
+  Alcotest.(check int) "other tasks still ran" 2 (Atomic.get survivors)
+
+let test_engine_one_shot () =
+  let e = Engine.create () in
+  Engine.spawn e ~name:"t" (fun () -> ());
+  Engine.run e ~domains:1;
+  (match Engine.spawn e ~name:"late" (fun () -> ()) with
+  | () -> Alcotest.fail "spawn after run should raise"
+  | exception Invalid_argument _ -> ());
+  (match Engine.run e ~domains:1 with
+  | () -> Alcotest.fail "second run should raise"
+  | exception Invalid_argument _ -> ());
+  match Engine.run (Engine.create ()) ~domains:0 with
+  | () -> Alcotest.fail "domains = 0 should raise"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Backend: atomic registers and accounting                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_backend_registers () =
+  Alcotest.(check string) "label" "native" Backend.backend;
+  let mem = Backend.create () in
+  Alcotest.(check int) "fresh" 0 (Backend.registers mem);
+  let r = Backend.alloc mem ~name:"r" 41 in
+  let s = Backend.alloc mem ~name:"s" "init" in
+  Alcotest.(check int) "counted" 2 (Backend.registers mem);
+  Alcotest.(check int) "initial" 41 (Backend.read r);
+  Backend.write r 42;
+  Alcotest.(check int) "written" 42 (Backend.read r);
+  Alcotest.(check int) "peek = read here" 42 (Backend.peek r);
+  Backend.write s "next";
+  Alcotest.(check string) "poly reg" "next" (Backend.read s)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-validation: every algorithm, several domain counts, repeated  *)
+(* trials, the paper's claims checked on each decision log             *)
+(* ------------------------------------------------------------------ *)
+
+let cross_validate algo =
+  let n = 24 in
+  List.iter
+    (fun domains ->
+      List.iter
+        (fun seed ->
+          let r = H.run ~algo ~n ~domains ~seed () in
+          let what =
+            Printf.sprintf "%s n=%d domains=%d seed=%d" r.H.algo n domains seed
+          in
+          (match H.check r with
+          | Ok () -> ()
+          | Error msg -> Alcotest.failf "%s violates a claim: %s" what msg);
+          Alcotest.(check int) (what ^ " all decided") n (H.decided r);
+          Alcotest.(check int) (what ^ " latencies recorded") n
+            (Array.length r.H.latency_ns);
+          Array.iter
+            (fun l ->
+              if Int64.compare l 0L < 0 then
+                Alcotest.failf "%s negative latency" what)
+            r.H.latency_ns)
+        [ 1; 2 ])
+    [ 1; 2; 3 ]
+
+let test_cross_validate_ma () = cross_validate H.Ma
+let test_cross_validate_efficient () = cross_validate H.Efficient
+let test_cross_validate_adaptive () = cross_validate H.Adaptive
+
+let test_algo_names () =
+  List.iter
+    (fun (a, s) ->
+      Alcotest.(check string) "name" s (H.algo_name a);
+      match H.algo_of_string s with
+      | Some a' when a' = a -> ()
+      | _ -> Alcotest.failf "algo_of_string %S does not round-trip" s)
+    [ (H.Ma, "ma"); (H.Efficient, "efficient"); (H.Adaptive, "adaptive") ];
+  Alcotest.(check bool) "unknown rejected" true (H.algo_of_string "nope" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Harness metrics observation                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_observe_records () =
+  let n = 16 in
+  let r = H.run ~algo:H.Ma ~n ~domains:2 ~seed:1 () in
+  let reg = M.create () in
+  H.observe reg r;
+  let labels = [ ("algo", "ma"); ("backend", "native") ] in
+  let h = M.histogram reg "exsel_rename_latency_ns" ~labels in
+  Alcotest.(check int) "one latency per process" n (M.hist_count h);
+  (* the decision counter carries the same labels; read it back through
+     the rendered document, the only counter accessor *)
+  let j = JP.roundtrip (M.to_json reg) in
+  match JP.get_list "counters" j with
+  | [ c ] ->
+      Alcotest.(check string) "counter name" "exsel_rename_decisions_total"
+        (JP.get_string "name" c);
+      Alcotest.(check int) "decisions" n (JP.get_int "value" c)
+  | l -> Alcotest.failf "expected one counter, got %d" (List.length l)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "native"
+    [
+      ( "claims",
+        [
+          Alcotest.test_case "clean log accepted" `Quick test_claims_ok;
+          Alcotest.test_case "exclusiveness" `Quick test_claims_exclusiveness;
+          Alcotest.test_case "name bound" `Quick test_claims_name_bound;
+          Alcotest.test_case "completion" `Quick test_claims_completion;
+          Alcotest.test_case "termination" `Quick test_claims_termination;
+          Alcotest.test_case "steps budget optional" `Quick
+            test_claims_steps_budget_optional;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "domains=1 sequential" `Quick
+            test_engine_sequential_deterministic;
+          Alcotest.test_case "pool drains" `Quick test_engine_parallel_drains;
+          Alcotest.test_case "failure propagates" `Quick
+            test_engine_failure_propagates;
+          Alcotest.test_case "one-shot" `Quick test_engine_one_shot;
+        ] );
+      ( "backend",
+        [ Alcotest.test_case "registers" `Quick test_backend_registers ] );
+      ( "cross-validation",
+        [
+          Alcotest.test_case "ma" `Quick test_cross_validate_ma;
+          Alcotest.test_case "efficient" `Quick test_cross_validate_efficient;
+          Alcotest.test_case "adaptive" `Quick test_cross_validate_adaptive;
+          Alcotest.test_case "algo names" `Quick test_algo_names;
+        ] );
+      ( "metrics",
+        [ Alcotest.test_case "observe" `Quick test_observe_records ] );
+    ]
