@@ -108,7 +108,7 @@ let usage_text () =
   Printf.sprintf
     "usage: %s [--bechamel | --perf | --conformance] [--json <file>]\n\
     \       %*s [--baseline <file>] [--only <T1..T9|F1|F2|A1..A3|X1..X3|P1..P7>]\n\
-    \       %*s [--p7-max-n <n>]\n\n\
+    \       %*s [--p7-max-n <n>] [--warmup <k>]\n\n\
      modes (mutually exclusive):\n\
     \  (default)          print the experiment tables\n\
     \  --bechamel         wall-clock one Bechamel benchmark per experiment\n\
@@ -128,6 +128,9 @@ let usage_text () =
     \  --p7-max-n <n>     with --perf: cap the native-suite sweep at n\n\
     \                     contenders (full sweep reaches n=1024; CI smokes\n\
     \                     cap it to stay fast)\n\
+    \  --warmup <k>       with --perf: run k throwaway native campaigns per\n\
+    \                     P7 cell before the measured one; their cost is\n\
+    \                     reported separately, never in the latencies\n\
     \  --help             show this message\n"
     Sys.argv.(0)
     (String.length Sys.argv.(0))
@@ -141,33 +144,44 @@ let usage_error msg =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let rec parse bech perf conf only json baseline p7_max_n = function
-    | [] -> (bech, perf, conf, only, json, baseline, p7_max_n)
+  let rec parse bech perf conf only json baseline p7_max_n warmup = function
+    | [] -> (bech, perf, conf, only, json, baseline, p7_max_n, warmup)
     | ("--help" | "-help" | "-h") :: _ ->
         print_string (usage_text ());
         exit 0
-    | "--bechamel" :: rest -> parse true perf conf only json baseline p7_max_n rest
-    | "--perf" :: rest -> parse bech true conf only json baseline p7_max_n rest
+    | "--bechamel" :: rest ->
+        parse true perf conf only json baseline p7_max_n warmup rest
+    | "--perf" :: rest ->
+        parse bech true conf only json baseline p7_max_n warmup rest
     | "--conformance" :: rest ->
-        parse bech perf true only json baseline p7_max_n rest
+        parse bech perf true only json baseline p7_max_n warmup rest
     | "--only" :: id :: rest ->
-        parse bech perf conf (Some id) json baseline p7_max_n rest
+        parse bech perf conf (Some id) json baseline p7_max_n warmup rest
     | "--json" :: path :: rest ->
-        parse bech perf conf only (Some path) baseline p7_max_n rest
+        parse bech perf conf only (Some path) baseline p7_max_n warmup rest
     | "--baseline" :: path :: rest ->
-        parse bech perf conf only json (Some path) p7_max_n rest
+        parse bech perf conf only json (Some path) p7_max_n warmup rest
     | "--p7-max-n" :: v :: rest -> (
         match int_of_string_opt v with
-        | Some n when n > 0 -> parse bech perf conf only json baseline (Some n) rest
+        | Some n when n > 0 ->
+            parse bech perf conf only json baseline (Some n) warmup rest
         | Some _ | None ->
             usage_error
               (Printf.sprintf "--p7-max-n expects a positive integer (got %S)" v))
-    | [ ("--only" | "--json" | "--baseline" | "--p7-max-n") ] as flag ->
+    | "--warmup" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some k when k >= 0 ->
+            parse bech perf conf only json baseline p7_max_n (Some k) rest
+        | Some _ | None ->
+            usage_error
+              (Printf.sprintf "--warmup expects a non-negative integer (got %S)" v))
+    | [ ("--only" | "--json" | "--baseline" | "--p7-max-n" | "--warmup") ] as flag
+      ->
         usage_error (Printf.sprintf "%s requires an argument" (List.hd flag))
     | arg :: _ -> usage_error (Printf.sprintf "unexpected argument %S" arg)
   in
-  let bech, perf, conf, only, json, baseline, p7_max_n =
-    parse false false false None None None None args
+  let bech, perf, conf, only, json, baseline, p7_max_n, warmup =
+    parse false false false None None None None None args
   in
   if (bech && perf) || (bech && conf) || (perf && conf) then
     usage_error "--bechamel, --perf and --conformance are mutually exclusive";
@@ -175,8 +189,9 @@ let () =
     usage_error "--bechamel and --json are mutually exclusive";
   if baseline <> None && not perf then usage_error "--baseline requires --perf";
   if p7_max_n <> None && not perf then usage_error "--p7-max-n requires --perf";
+  if warmup <> None && not perf then usage_error "--warmup requires --perf";
   if only <> None && conf then usage_error "--only does not apply to --conformance";
-  if perf then Perf.run ~json ~baseline ~only ~p7_max_n
+  if perf then Perf.run ~json ~baseline ~only ~p7_max_n ~warmup
   else if conf then run_conformance ~json
   else
     match json with

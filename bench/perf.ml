@@ -436,9 +436,11 @@ let p6_latency_quantiles () =
    per-process latency quantiles are machine-dependent: table and JSON
    only, with the ns histograms merged into the embedded exsel-metrics/1
    document. *)
-let p7_native_rename ?(max_n = 1024) () =
+let p7_native_rename ?(max_n = 1024) ?(warmup = 0) () =
   let module H = Exsel_native.Harness in
+  let module E = Exsel_native.Engine in
   let module M = Exsel_obs.Metrics in
+  let warmup_total = ref 0L in
   let merged = M.create () in
   let metrics = ref [] in
   let ns = List.filter (fun n -> n <= max_n) [ 16; 64; 256; 1024 ] in
@@ -453,7 +455,8 @@ let p7_native_rename ?(max_n = 1024) () =
             let rows =
               List.map
                 (fun domains ->
-                  let r = H.run ~algo ~n ~domains ~seed:1 () in
+                  let r = H.run ~warmup ~algo ~n ~domains ~seed:1 () in
+                  warmup_total := Int64.add !warmup_total r.H.warmup_ns;
                   (match H.check r with
                   | Ok () -> ()
                   | Error msg ->
@@ -482,6 +485,10 @@ let p7_native_rename ?(max_n = 1024) () =
                     Table.cell_int (M.hquantile h 0.99);
                     Table.cell_int (M.hquantile h 0.999);
                     Table.cell_int (M.hist_max h);
+                    Printf.sprintf "%.1f"
+                      (E.utilization r.H.telemetry *. 100.0);
+                    Table.cell_int (H.ns_to_int r.H.telemetry.E.tl_spawn_ns);
+                    Table.cell_int (H.ns_to_int r.H.telemetry.E.tl_join_ns);
                   ])
                 domain_counts
             in
@@ -499,17 +506,29 @@ let p7_native_rename ?(max_n = 1024) () =
       ~header:
         [
           "algo"; "n"; "domains"; "decided"; "renames/sec"; "p50 ns"; "p90 ns";
-          "p99 ns"; "p999 ns"; "max ns";
+          "p99 ns"; "p999 ns"; "max ns"; "util %"; "spawn ns"; "join ns";
         ]
       ~notes:
-        [
-          "Real Atomic.t registers and Domain-pool processes (lib/native),";
-          "one engine run per cell; latencies are wall-clock nanoseconds";
-          "per rename.  Decision logs are claim-checked post hoc; the";
-          "decided counts at n <= 64 are baseline-gated (present under any";
-          "--p7-max-n cap), throughput and quantiles are machine-dependent";
-          "and tracked in the JSON only.";
-        ]
+        ([
+           "Real Atomic.t registers and Domain-pool processes (lib/native),";
+           "one engine run per cell; latencies are wall-clock nanoseconds";
+           "per rename.  Decision logs are claim-checked post hoc; the";
+           "decided counts at n <= 64 are baseline-gated (present under any";
+           "--p7-max-n cap), throughput and quantiles are machine-dependent";
+           "and tracked in the JSON only.  util % is busy/(wall*domains)";
+           "from the engine flight record; spawn/join ns are the pool's";
+           "per-run management overhead.";
+         ]
+        @
+        if warmup = 0 then []
+        else
+          [
+            Printf.sprintf
+              "%d warmup run(s) per cell, %.1f ms total, excluded from all \
+               measured columns."
+              warmup
+              (Int64.to_float !warmup_total /. 1e6);
+          ])
       rows,
     List.rev !metrics,
     merged )
@@ -518,7 +537,7 @@ let p7_native_rename ?(max_n = 1024) () =
 
 let suite_ids = [ "P1"; "P2"; "P3"; "P4"; "P5"; "P6"; "P7" ]
 
-let run ~json ~baseline ~only ~p7_max_n =
+let run ~json ~baseline ~only ~p7_max_n ~warmup =
   let registry = Exsel_obs.Metrics.create () in
   let with_registry f () =
     let table, metrics, reg = f () in
@@ -533,7 +552,8 @@ let run ~json ~baseline ~only ~p7_max_n =
       ("P4", p4_pruning_stats);
       ("P5", p5_campaign_scaling);
       ("P6", with_registry p6_latency_quantiles);
-      ("P7", with_registry (fun () -> p7_native_rename ?max_n:p7_max_n ()));
+      ( "P7",
+        with_registry (fun () -> p7_native_rename ?max_n:p7_max_n ?warmup ()) );
     ]
   in
   let selected =

@@ -160,9 +160,15 @@ let build_renamer algo mem ~k ~n ~n_names ~seed =
    (lib/native).  The contender count is --procs and the instance is
    sized for exactly that contention; there is no scheduler, no crash
    injection and no commit clock, so the sim-only flags are rejected up
-   front and claims are checked post hoc on the decision log. *)
-let run_rename_native algo procs seed domains json =
+   front and claims are checked post hoc on the decision log.  The run
+   always probes the backend (per-register counters feed --profile and
+   --metrics-out; one interactive run does not care about the overhead),
+   and the engine's flight record feeds --trace/--chrome wall-clock
+   documents (DESIGN.md §13). *)
+let run_rename_native algo procs seed domains warmup profile json trace chrome
+    metrics_out =
   let module H = Exsel_native.Harness in
+  let module E = Exsel_native.Engine in
   let halgo =
     match algo with
     | Moir_anderson -> H.Ma
@@ -174,7 +180,12 @@ let run_rename_native algo procs seed domains json =
           (Format.asprintf "%a" (Cmdliner.Arg.conv_printer algo_conv) algo);
         exit 2
   in
-  let r = H.run ~algo:halgo ~n:procs ~domains ~seed () in
+  if warmup < 0 then begin
+    Printf.eprintf "--warmup must be non-negative (got %d)\n" warmup;
+    exit 2
+  end;
+  let metrics_oc = Option.map open_out_or_exit2 metrics_out in
+  let r = H.run ~warmup ~probe:true ~algo:halgo ~n:procs ~domains ~seed () in
   let reg =
     match Obs_metrics.ambient () with
     | Some reg -> reg
@@ -191,6 +202,33 @@ let run_rename_native algo procs seed domains json =
   Printf.printf "backend: native  domains: %d  registers: %d  wall: %.3f ms\n"
     domains r.H.registers
     (Int64.to_float r.H.wall_ns /. 1e6);
+  let tl = r.H.telemetry in
+  Printf.printf
+    "engine: %d worker(s)  utilization %.1f%%  spawn %.3f ms  join %.3f ms\n"
+    tl.E.tl_domains
+    (E.utilization tl *. 100.0)
+    (Int64.to_float tl.E.tl_spawn_ns /. 1e6)
+    (Int64.to_float tl.E.tl_join_ns /. 1e6);
+  if r.H.warmup > 0 then
+    Printf.printf "warmup: %d run(s), %.3f ms (excluded from measurements)\n"
+      r.H.warmup
+      (Int64.to_float r.H.warmup_ns /. 1e6);
+  if profile then begin
+    Printf.printf "per-domain:\n";
+    Array.iter
+      (fun (w : E.worker_stat) ->
+        Printf.printf "  domain %-3d  tasks %-5d  busy %.3f ms\n" w.E.ws_worker
+          w.E.ws_tasks
+          (Int64.to_float w.E.ws_busy_ns /. 1e6))
+      tl.E.tl_workers;
+    Printf.printf "hot registers (reads+writes, hottest first):\n";
+    List.iter
+      (fun (s : H.reg_stat) ->
+        Printf.printf "  %-12s  reads %-8d  writes %-8d  total %d\n" s.H.rs_name
+          s.H.rs_reads s.H.rs_writes
+          (s.H.rs_reads + s.H.rs_writes))
+      (H.hot_registers r)
+  end;
   let h =
     Obs_metrics.histogram reg "exsel_rename_latency_ns"
       ~labels:[ ("algo", r.H.algo); ("backend", "native") ]
@@ -224,7 +262,7 @@ let run_rename_native algo procs seed domains json =
                      match r.H.names.(i) with
                      | Some nm -> Json.Int nm
                      | None -> Json.Null );
-                   ("latency_ns", Json.Int (Int64.to_int r.H.latency_ns.(i)));
+                   ("latency_ns", Json.Int (H.ns_to_int r.H.latency_ns.(i)));
                    ("status", Json.String "done");
                  ])
              r.H.ids)
@@ -252,6 +290,22 @@ let run_rename_native algo procs seed domains json =
         (fun () -> Json.output oc doc);
       Printf.printf "wrote %s\n" path
   | None -> ());
+  let flight = lazy (H.trace_doc r) in
+  (match trace with
+  | Some path ->
+      Trace_export.write_file path
+        (Trace_export.Native.to_json (Lazy.force flight));
+      Printf.printf "wrote %s\n" path
+  | None -> ());
+  (match chrome with
+  | Some path ->
+      Trace_export.write_file path
+        (Trace_export.Native.chrome (Lazy.force flight));
+      Printf.printf "wrote %s (open at ui.perfetto.dev)\n" path
+  | None -> ());
+  (match (metrics_oc, metrics_out) with
+  | Some oc, Some path -> write_openmetrics oc path reg
+  | _ -> ());
   if claim <> Ok () then exit 1
 
 let run_rename_sim algo k n n_names procs seed crashes profile json chrome
@@ -360,18 +414,26 @@ let run_rename_sim algo k n n_names procs seed crashes profile json chrome
   if not distinct then exit 1
 
 (* Backend dispatch.  The sim path is byte-identical to the historical
-   behaviour; the native path rejects the sim-only flags (scheduler
-   seeds aside, they presume a commit clock or crash injection) and the
-   sim path rejects --domains, each with a specific message and exit 2. *)
-let run_rename backend domains algo k n n_names procs seed crashes profile
-    json chrome us_per_commit =
+   behaviour; each backend rejects the other's exclusive flags with a
+   specific message and exit 2.  Native now renders --profile (register
+   contention + per-domain stats from the probe/flight record) and
+   --chrome (wall-clock trace) natively; --crash stays sim-only (real
+   domains cannot be crashed mid-run), while --trace/--metrics-out/
+   --warmup/--domains are native-only on this subcommand. *)
+let run_rename backend domains warmup algo k n n_names procs seed crashes
+    profile json trace chrome metrics_out us_per_commit =
   match backend with
   | "sim" ->
-      (match domains with
-      | Some _ ->
-          Printf.eprintf "--domains applies only to --backend native\n";
-          exit 2
-      | None -> ());
+      let reject_native_only name = function
+        | None -> ()
+        | Some _ ->
+            Printf.eprintf "%s applies only to --backend native\n" name;
+            exit 2
+      in
+      reject_native_only "--domains" domains;
+      reject_native_only "--warmup" warmup;
+      reject_native_only "--trace" trace;
+      reject_native_only "--metrics-out" metrics_out;
       run_rename_sim algo k n n_names procs seed crashes profile json chrome
         us_per_commit
   | "native" ->
@@ -379,18 +441,6 @@ let run_rename backend domains algo k n n_names procs seed crashes profile
         Printf.eprintf
           "--crash applies only to --backend sim (native domains cannot be \
            crashed mid-run)\n";
-        exit 2
-      end;
-      if profile then begin
-        Printf.eprintf
-          "--profile applies only to --backend sim (no commit clock on native \
-           domains)\n";
-        exit 2
-      end;
-      if chrome <> None then begin
-        Printf.eprintf
-          "--chrome applies only to --backend sim (no commit clock on native \
-           domains)\n";
         exit 2
       end;
       let domains =
@@ -401,7 +451,9 @@ let run_rename backend domains algo k n n_names procs seed crashes profile
         | Some d -> d
         | None -> 4
       in
-      run_rename_native algo procs seed domains json
+      run_rename_native algo procs seed domains
+        (Option.value warmup ~default:0)
+        profile json trace chrome metrics_out
   | other ->
       Printf.eprintf "unknown backend %S (expected sim or native)\n" other;
       exit 2
@@ -994,8 +1046,10 @@ let profile_t =
     value & flag
     & info [ "profile" ]
         ~doc:
-          "Print the per-register contention profile and the per-phase span \
-           aggregates after the run.")
+          "Print the per-register contention profile after the run (on the \
+           simulator also the per-phase span aggregates; on --backend \
+           native the hot-register ranking and per-domain busy/task \
+           stats).")
 
 let json_t =
   Arg.(
@@ -1010,9 +1064,11 @@ let chrome_t =
     & opt (some string) None
     & info [ "chrome" ] ~docv:"FILE"
         ~doc:
-          "Write a Chrome trace-event file to $(docv): one track per process \
-           with phase spans and value-carrying commit instants, loadable at \
-           ui.perfetto.dev.")
+          "Write a Chrome trace-event file to $(docv), loadable at \
+           ui.perfetto.dev: on the simulator one track per process (phase \
+           spans, value-carrying commit instants, commit clock); on \
+           --backend native one track per domain (wall-clock rename spans \
+           plus the engine's spawn/join overheads).")
 
 let us_per_commit_t =
   Arg.(
@@ -1069,13 +1125,32 @@ let domains_t =
           "With --backend native: real domains in the worker pool (default \
            4); logical processes beyond $(docv) are work-queued.")
 
+let warmup_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "warmup" ] ~docv:"K"
+        ~doc:
+          "With --backend native: run $(docv) complete throwaway campaigns \
+           before the measured one (pool cold-start stays out of the \
+           reported latencies; the warmup cost is printed separately).")
+
+let rename_trace_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "With --backend native: write the engine's wall-clock flight \
+           record as an exsel-native-trace/1 document to $(docv).")
+
 let rename_cmd =
   let doc = "run a renaming algorithm and print the assignment" in
   Cmd.v (Cmd.info "rename" ~doc)
     Term.(
-      const run_rename $ backend_t $ domains_t $ algo_t $ k_t $ n_t $ n_names_t
-      $ procs_t $ seed_t $ crash_t $ profile_t $ json_t $ chrome_t
-      $ us_per_commit_t)
+      const run_rename $ backend_t $ domains_t $ warmup_t $ algo_t $ k_t $ n_t
+      $ n_names_t $ procs_t $ seed_t $ crash_t $ profile_t $ json_t
+      $ rename_trace_t $ chrome_t $ metrics_out_t $ us_per_commit_t)
 
 let deposit_cmd =
   let doc = "run a repository (Selfish- or Altruistic-Deposit) with crashes" in

@@ -1,22 +1,26 @@
 let backend = "native"
 
 (* Registers are allocated while the memory is built on one domain,
-   before the engine starts any worker, so a plain counter suffices. *)
-type memory = { mutable registers : int }
+   before the engine starts any worker, so plain mutable state suffices.
+   Allocation names are kept (reversed) so telemetry and the probe
+   wrapper can label registers; the cells themselves stay bare Atomic.t
+   values — the name list is never touched on the hot path. *)
+type memory = { mutable names : string list }
 
 type 'a reg = 'a Atomic.t
 
 type runner = Engine.t
 
-let create () = { registers = 0 }
+let create () = { names = [] }
 
-let alloc mem ~name:_ init =
-  mem.registers <- mem.registers + 1;
+let alloc mem ~name init =
+  mem.names <- name :: mem.names;
   Atomic.make init
 
 let read = Atomic.get
 let write = Atomic.set
 let peek = Atomic.get
-let registers mem = mem.registers
+let registers mem = List.length mem.names
+let register_names mem = List.rev mem.names
 let spawn eng ~name body = Engine.spawn eng ~name body
 let yield () = Domain.cpu_relax ()

@@ -2,15 +2,36 @@ type task = { name : string; body : unit -> unit }
 
 type state = Fresh | Running | Finished
 
+type task_event = {
+  te_index : int;
+  te_name : string;
+  te_worker : int;
+  te_start_ns : int64;
+  te_stop_ns : int64;
+}
+
+type worker_stat = { ws_worker : int; ws_tasks : int; ws_busy_ns : int64 }
+
+type telemetry = {
+  tl_domains : int;
+  tl_start_ns : int64;
+  tl_stop_ns : int64;
+  tl_spawn_ns : int64;
+  tl_join_ns : int64;
+  tl_events : task_event array;
+  tl_workers : worker_stat array;
+}
+
 type t = {
   mutable tasks : task list;  (* reversed spawn order *)
   mutable count : int;
   mutable state : state;
+  mutable telemetry : telemetry option;
 }
 
 exception Task_failed of string * exn
 
-let create () = { tasks = []; count = 0; state = Fresh }
+let create () = { tasks = []; count = 0; state = Fresh; telemetry = None }
 
 let spawn t ~name body =
   if t.state <> Fresh then invalid_arg "Engine.spawn: engine already run";
@@ -18,13 +39,29 @@ let spawn t ~name body =
   t.count <- t.count + 1
 
 let tasks t = t.count
+let telemetry t = t.telemetry
+
+let wall_ns tl = Int64.sub tl.tl_stop_ns tl.tl_start_ns
+
+let busy_ns tl =
+  Array.fold_left (fun acc w -> Int64.add acc w.ws_busy_ns) 0L tl.tl_workers
+
+let utilization tl =
+  let wall = Int64.to_float (wall_ns tl) *. float_of_int tl.tl_domains in
+  if wall <= 0.0 then 0.0 else Int64.to_float (busy_ns tl) /. wall
 
 (* Work-queue execution: a shared cursor hands tasks out in spawn order;
    each domain loops until the queue drains.  With [domains = 1] no domain
    is spawned and the tasks run sequentially in spawn order on the calling
    domain — the deterministic mode the cross-validation tests pin down.
    The first failing task wins the failure CAS; the queue still drains so
-   every task runs exactly once before the exception is re-raised. *)
+   every task runs exactly once before the exception is re-raised.
+
+   The flight recorder rides along: each slot of [worker_of]/[start_ns]/
+   [stop_ns] is written by exactly the one worker that claimed the task,
+   and read only after every helper is joined (a happens-before edge), so
+   plain arrays suffice.  The overhead per task is two monotonic clock
+   reads — negligible next to a rename — so recording is always on. *)
 let run t ~domains =
   if domains <= 0 then invalid_arg "Engine.run: domains must be positive";
   if t.state <> Fresh then invalid_arg "Engine.run: engine already run";
@@ -33,25 +70,67 @@ let run t ~domains =
   let n = Array.length tasks in
   let cursor = Atomic.make 0 in
   let failure = Atomic.make None in
-  let worker () =
+  let worker_of = Array.make n (-1) in
+  let start_ns = Array.make n 0L in
+  let stop_ns = Array.make n 0L in
+  let worker w () =
     let rec loop () =
       let i = Atomic.fetch_and_add cursor 1 in
       if i < n then begin
+        worker_of.(i) <- w;
+        start_ns.(i) <- Monotonic_clock.now ();
         (try tasks.(i).body ()
          with e ->
            ignore
              (Atomic.compare_and_set failure None (Some (tasks.(i).name, e))));
+        stop_ns.(i) <- Monotonic_clock.now ();
         loop ()
       end
     in
     loop ()
   in
-  let helpers =
-    Array.init (max 0 (min domains n - 1)) (fun _ -> Domain.spawn worker)
-  in
-  worker ();
+  let workers = max 1 (min domains n) in
+  let t_run0 = Monotonic_clock.now () in
+  let helpers = Array.init (workers - 1) (fun k -> Domain.spawn (worker (k + 1))) in
+  let t_spawned = Monotonic_clock.now () in
+  worker 0 ();
+  let t_drained = Monotonic_clock.now () in
   Array.iter Domain.join helpers;
+  let t_run1 = Monotonic_clock.now () in
   t.state <- Finished;
+  let events =
+    Array.init n (fun i ->
+        {
+          te_index = i;
+          te_name = tasks.(i).name;
+          te_worker = worker_of.(i);
+          te_start_ns = start_ns.(i);
+          te_stop_ns = stop_ns.(i);
+        })
+  in
+  let stats =
+    Array.init workers (fun w ->
+        let tasks_run = ref 0 and busy = ref 0L in
+        Array.iter
+          (fun e ->
+            if e.te_worker = w then begin
+              incr tasks_run;
+              busy := Int64.add !busy (Int64.sub e.te_stop_ns e.te_start_ns)
+            end)
+          events;
+        { ws_worker = w; ws_tasks = !tasks_run; ws_busy_ns = !busy })
+  in
+  t.telemetry <-
+    Some
+      {
+        tl_domains = workers;
+        tl_start_ns = t_run0;
+        tl_stop_ns = t_run1;
+        tl_spawn_ns = Int64.sub t_spawned t_run0;
+        tl_join_ns = Int64.sub t_run1 t_drained;
+        tl_events = events;
+        tl_workers = stats;
+      };
   match Atomic.get failure with
   | Some (name, e) -> raise (Task_failed (name, e))
   | None -> ()

@@ -10,13 +10,46 @@
     algorithms must tolerate (and strictly weaker than the simulator's
     per-step interleaving).
 
-    Engines are one-shot: spawn, run once, inspect. *)
+    Engines are one-shot: spawn, run once, inspect.
+
+    {b Flight recorder} (DESIGN.md §13): every run records, per task, the
+    executing worker (worker [0] is the calling domain, helpers are
+    [1 .. domains-1]) and monotonic start/stop nanoseconds, plus the
+    engine's own spawn and join overhead.  Recording costs two clock
+    reads per task and is always on; {!telemetry} exposes the record
+    after {!run} returns (including when it raises {!Task_failed}). *)
 
 type t
 
 exception Task_failed of string * exn
 (** Re-raised by {!run} after the queue drains: the name of the first
     task that raised, with the original exception. *)
+
+type task_event = {
+  te_index : int;  (** spawn-order index of the task *)
+  te_name : string;
+  te_worker : int;  (** worker that executed it, [0 .. tl_domains-1] *)
+  te_start_ns : int64;  (** monotonic clock at task start *)
+  te_stop_ns : int64;  (** monotonic clock at task end *)
+}
+
+type worker_stat = {
+  ws_worker : int;
+  ws_tasks : int;  (** tasks this worker drained *)
+  ws_busy_ns : int64;  (** summed task wall time on this worker *)
+}
+
+type telemetry = {
+  tl_domains : int;  (** actual workers used, [min domains tasks] (>= 1) *)
+  tl_start_ns : int64;  (** monotonic clock entering {!run} *)
+  tl_stop_ns : int64;  (** monotonic clock after every join *)
+  tl_spawn_ns : int64;  (** time spent in [Domain.spawn] for the helpers *)
+  tl_join_ns : int64;
+      (** time from the calling domain draining its last task to the last
+          helper joined *)
+  tl_events : task_event array;  (** one per task, in spawn order *)
+  tl_workers : worker_stat array;  (** one per worker, in worker order *)
+}
 
 val create : unit -> t
 
@@ -25,6 +58,20 @@ val spawn : t -> name:string -> (unit -> unit) -> unit
 
 val tasks : t -> int
 (** Number of tasks spawned so far. *)
+
+val telemetry : t -> telemetry option
+(** The flight record of the completed run; [None] before {!run}. *)
+
+val wall_ns : telemetry -> int64
+(** End-to-end wall clock of the run, [tl_stop_ns - tl_start_ns]. *)
+
+val busy_ns : telemetry -> int64
+(** Summed busy time across all workers. *)
+
+val utilization : telemetry -> float
+(** [busy_ns / (wall_ns * tl_domains)] in [0, 1]: the fraction of the
+    pool's capacity spent inside task bodies (the remainder is spawn and
+    join overhead plus queue idling); [0] on a zero-length run. *)
 
 val run : t -> domains:int -> unit
 (** Execute every task.  With [domains = 1] tasks run sequentially in

@@ -1,0 +1,76 @@
+(* Instrumented backend functor (DESIGN.md §13): wraps any
+   Exsel_backend.Intf.S with per-register atomic read/write counters
+   keyed by the allocation name.  The counters are Atomic.t cells
+   updated with one fetch_and_add per shared-memory operation, so the
+   wrapper is domain-safe but not free — the plain backend remains the
+   fast path for baseline-gated benchmarks, and the probe is what the
+   CLI's observability surfaces run. *)
+
+module type S = sig
+  include Exsel_backend.Intf.S
+
+  type inner_memory
+
+  val wrap : inner_memory -> memory
+  val counts : memory -> (string * int * int) list
+end
+
+module Make (B : Exsel_backend.Intf.S) :
+  S with type inner_memory = B.memory and type runner = B.runner = struct
+  let backend = B.backend ^ "+probe"
+
+  type probe = { p_name : string; p_reads : int Atomic.t; p_writes : int Atomic.t }
+
+  type inner_memory = B.memory
+
+  (* probes is only mutated at construction time (one domain, before any
+     process runs — the Intf.S alloc contract), so a plain list works;
+     the per-register counters are the concurrently-updated part. *)
+  type memory = { inner : B.memory; mutable probes : probe list }
+
+  type 'a reg = { r : 'a B.reg; reads : int Atomic.t; writes : int Atomic.t }
+
+  type runner = B.runner
+
+  let wrap inner = { inner; probes = [] }
+
+  let alloc mem ~name init =
+    let reads = Atomic.make 0 and writes = Atomic.make 0 in
+    mem.probes <- { p_name = name; p_reads = reads; p_writes = writes } :: mem.probes;
+    { r = B.alloc mem.inner ~name init; reads; writes }
+
+  let read reg =
+    ignore (Atomic.fetch_and_add reg.reads 1);
+    B.read reg.r
+
+  let write reg v =
+    ignore (Atomic.fetch_and_add reg.writes 1);
+    B.write reg.r v
+
+  (* out-of-execution inspection is not a contention event *)
+  let peek reg = B.peek reg.r
+
+  let registers mem = B.registers mem.inner
+  let spawn = B.spawn
+  let yield = B.yield
+
+  (* Aggregated by allocation name (algorithms allocate register arrays
+     under one name), in first-allocation order. *)
+  let counts mem =
+    let tbl = Hashtbl.create 16 in
+    let order = ref [] in
+    List.iter
+      (fun p ->
+        let r = Atomic.get p.p_reads and w = Atomic.get p.p_writes in
+        match Hashtbl.find_opt tbl p.p_name with
+        | Some (r0, w0) -> Hashtbl.replace tbl p.p_name (r0 + r, w0 + w)
+        | None ->
+            Hashtbl.add tbl p.p_name (r, w);
+            order := p.p_name :: !order)
+      (List.rev mem.probes);
+    List.rev_map
+      (fun name ->
+        let r, w = Hashtbl.find tbl name in
+        (name, r, w))
+      !order
+end

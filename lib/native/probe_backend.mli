@@ -1,0 +1,33 @@
+(** Register contention telemetry: an instrumented backend functor
+    wrapping any {!Exsel_backend.Intf.S} with per-register atomic
+    read/write counters keyed by the allocation name (DESIGN.md §13).
+
+    [Make (B)] is itself an [Intf.S], so every functorized renaming
+    algorithm runs on it unchanged.  Each [read]/[write] costs one extra
+    [Atomic.fetch_and_add] on the register's counter — cheap but not
+    free, which is why the harness keeps the uninstrumented backend as
+    the fast path for baseline-gated benchmarks and reserves the probe
+    for the CLI's observability surfaces ([--metrics-out], [--profile]).
+
+    [peek] is deliberately not counted: it is the out-of-execution
+    inspection hook, not a step of any process. *)
+
+module type S = sig
+  include Exsel_backend.Intf.S
+
+  type inner_memory
+  (** The wrapped backend's allocation arena. *)
+
+  val wrap : inner_memory -> memory
+  (** Build a probing arena over an existing inner memory.  Allocate all
+      registers through the wrapper on one domain before any process
+      runs (the {!Exsel_backend.Intf.S.alloc} contract). *)
+
+  val counts : memory -> (string * int * int) list
+  (** [(name, reads, writes)] per allocation name, aggregated over
+      registers sharing a name (array allocations), in first-allocation
+      order.  Read at quiescence for exact totals. *)
+end
+
+module Make (B : Exsel_backend.Intf.S) :
+  S with type inner_memory = B.memory and type runner = B.runner

@@ -180,3 +180,185 @@ let chrome ?spans ?(us_per_commit = default_us_per_commit) events =
 let write_file path json =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Json.output oc json)
+
+(* {2 Wall-clock (native) mode}
+
+   The native backend has no commit clock: its only timeline is the
+   monotonic wall clock stamped by the engine's flight recorder.  The
+   track unit changes accordingly — one track per *domain* (worker),
+   not per logical process — and a rename span is attributed to the
+   worker that executed it.  Timestamps are nanoseconds relative to the
+   run start (small, monotone integers). *)
+
+module Native = struct
+  type span = {
+    sp_track : int;
+    sp_name : string;
+    sp_start_ns : int;
+    sp_stop_ns : int;
+  }
+
+  type doc = {
+    nd_label : string option;
+    nd_domains : int;
+    nd_spawn_ns : int;
+    nd_join_ns : int;
+    nd_wall_ns : int;
+    nd_spans : span list;
+  }
+
+  (* Per-worker task counts and busy time, covering every track
+     [0 .. domains-1] (idle workers get a zero row — the validator and
+     the Chrome metadata both want one entry per domain). *)
+  let worker_rows d =
+    let tasks = Array.make d.nd_domains 0 in
+    let busy = Array.make d.nd_domains 0 in
+    List.iter
+      (fun s ->
+        if s.sp_track >= 0 && s.sp_track < d.nd_domains then begin
+          tasks.(s.sp_track) <- tasks.(s.sp_track) + 1;
+          busy.(s.sp_track) <- busy.(s.sp_track) + (s.sp_stop_ns - s.sp_start_ns)
+        end)
+      d.nd_spans;
+    List.init d.nd_domains (fun w ->
+        let util =
+          if d.nd_wall_ns <= 0 then 0
+          else
+            int_of_float
+              (float_of_int busy.(w) *. 1_000_000. /. float_of_int d.nd_wall_ns)
+        in
+        Json.Obj
+          [
+            ("worker", Json.Int w);
+            ("tasks", Json.Int tasks.(w));
+            ("busy_ns", Json.Int busy.(w));
+            ("utilization_ppm", Json.Int util);
+          ])
+
+  let span_json s =
+    Json.Obj
+      [
+        ("name", Json.String s.sp_name);
+        ("worker", Json.Int s.sp_track);
+        ("start_ns", Json.Int s.sp_start_ns);
+        ("stop_ns", Json.Int s.sp_stop_ns);
+      ]
+
+  let to_json d =
+    let label_field =
+      match d.nd_label with None -> [] | Some l -> [ ("label", Json.String l) ]
+    in
+    Json.Obj
+      ([ ("schema", Json.String "exsel-native-trace/1") ]
+      @ label_field
+      @ [
+          ("clock", Json.String "wall_ns");
+          ("domains", Json.Int d.nd_domains);
+          ("tasks", Json.Int (List.length d.nd_spans));
+          ("spawn_ns", Json.Int d.nd_spawn_ns);
+          ("join_ns", Json.Int d.nd_join_ns);
+          ("wall_ns", Json.Int d.nd_wall_ns);
+          ("workers", Json.List (worker_rows d));
+          ("spans", Json.List (List.map span_json d.nd_spans));
+        ])
+
+  (* Chrome timestamps are microseconds; sub-microsecond tasks keep a
+     1 µs sliver so they stay visible in Perfetto. *)
+  let us ns = ns / 1000
+
+  let chrome_span s =
+    Json.Obj
+      [
+        ("name", Json.String s.sp_name);
+        ("ph", Json.String "X");
+        ("ts", Json.Int (us s.sp_start_ns));
+        ("dur", Json.Int (max 1 (us (s.sp_stop_ns - s.sp_start_ns))));
+        ("pid", chrome_pid);
+        ("tid", Json.Int s.sp_track);
+        ( "args",
+          Json.Obj
+            [
+              ("start_ns", Json.Int s.sp_start_ns);
+              ("stop_ns", Json.Int s.sp_stop_ns);
+              ("dur_ns", Json.Int (s.sp_stop_ns - s.sp_start_ns));
+            ] );
+      ]
+
+  let overhead_span ~name ~tid ~start_ns ~dur_ns =
+    Json.Obj
+      [
+        ("name", Json.String name);
+        ("ph", Json.String "X");
+        ("ts", Json.Int (us start_ns));
+        ("dur", Json.Int (max 1 (us dur_ns)));
+        ("pid", chrome_pid);
+        ("tid", Json.Int tid);
+        ("args", Json.Obj [ ("dur_ns", Json.Int dur_ns) ]);
+      ]
+
+  let chrome d =
+    let process_label =
+      match d.nd_label with
+      | None -> "exsel native"
+      | Some l -> Printf.sprintf "exsel native (%s)" l
+    in
+    let metadata =
+      Json.Obj
+        [
+          ("name", Json.String "process_name");
+          ("ph", Json.String "M");
+          ("pid", chrome_pid);
+          ("args", Json.Obj [ ("name", Json.String process_label) ]);
+        ]
+      :: List.concat_map
+           (fun w ->
+             [
+               Json.Obj
+                 [
+                   ("name", Json.String "thread_name");
+                   ("ph", Json.String "M");
+                   ("pid", chrome_pid);
+                   ("tid", Json.Int w);
+                   ( "args",
+                     Json.Obj
+                       [
+                         ( "name",
+                           Json.String
+                             (if w = 0 then "domain 0 (caller)"
+                              else Printf.sprintf "domain %d" w) );
+                       ] );
+                 ];
+               Json.Obj
+                 [
+                   ("name", Json.String "thread_sort_index");
+                   ("ph", Json.String "M");
+                   ("pid", chrome_pid);
+                   ("tid", Json.Int w);
+                   ("args", Json.Obj [ ("sort_index", Json.Int w) ]);
+                 ];
+             ])
+           (List.init d.nd_domains Fun.id)
+    in
+    let overheads =
+      (if d.nd_spawn_ns > 0 then
+         [
+           overhead_span ~name:"domain-spawn" ~tid:0 ~start_ns:0
+             ~dur_ns:d.nd_spawn_ns;
+         ]
+       else [])
+      @
+      if d.nd_join_ns > 0 then
+        [
+          overhead_span ~name:"join" ~tid:0
+            ~start_ns:(max 0 (d.nd_wall_ns - d.nd_join_ns))
+            ~dur_ns:d.nd_join_ns;
+        ]
+      else []
+    in
+    Json.Obj
+      [
+        ("displayTimeUnit", Json.String "ms");
+        ( "traceEvents",
+          Json.List (metadata @ overheads @ List.map chrome_span d.nd_spans) );
+      ]
+end

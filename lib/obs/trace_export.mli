@@ -40,3 +40,44 @@ val chrome : ?spans:Span.t -> ?us_per_commit:int -> Trace.event list -> Json.t
 
 val write_file : string -> Json.t -> unit
 (** Serialize compactly to a file (trailing newline included). *)
+
+(** Wall-clock trace export for the native backend (DESIGN.md §13).
+
+    The simulator's exports above are commit-clock; the native engine's
+    flight recorder stamps real monotonic nanoseconds instead, and the
+    track unit changes from logical process to {e domain}: one track per
+    pool worker, each rename span attributed to the worker that executed
+    it.  All timestamps are nanoseconds relative to the engine run
+    start, so they are small, non-negative, and monotone per worker. *)
+module Native : sig
+  type span = {
+    sp_track : int;  (** executing worker, [0 .. domains-1] *)
+    sp_name : string;  (** task name, e.g. ["p3"] *)
+    sp_start_ns : int;  (** relative to the run start *)
+    sp_stop_ns : int;
+  }
+
+  type doc = {
+    nd_label : string option;
+    nd_domains : int;  (** pool workers (tracks) *)
+    nd_spawn_ns : int;  (** helper [Domain.spawn] overhead *)
+    nd_join_ns : int;  (** drain-to-join overhead *)
+    nd_wall_ns : int;  (** end-to-end engine wall clock *)
+    nd_spans : span list;  (** in task spawn order *)
+  }
+
+  val to_json : doc -> Json.t
+  (** The [exsel-native-trace/1] document:
+      [{ schema; label?; clock = "wall_ns"; domains; tasks; spawn_ns;
+         join_ns; wall_ns;
+         workers: [{worker; tasks; busy_ns; utilization_ppm}];
+         spans: [{name; worker; start_ns; stop_ns}] }].
+      [workers] has one row per track, idle workers included. *)
+
+  val chrome : doc -> Json.t
+  (** Chrome trace-event JSON for Perfetto: one thread per domain
+      (worker 0 labelled as the caller), every task as an ["X"] duration
+      event on its executing worker's track (nanosecond args preserved;
+      sub-microsecond tasks keep a 1 µs sliver), and the engine's spawn
+      and join overheads as ["X"] events on track 0. *)
+end

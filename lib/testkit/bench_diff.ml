@@ -1,0 +1,260 @@
+(* Perf trend diffing over two exsel-bench/1 documents (DESIGN.md §13).
+
+   The differ is deliberately schema-driven, not metric-name-driven: it
+   walks the experiment tables (per-suite, per-cell numeric deltas,
+   reported but never gated — throughput cells are machine-dependent)
+   and the embedded exsel-metrics/1 registry (histogram quantiles, the
+   gated part).  A quantile that grows beyond the relative threshold is
+   a regression; so is a suite or histogram that disappears.  Two
+   identical documents always diff clean, which is the self-diff
+   property CI smoke-tests. *)
+
+module Json = Exsel_obs.Json
+
+let ( let* ) = Result.bind
+let errf fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+type delta = { d_key : string; d_old : float; d_new : float }
+
+type t = {
+  threshold : float;
+  suites : (string * delta list) list;
+  quantiles : delta list;
+  notes : string list;
+  regressions : string list;
+}
+
+let regressed t = t.regressions <> []
+
+(* ------------------------------------------------------------------ *)
+(* document access                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let experiments doc =
+  match Json.member "schema" doc with
+  | Some (Json.String "exsel-bench/1") -> (
+      match Json.member "experiments" doc with
+      | Some (Json.List es) ->
+          Ok
+            (List.filter_map
+               (fun e ->
+                 match Json.member "id" e with
+                 | Some (Json.String id) -> Some (id, e)
+                 | _ -> None)
+               es)
+      | _ -> Error "document lacks an experiments array")
+  | _ -> Error "document schema is not \"exsel-bench/1\""
+
+let table_of e =
+  match Json.member "table" e with
+  | Some t ->
+      let strings k =
+        match Json.member k t with
+        | Some (Json.List l) ->
+            List.map (function Json.String s -> s | j -> Json.to_string j) l
+        | _ -> []
+      in
+      let rows =
+        match Json.member "rows" t with
+        | Some (Json.List rows) ->
+            List.map
+              (function
+                | Json.List cells ->
+                    List.map
+                      (function Json.String s -> s | j -> Json.to_string j)
+                      cells
+                | _ -> [])
+              rows
+        | _ -> []
+      in
+      (strings "header", rows)
+  | None -> ([], [])
+
+(* ------------------------------------------------------------------ *)
+(* per-suite cell deltas (reporting only)                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A row is identified by its non-numeric cells (algo names, policy
+   names, ...); purely numeric rows fall back to the row index.  Cell
+   deltas are informational: wall-clock cells differ between any two
+   honest runs. *)
+let row_key index cells =
+  let keys = List.filter (fun c -> float_of_string_opt c = None) cells in
+  if keys = [] then Printf.sprintf "row%d" index else String.concat "/" keys
+
+let cell_deltas header old_rows new_rows =
+  let col_name c =
+    match List.nth_opt header c with Some h -> h | None -> Printf.sprintf "col%d" c
+  in
+  List.concat
+    (List.mapi
+       (fun i (old_row, new_row) ->
+         let key = row_key i old_row in
+         List.concat
+           (List.mapi
+              (fun c (o, n) ->
+                match (float_of_string_opt o, float_of_string_opt n) with
+                | Some fo, Some fn when fo <> fn ->
+                    [
+                      {
+                        d_key = Printf.sprintf "[%s] %s" key (col_name c);
+                        d_old = fo;
+                        d_new = fn;
+                      };
+                    ]
+                | _ -> [])
+              (List.combine
+                 (List.filteri (fun c _ -> c < List.length new_row) old_row)
+                 (List.filteri (fun c _ -> c < List.length old_row) new_row))))
+       (List.combine
+          (List.filteri (fun i _ -> i < List.length new_rows) old_rows)
+          (List.filteri (fun i _ -> i < List.length old_rows) new_rows)))
+
+(* ------------------------------------------------------------------ *)
+(* quantile regressions (the gated part)                               *)
+(* ------------------------------------------------------------------ *)
+
+let labels_string h =
+  match Json.member "labels" h with
+  | Some (Json.Obj kvs) when kvs <> [] ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "%s=%s" k
+                 (match v with Json.String s -> Printf.sprintf "%S" s | j -> Json.to_string j))
+             (List.sort compare kvs))
+      ^ "}"
+  | _ -> ""
+
+let hist_key h =
+  (match Json.member "name" h with
+  | Some (Json.String n) -> n
+  | _ -> "?")
+  ^ labels_string h
+
+let histograms doc =
+  match Json.member "metrics" doc with
+  | None -> []
+  | Some m -> (
+      match Json.member "histograms" m with
+      | Some (Json.List hs) -> List.map (fun h -> (hist_key h, h)) hs
+      | _ -> [])
+
+let quantile_keys = [ "p50"; "p90"; "p99"; "p999" ]
+
+let quantile_diffs ~threshold old_hists new_hists =
+  List.fold_left
+    (fun (deltas, regs) (key, old_h) ->
+      match List.assoc_opt key new_hists with
+      | None ->
+          ( deltas,
+            Printf.sprintf "histogram %s present in old, missing in new" key
+            :: regs )
+      | Some new_h ->
+          List.fold_left
+            (fun (deltas, regs) q ->
+              match (Json.member q old_h, Json.member q new_h) with
+              | Some (Json.Int o), Some (Json.Int n) when o <> n ->
+                  let d =
+                    {
+                      d_key = Printf.sprintf "%s %s" key q;
+                      d_old = float_of_int o;
+                      d_new = float_of_int n;
+                    }
+                  in
+                  let regs =
+                    if float_of_int n > float_of_int o *. (1. +. threshold)
+                    then
+                      Printf.sprintf
+                        "%s %s regressed: %d -> %d (beyond +%.0f%%)" key q o n
+                        (threshold *. 100.)
+                      :: regs
+                    else regs
+                  in
+                  (d :: deltas, regs)
+              | _ -> (deltas, regs))
+            (deltas, regs) quantile_keys)
+    ([], []) old_hists
+  |> fun (ds, rs) -> (List.rev ds, List.rev rs)
+
+(* ------------------------------------------------------------------ *)
+(* driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let diff ?(threshold = 0.25) ~old_doc ~new_doc () =
+  if threshold < 0.0 then errf "threshold must be non-negative"
+  else
+    let* old_exps = experiments old_doc in
+    let* new_exps = experiments new_doc in
+    let missing =
+      List.filter_map
+        (fun (id, _) ->
+          if List.mem_assoc id new_exps then None
+          else Some (Printf.sprintf "suite %s present in old, missing in new" id))
+        old_exps
+    in
+    let added =
+      List.filter_map
+        (fun (id, _) ->
+          if List.mem_assoc id old_exps then None
+          else Some (Printf.sprintf "suite %s is new" id))
+        new_exps
+    in
+    let suites, shape_notes =
+      List.fold_left
+        (fun (suites, notes) (id, old_e) ->
+          match List.assoc_opt id new_exps with
+          | None -> (suites, notes)
+          | Some new_e ->
+              let header, old_rows = table_of old_e in
+              let _, new_rows = table_of new_e in
+              let notes =
+                if List.length old_rows <> List.length new_rows then
+                  Printf.sprintf "suite %s: %d rows became %d (capped run?)" id
+                    (List.length old_rows) (List.length new_rows)
+                  :: notes
+                else notes
+              in
+              ((id, cell_deltas header old_rows new_rows) :: suites, notes))
+        ([], []) old_exps
+    in
+    let qdeltas, qregs =
+      quantile_diffs ~threshold (histograms old_doc) (histograms new_doc)
+    in
+    Ok
+      {
+        threshold;
+        suites = List.rev suites;
+        quantiles = qdeltas;
+        notes = added @ List.rev shape_notes;
+        regressions = missing @ qregs;
+      }
+
+let pct d =
+  if d.d_old = 0.0 then "(new)"
+  else Printf.sprintf "(%+.1f%%)" ((d.d_new -. d.d_old) /. d.d_old *. 100.)
+
+let render t =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "bench_diff: threshold +%.0f%% on histogram quantiles" (t.threshold *. 100.);
+  List.iter (fun n -> line "note: %s" n) t.notes;
+  List.iter
+    (fun (id, deltas) ->
+      if deltas <> [] then begin
+        line "suite %s: %d cell(s) changed" id (List.length deltas);
+        List.iter
+          (fun d -> line "  %s: %g -> %g %s" d.d_key d.d_old d.d_new (pct d))
+          deltas
+      end)
+    t.suites;
+  if t.quantiles <> [] then begin
+    line "quantiles: %d changed" (List.length t.quantiles);
+    List.iter
+      (fun d -> line "  %s: %g -> %g %s" d.d_key d.d_old d.d_new (pct d))
+      t.quantiles
+  end;
+  if t.regressions = [] then line "no regressions"
+  else List.iter (fun r -> line "REGRESSION: %s" r) t.regressions;
+  Buffer.contents buf

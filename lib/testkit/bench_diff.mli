@@ -1,0 +1,53 @@
+(** Perf trend diffing over two [exsel-bench/1] documents.
+
+    [tools/bench_diff.exe] is a thin shell around this module so the
+    comparison logic is unit-testable: parse two bench reports, walk
+    their experiment tables and embedded [exsel-metrics/1] registries,
+    and classify the differences.
+
+    Table cells are machine-dependent (throughput, wall-clock), so cell
+    deltas are {e reported} but never gate.  The gated signals are
+    structural and statistical: a suite present in the old document but
+    missing from the new one, a histogram that disappeared, or a latency
+    quantile ([p50]/[p90]/[p99]/[p999]) that grew beyond the relative
+    threshold.  Diffing a document against itself always yields zero
+    regressions — the self-diff property CI smoke-tests. *)
+
+type delta = {
+  d_key : string;  (** ["\[row\] column"] or ["hist_key pXX"] *)
+  d_old : float;
+  d_new : float;
+}
+
+type t = {
+  threshold : float;
+  suites : (string * delta list) list;
+      (** per-suite numeric cell deltas, index-matched rows *)
+  quantiles : delta list;  (** changed histogram quantiles *)
+  notes : string list;
+      (** informational: new suites, row-count changes (capped runs) *)
+  regressions : string list;
+      (** gating: missing suites, missing histograms, quantiles beyond
+          the threshold *)
+}
+
+val regressed : t -> bool
+(** [regressions <> []] — the exit-1 condition of the CLI wrapper. *)
+
+val diff :
+  ?threshold:float ->
+  old_doc:Exsel_obs.Json.t ->
+  new_doc:Exsel_obs.Json.t ->
+  unit ->
+  (t, string) result
+(** Compare two parsed [exsel-bench/1] documents.  [threshold] (default
+    [0.25]) is the relative growth a histogram quantile may show before
+    it counts as a regression ([new > old * (1 + threshold)]).
+    [Error _] means a document is not an [exsel-bench/1] report at all
+    (wrong schema, no experiments array) — the CLI maps that to the
+    usage exit code, not to "regression". *)
+
+val render : t -> string
+(** Human-readable multi-line summary: notes, per-suite cell deltas,
+    changed quantiles, then either [no regressions] or one
+    [REGRESSION: ...] line each. *)

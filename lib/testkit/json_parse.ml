@@ -49,9 +49,36 @@ let parse s =
           | 'b' -> Buffer.add_char buf '\b'
           | 'f' -> Buffer.add_char buf '\012'
           | 'u' ->
-              let hex = String.sub s (!pos + 1) 4 in
-              pos := !pos + 4;
-              Buffer.add_char buf (Char.chr (int_of_string ("0x" ^ hex)))
+              (* Decode the UTF-16 escape (pairing surrogates) and emit
+                 UTF-8, matching the writer's raw-byte passthrough. *)
+              let code_unit () =
+                if !pos + 4 >= String.length s then
+                  raise (Parse ("truncated \\u escape at " ^ string_of_int !pos));
+                let hex = String.sub s (!pos + 1) 4 in
+                pos := !pos + 4;
+                match int_of_string_opt ("0x" ^ hex) with
+                | Some u -> u
+                | None ->
+                    raise (Parse ("bad \\u escape at " ^ string_of_int !pos))
+              in
+              let u = code_unit () in
+              let cp =
+                if
+                  u >= 0xD800 && u <= 0xDBFF
+                  && !pos + 2 < String.length s
+                  && s.[!pos + 1] = '\\'
+                  && s.[!pos + 2] = 'u'
+                then begin
+                  pos := !pos + 2;
+                  let lo = code_unit () in
+                  if lo >= 0xDC00 && lo <= 0xDFFF then
+                    0x10000 + (((u - 0xD800) lsl 10) lor (lo - 0xDC00))
+                  else 0xFFFD
+                end
+                else u
+              in
+              Buffer.add_utf_8_uchar buf
+                (if Uchar.is_valid cp then Uchar.of_int cp else Uchar.rep)
           | c -> raise (Parse (Printf.sprintf "bad escape %c" c)));
           advance ();
           go ()

@@ -335,6 +335,112 @@ let metrics_doc j =
   | _ -> Error "metrics: missing schema \"exsel-metrics/1\""
 
 (* ------------------------------------------------------------------ *)
+(* exsel-native-trace/1 (wall-clock flight record)                     *)
+(* ------------------------------------------------------------------ *)
+
+let native_trace j =
+  let int_field what obj k =
+    match Json.member k obj with
+    | Some (Json.Int i) -> Ok i
+    | _ -> errf "native-trace: %s lacks int %S" what k
+  in
+  let* () =
+    match Json.member "schema" j with
+    | Some (Json.String "exsel-native-trace/1") -> Ok ()
+    | _ -> Error "native-trace: missing schema \"exsel-native-trace/1\""
+  in
+  let* () =
+    match Json.member "clock" j with
+    | Some (Json.String "wall_ns") -> Ok ()
+    | _ -> Error "native-trace: clock must be \"wall_ns\""
+  in
+  let* domains = int_field "document" j "domains" in
+  let* () =
+    if domains < 1 then errf "native-trace: domains %d < 1" domains else Ok ()
+  in
+  let* tasks = int_field "document" j "tasks" in
+  let* spawn_ns = int_field "document" j "spawn_ns" in
+  let* join_ns = int_field "document" j "join_ns" in
+  let* wall_ns = int_field "document" j "wall_ns" in
+  let* () =
+    if spawn_ns < 0 || join_ns < 0 || wall_ns < 0 then
+      Error "native-trace: negative overhead or wall clock"
+    else Ok ()
+  in
+  (* one worker row per domain, in worker order, task counts adding up *)
+  let* workers =
+    match Json.member "workers" j with
+    | Some (Json.List ws) -> Ok ws
+    | _ -> Error "native-trace: missing workers array"
+  in
+  let* () =
+    if List.length workers <> domains then
+      errf "native-trace: %d worker rows for %d domains" (List.length workers)
+        domains
+    else Ok ()
+  in
+  let* worker_tasks =
+    List.fold_left
+      (fun acc (i, w) ->
+        let* total = acc in
+        let* id = int_field "worker row" w "worker" in
+        let* t = int_field "worker row" w "tasks" in
+        let* busy = int_field "worker row" w "busy_ns" in
+        if id <> i then errf "native-trace: worker row %d has id %d" i id
+        else if t < 0 || busy < 0 then
+          errf "native-trace: worker %d has negative tasks or busy_ns" i
+        else Ok (total + t))
+      (Ok 0)
+      (List.mapi (fun i w -> (i, w)) workers)
+  in
+  let* () =
+    if worker_tasks <> tasks then
+      errf "native-trace: worker task counts sum to %d, tasks is %d"
+        worker_tasks tasks
+    else Ok ()
+  in
+  (* spans: named, attributed to a real worker, inside the run window,
+     and monotone per worker (a worker drains its queue sequentially) *)
+  let* spans =
+    match Json.member "spans" j with
+    | Some (Json.List ss) -> Ok ss
+    | _ -> Error "native-trace: missing spans array"
+  in
+  let* () =
+    if List.length spans <> tasks then
+      errf "native-trace: %d spans for %d tasks" (List.length spans) tasks
+    else Ok ()
+  in
+  let last_stop = Array.make domains (-1) in
+  List.fold_left
+    (fun acc s ->
+      let* () = acc in
+      let* name =
+        match Json.member "name" s with
+        | Some (Json.String n) when n <> "" -> Ok n
+        | _ -> Error "native-trace: span lacks a non-empty name"
+      in
+      let* w = int_field "span" s "worker" in
+      let* start = int_field "span" s "start_ns" in
+      let* stop = int_field "span" s "stop_ns" in
+      if w < 0 || w >= domains then
+        errf "native-trace: span %S on worker %d outside [0, %d)" name w domains
+      else if start < 0 || stop < start then
+        errf "native-trace: span %S timestamps not monotone (%d..%d)" name
+          start stop
+      else if stop > wall_ns then
+        errf "native-trace: span %S stops at %d, after wall_ns %d" name stop
+          wall_ns
+      else if start < last_stop.(w) then
+        errf "native-trace: span %S overlaps its predecessor on worker %d"
+          name w
+      else begin
+        last_stop.(w) <- stop;
+        Ok ()
+      end)
+    (Ok ()) spans
+
+(* ------------------------------------------------------------------ *)
 (* P7 native bench section (exsel-bench/1 document)                    *)
 (* ------------------------------------------------------------------ *)
 

@@ -29,6 +29,16 @@ val metrics_doc : Exsel_obs.Json.t -> (unit, string) result
     entries whose quantiles are monotone ([p50 <= p90 <= p99 <= p999 <=
     max]) and whose cumulative [buckets] end at [count]. *)
 
+val native_trace : Exsel_obs.Json.t -> (unit, string) result
+(** Validate an [exsel-native-trace/1] document (the native engine's
+    wall-clock flight record): schema and [clock = "wall_ns"] tags;
+    non-negative [spawn_ns]/[join_ns]/[wall_ns]; exactly one worker row
+    per domain, in worker order, whose task counts sum to [tasks]; and
+    one span per task with a non-empty name, a worker index below
+    [domains], monotone [start_ns <= stop_ns] within the run
+    window, and no overlap between consecutive spans of one worker (a
+    worker drains its queue sequentially). *)
+
 val bench_p7 : Exsel_obs.Json.t -> (unit, string) result
 (** Validate the P7 native-bench section of an [exsel-bench/1] document:
     schema tag; an experiment with id [P7] whose table title mentions

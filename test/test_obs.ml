@@ -232,6 +232,26 @@ let test_json_escaping () =
         (match v with Json.Obj f -> f | _ -> []);
   | _ -> Alcotest.fail "expected object"
 
+let test_json_unicode_escapes () =
+  (* Other writers (python's json.dump) escape non-ASCII as \uXXXX;
+     the parser must decode them to the UTF-8 bytes our own writer
+     emits raw, pairing UTF-16 surrogates into one scalar. *)
+  let str j = match j with Json.String s -> s | _ -> Alcotest.fail "string" in
+  Alcotest.(check string) "ascii" "A" (str (JP.parse {|"A"|}));
+  Alcotest.(check string) "latin-1" "\xc2\xb5"
+    (str (JP.parse {|"\u00b5"|}));
+  Alcotest.(check string) "em dash" "\xe2\x80\x94"
+    (str (JP.parse {|"\u2014"|}));
+  Alcotest.(check string) "surrogate pair" "\xf0\x9f\x98\x80"
+    (str (JP.parse {|"\ud83d\ude00"|}));
+  Alcotest.(check string) "raw utf-8 passthrough" "\xc2\xb5"
+    (str (JP.parse "\"\xc2\xb5\""));
+  Alcotest.(check string) "lone surrogate replaced" "\xef\xbf\xbd"
+    (str (JP.parse {|"\ud83d"|}));
+  Alcotest.check_raises "bad hex"
+    (JP.Parse "bad \\u escape at 6")
+    (fun () -> ignore (JP.parse {|"\uzzzz"|}))
+
 let test_json_values_roundtrip () =
   let v =
     Json.List
@@ -445,6 +465,7 @@ let () =
       ( "json",
         [
           Alcotest.test_case "escaping" `Quick test_json_escaping;
+          Alcotest.test_case "unicode escapes" `Quick test_json_unicode_escapes;
           Alcotest.test_case "values roundtrip" `Quick test_json_values_roundtrip;
           Alcotest.test_case "non-finite floats" `Quick test_json_nonfinite_floats;
           Alcotest.test_case "summary shape" `Quick test_json_of_summary_shape;

@@ -1,0 +1,65 @@
+(* Perf trend differ: compare two exsel-bench/1 documents and fail on
+   regressions.  Exit 0 when the new document is no worse than the old
+   one, 1 on a regression (missing suite, missing histogram, or a
+   latency quantile beyond the threshold), 2 on usage or parse errors.
+   The comparison itself lives in Exsel_testkit.Bench_diff so the test
+   suite exercises it directly. *)
+
+module JP = Exsel_testkit.Json_parse
+module BD = Exsel_testkit.Bench_diff
+
+let usage () =
+  prerr_endline
+    "usage: bench_diff [--threshold FRACTION] OLD.json NEW.json\n\
+    \  Compare two exsel-bench/1 documents.  Table cell deltas are\n\
+    \  reported; a suite or histogram missing from NEW, or a latency\n\
+    \  quantile grown beyond the threshold (default 0.25 = +25%), is a\n\
+    \  regression.  Exit 0 ok, 1 regression, 2 usage/parse error.";
+  exit 2
+
+let load path =
+  let contents =
+    match In_channel.with_open_bin path In_channel.input_all with
+    | contents -> contents
+    | exception Sys_error msg ->
+        Printf.eprintf "bench_diff: %s\n" msg;
+        exit 2
+  in
+  try JP.parse contents
+  with JP.Parse msg ->
+    Printf.eprintf "bench_diff: %s does not parse: %s\n" path msg;
+    exit 2
+
+let () =
+  let threshold = ref 0.25 in
+  let files = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--threshold" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some f when f >= 0.0 ->
+            threshold := f;
+            parse_args rest
+        | _ ->
+            Printf.eprintf "bench_diff: bad threshold %S\n" v;
+            usage ())
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
+        Printf.eprintf "bench_diff: unknown option %s\n" arg;
+        usage ()
+    | arg :: rest ->
+        files := arg :: !files;
+        parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  match List.rev !files with
+  | [ old_path; new_path ] -> (
+      let old_doc = load old_path in
+      let new_doc = load new_path in
+      match BD.diff ~threshold:!threshold ~old_doc ~new_doc () with
+      | Error msg ->
+          Printf.eprintf "bench_diff: %s\n" msg;
+          exit 2
+      | Ok result ->
+          print_string (BD.render result);
+          exit (if BD.regressed result then 1 else 0))
+  | _ -> usage ()

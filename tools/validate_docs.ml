@@ -10,12 +10,14 @@ module V = Exsel_testkit.Validate
 let usage () =
   prerr_endline
     "usage: validate_docs \
-     {events|openmetrics|json SCHEMA|metrics-in-report|bench-p7} FILE\n\
+     {events|openmetrics|json SCHEMA|metrics-in-report|native-trace|bench-p7} \
+     FILE\n\
     \  events             FILE is an exsel-events/1 NDJSON stream\n\
     \  openmetrics        FILE is an OpenMetrics text exposition\n\
     \  json SCHEMA        FILE is a JSON document with the given schema tag\n\
     \  metrics-in-report  FILE is a report embedding an exsel-metrics/1 \
      document\n\
+    \  native-trace       FILE is an exsel-native-trace/1 flight record\n\
     \  bench-p7           FILE is an exsel-bench/1 document whose P7 native\n\
     \                     section has a full domain sweep, fully decided rows\n\
     \                     and backend=\"native\" latency metrics";
@@ -58,6 +60,9 @@ let () =
         (match Json.member "metrics" j with
         | Some m -> V.metrics_doc m
         | None -> Error "report embeds no \"metrics\" field")
+  | [ _; "native-trace"; path ] ->
+      let j = parse_json path (read_file path) in
+      finish "native-trace" path (V.native_trace j)
   | [ _; "bench-p7"; path ] ->
       let j = parse_json path (read_file path) in
       finish "bench-p7" path (V.bench_p7 j)
