@@ -533,9 +533,106 @@ let p7_native_rename ?(max_n = 1024) ?(warmup = 0) () =
     List.rev !metrics,
     merged )
 
+(* --- P8: service held-names steady-state throughput ---------------------- *)
+
+(* One churn-campaign cell per (backend, regime) on a fixed small service
+   (2 shards, cap 3, 5 sessions, 5 rounds, seed 1), claim-checked by the
+   campaign itself.  The baseline-gated metrics are the acquire counts:
+   the round planner draws only on the seeded rng and the session phase
+   ledger — never on assigned slots, names or timing — so the counts are
+   machine-independent on both backends (a drop means the planner or the
+   service wiring changed, which is what this suite gates).  Latency
+   quantiles (commit clock on sim, wall ns on native) are reported and
+   merged into the JSON metrics but not gated. *)
+let p8_service_churn () =
+  let module Churn = Exsel_service.Churn in
+  let module M = Exsel_obs.Metrics in
+  let merged = M.create () in
+  let metrics = ref [] in
+  let base =
+    {
+      Churn.default with
+      Churn.shards = 2;
+      cap = 3;
+      sessions = 5;
+      rounds = 5;
+      seeds = [ 1 ];
+    }
+  in
+  let underscored s = String.map (fun c -> if c = '-' then '_' else c) s in
+  let rows =
+    List.concat_map
+      (fun backend ->
+        let bname = Churn.backend_name backend in
+        List.map
+          (fun regime ->
+            let rid = Churn.regime_id regime in
+            let cfg = { base with Churn.backend; regimes = [ regime ] } in
+            let report = Churn.run cfg in
+            let c =
+              match report.Churn.r_cells with
+              | [ c ] -> c
+              | _ -> assert false
+            in
+            (match c.Churn.c_violations with
+            | [] -> ()
+            | v :: _ ->
+                Printf.eprintf "P8: %s %s violates a service claim: %s\n"
+                  bname rid v;
+                exit 1);
+            M.merge ~into:merged report.Churn.r_metrics;
+            metrics :=
+              ( Printf.sprintf "p8_%s_acquires_%s" bname (underscored rid),
+                float_of_int c.Churn.c_acquires )
+              :: !metrics;
+            let unit =
+              match backend with Churn.Sim -> "commits" | _ -> "ns"
+            in
+            let h =
+              M.histogram c.Churn.c_metrics
+                ("exsel_acquire_latency_" ^ unit)
+                ~labels:[ ("regime", rid); ("backend", bname) ]
+            in
+            [
+              bname;
+              rid;
+              Table.cell_int c.Churn.c_acquires;
+              Table.cell_int c.Churn.c_releases;
+              Table.cell_int c.Churn.c_crashes;
+              Table.cell_int c.Churn.c_spills;
+              Table.cell_int c.Churn.c_recycles;
+              Table.cell_int c.Churn.c_max_name;
+              Table.cell_int (M.hquantile h 0.50);
+              Table.cell_int (M.hquantile h 0.99);
+            ])
+          Churn.all_regimes)
+      [ Churn.Sim; Churn.Native { domains = 2 } ]
+  in
+  ( Table.make ~id:"P8"
+      ~title:"perf: service held-names churn (sim commit clock + native domains)"
+      ~header:
+        [
+          "backend"; "regime"; "acquires"; "releases"; "crashes"; "spills";
+          "recycles"; "max name"; "acq p50"; "acq p99";
+        ]
+      ~notes:
+        [
+          "One exsel_service churn cell per (backend, regime): 2 shards,";
+          "cap 3, 5 sessions, 5 rounds, seed 1, claim-checked in-run";
+          "(exclusive holds, generation reuse, adaptive bound, leaks).";
+          "Acquire counts depend only on the seeded round planner, never";
+          "on slots/names/timing, so they are machine-independent on both";
+          "backends and baseline-gated.  Acquire latency quantiles are in";
+          "the backend's unit (commits on sim, wall ns on native) and";
+          "tracked but not gated.";
+        ]
+      rows,
+    List.rev !metrics,
+    merged )
+
 (* --- driver ------------------------------------------------------------ *)
 
-let suite_ids = [ "P1"; "P2"; "P3"; "P4"; "P5"; "P6"; "P7" ]
+let suite_ids = [ "P1"; "P2"; "P3"; "P4"; "P5"; "P6"; "P7"; "P8" ]
 
 let run ~json ~baseline ~only ~p7_max_n ~warmup =
   let registry = Exsel_obs.Metrics.create () in
@@ -554,6 +651,7 @@ let run ~json ~baseline ~only ~p7_max_n ~warmup =
       ("P6", with_registry p6_latency_quantiles);
       ( "P7",
         with_registry (fun () -> p7_native_rename ?max_n:p7_max_n ?warmup ()) );
+      ("P8", with_registry p8_service_churn);
     ]
   in
   let selected =

@@ -1002,6 +1002,125 @@ let run_conformance algos regimes seeds_spec k steps_multiple max_commits
   if report.Campaign.r_violations > 0 then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* service subcommand                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Service_core = Exsel_service.Core
+module Churn = Exsel_service.Churn
+
+let run_service backend domains shards cap sessions rounds entry churn
+    seeds_spec max_commits jobs json chrome metrics_out events_file progress
+    us_per_commit =
+  let backend =
+    match backend with
+    | "sim" ->
+        (match domains with
+        | Some _ ->
+            Printf.eprintf "--domains only applies to --backend native\n";
+            exit 2
+        | None -> ());
+        Churn.Sim
+    | "native" -> Churn.Native { domains = Option.value domains ~default:4 }
+    | other ->
+        Printf.eprintf "unknown backend %S; valid: sim, native\n" other;
+        exit 2
+  in
+  (match (backend, chrome) with
+  | Churn.Native _, Some _ ->
+      Printf.eprintf
+        "--chrome only applies to --backend sim (traces are commit-clock)\n";
+      exit 2
+  | _ -> ());
+  let entry =
+    match Service_core.entry_algo_of_string entry with
+    | Some e -> e
+    | None ->
+        Printf.eprintf "unknown entry renamer %S; valid: efficient, adaptive\n"
+          entry;
+        exit 2
+  in
+  let regimes =
+    match churn with
+    | [] -> Churn.all_regimes
+    | ids ->
+        List.map
+          (fun id ->
+            match Churn.regime_of_string id with
+            | Some r -> r
+            | None ->
+                Printf.eprintf "unknown churn regime %S; valid ids: %s\n" id
+                  (String.concat " " (Churn.regime_ids ()));
+                exit 2)
+          ids
+  in
+  let seeds =
+    match Campaign.seeds_of_string seeds_spec with
+    | Ok seeds -> seeds
+    | Error msg ->
+        Printf.eprintf "--seeds %s: %s\n" seeds_spec msg;
+        exit 2
+  in
+  let cfg =
+    {
+      Churn.shards;
+      cap;
+      sessions;
+      rounds;
+      entry;
+      regimes;
+      seeds;
+      backend;
+      max_commits;
+    }
+  in
+  (match Churn.validate cfg with
+  | Ok () -> ()
+  | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2);
+  let jobs = resolve_jobs jobs in
+  check_us_per_commit us_per_commit;
+  let metrics_oc = Option.map open_out_or_exit2 metrics_out in
+  let events_oc = Option.map open_out_or_exit2 events_file in
+  let em = make_emitter ~events_oc ~progress in
+  emit em (Churn.start_event cfg);
+  let report =
+    Churn.run ~jobs ~on_event:(fun ev -> emit em (Churn.event_json ev)) cfg
+  in
+  emit em (Churn.done_event report);
+  Option.iter close_out events_oc;
+  Format.printf "%a" Churn.pp_summary report;
+  (match (metrics_oc, metrics_out) with
+  | Some oc, Some path -> write_openmetrics oc path report.Churn.r_metrics
+  | _ -> ());
+  (match json with
+  | Some path ->
+      Trace_export.write_file path (Churn.to_json report);
+      Printf.printf "wrote %s\n" path
+  | None -> ());
+  (match chrome with
+  | Some path ->
+      (* re-run one cell with traces attached — prefer the hot-shard
+         regime (the skew is what the Perfetto view is for) — and export
+         the busiest shard's commit-clock track *)
+      let regime =
+        if List.mem Churn.Hot_shard regimes then Churn.Hot_shard
+        else List.hd regimes
+      in
+      let traces = Churn.shard_traces cfg regime ~seed:(List.hd seeds) in
+      let shard, _, events =
+        List.fold_left
+          (fun ((_, best, _) as acc) ((_, commits, _) as cand) ->
+            if commits > best then cand else acc)
+          (List.hd traces) (List.tl traces)
+      in
+      Trace_export.write_file path (Trace_export.chrome ~us_per_commit events);
+      Printf.printf "wrote %s (shard %d, %s regime)\n" path shard
+        (Churn.regime_id regime)
+  | None -> ());
+  if report.Churn.r_violations > 0 then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* cmdliner wiring                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1290,6 +1409,93 @@ let conformance_cmd =
       $ max_commits $ no_shrink $ jobs $ json $ chrome $ metrics_out_t
       $ events_t $ progress_t $ us_per_commit_t)
 
+let service_cmd =
+  let doc =
+    "run the long-lived renaming service through seeded churn campaigns"
+  in
+  let shards =
+    Arg.(
+      value & opt int 2
+      & info [ "shards" ] ~docv:"S"
+          ~doc:
+            "Independent service shards; the global namespace is partitioned \
+             statically, shard $(i,i) owning names [i\xc2\xb7stride, \
+             (i+1)\xc2\xb7stride).")
+  in
+  let cap =
+    Arg.(
+      value & opt int 4
+      & info [ "cap" ] ~docv:"K"
+          ~doc:
+            "Per-shard session capacity: admission control keeps occupancy \
+             (live + crash-pinned) at most $(docv), bounding acquired local \
+             names below 2\xc2\xb7$(docv) \xe2\x88\x92 1.")
+  in
+  let sessions =
+    Arg.(
+      value & opt int 6
+      & info [ "sessions" ] ~docv:"N"
+          ~doc:"Service-wide target of concurrent sessions.")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 6
+      & info [ "rounds" ] ~docv:"R" ~doc:"Churn rounds per campaign cell.")
+  in
+  let entry =
+    Arg.(
+      value & opt string "efficient"
+      & info [ "entry" ] ~docv:"ALGO"
+          ~doc:
+            "One-shot entry renamer assigning arriving sessions their \
+             component slot: $(b,efficient) or $(b,adaptive).")
+  in
+  let churn =
+    Arg.(
+      value & opt_all string []
+      & info [ "churn" ] ~docv:"ID"
+          ~doc:
+            "Churn regime to campaign under (repeatable; default: all).  \
+             Ids: waves, crash-rejoin, hot-shard.")
+  in
+  let seeds =
+    Arg.(
+      value & opt string "3"
+      & info [ "seeds" ] ~docv:"N|LIST"
+          ~doc:
+            "Seeds per regime: a count (campaigns run seeds 1..N) or an \
+             explicit comma-separated list (e.g. 3,7,11).")
+  in
+  let max_commits =
+    Arg.(
+      value & opt int 200_000
+      & info [ "max-commits" ] ~docv:"C"
+          ~doc:
+            "Per-round liveness budget on the simulator (exhausting it is a \
+             violation).")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Shard the regime\xc3\x97seed matrix across $(docv) domains (0 = \
+             one per core).  The report is byte-identical to -j 1.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the full report as one exsel-service/1 document to \
+                $(docv).")
+  in
+  Cmd.v (Cmd.info "service" ~doc)
+    Term.(
+      const run_service $ backend_t $ domains_t $ shards $ cap $ sessions
+      $ rounds $ entry $ churn $ seeds $ max_commits $ jobs $ json $ chrome_t
+      $ metrics_out_t $ events_t $ progress_t $ us_per_commit_t)
+
 let experiments_cmd =
   let doc = "regenerate the paper-reproduction tables and figures" in
   let only =
@@ -1321,5 +1527,6 @@ let () =
             msgrename_cmd;
             explore_cmd;
             conformance_cmd;
+            service_cmd;
             experiments_cmd;
           ]))

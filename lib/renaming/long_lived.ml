@@ -1,17 +1,7 @@
-module Memory = Exsel_sim.Memory
-module Snapshot = Exsel_snapshot.Snapshot
-
 type cell = { id : int; proposal : int option }
 
-type t = { n : int; snap : cell option Snapshot.t }
-
-let create mem ~name ~n =
-  if n <= 0 then invalid_arg "Long_lived.create: n must be positive";
-  { n; snap = Snapshot.create mem ~name ~n ~init:None }
-
-let n t = t.n
-
-(* The [rank]-th (1-based) natural number not present in [taken]. *)
+(* The [rank]-th (1-based) natural number not present in [taken].
+   Backend-independent: pure list arithmetic on a scanned view. *)
 let nth_free taken rank =
   let taken = List.sort_uniq compare taken in
   let rec go candidate remaining taken =
@@ -21,34 +11,61 @@ let nth_free taken rank =
   in
   go 0 rank taken
 
-(* Same proposal loop as the one-shot algorithm; the difference is in the
-   lifecycle — a decided name stays published until [release], and the
-   component can be reused for the next acquire. *)
-let acquire t ~me =
-  if me < 0 || me >= t.n then invalid_arg "Long_lived.acquire: bad slot";
-  let rec round proposal =
-    Snapshot.update t.snap ~me (Some { id = me; proposal });
-    let view = Snapshot.scan t.snap ~me in
-    let others =
-      view |> Array.to_list
-      |> List.filter_map (fun c -> c)
-      |> List.filter (fun c -> c.id <> me)
+module type S = sig
+  type memory
+  type t
+
+  val create : memory -> name:string -> n:int -> t
+  val n : t -> int
+  val acquire : t -> me:int -> int
+  val release : t -> me:int -> unit
+  val holder_view : t -> int option array
+end
+
+module Make (B : Exsel_backend.Intf.S) = struct
+  module Snapshot = Exsel_snapshot.Snapshot.Make (B)
+
+  type memory = B.memory
+
+  type t = { n : int; snap : cell option Snapshot.t }
+
+  let create mem ~name ~n =
+    if n <= 0 then invalid_arg "Long_lived.create: n must be positive";
+    { n; snap = Snapshot.create mem ~name ~n ~init:None }
+
+  let n t = t.n
+
+  (* Same proposal loop as the one-shot algorithm; the difference is in the
+     lifecycle — a decided name stays published until [release], and the
+     component can be reused for the next acquire. *)
+  let acquire t ~me =
+    if me < 0 || me >= t.n then invalid_arg "Long_lived.acquire: bad slot";
+    let rec round proposal =
+      Snapshot.update t.snap ~me (Some { id = me; proposal });
+      let view = Snapshot.scan t.snap ~me in
+      let others =
+        view |> Array.to_list
+        |> List.filter_map (fun c -> c)
+        |> List.filter (fun c -> c.id <> me)
+      in
+      let taken = List.filter_map (fun c -> c.proposal) others in
+      match proposal with
+      | Some name when not (List.mem name taken) -> name
+      | Some _ | None ->
+          let participants_below =
+            List.length (List.filter (fun c -> c.id < me) others)
+          in
+          let rank = participants_below + 1 in
+          round (Some (nth_free taken rank))
     in
-    let taken = List.filter_map (fun c -> c.proposal) others in
-    match proposal with
-    | Some name when not (List.mem name taken) -> name
-    | Some _ | None ->
-        let participants_below =
-          List.length (List.filter (fun c -> c.id < me) others)
-        in
-        let rank = participants_below + 1 in
-        round (Some (nth_free taken rank))
-  in
-  round None
+    round None
 
-let release t ~me = Snapshot.update t.snap ~me None
+  let release t ~me = Snapshot.update t.snap ~me None
 
-let holder_view t =
-  Array.map
-    (fun c -> match c with Some { proposal; _ } -> proposal | None -> None)
-    (Snapshot.peek t.snap)
+  let holder_view t =
+    Array.map
+      (fun c -> match c with Some { proposal; _ } -> proposal | None -> None)
+      (Snapshot.peek t.snap)
+end
+
+include Make (Exsel_sim.Backend)

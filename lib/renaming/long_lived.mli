@@ -17,22 +17,37 @@
       crash model — a crashed holder is indistinguishable from a slow
       one).
 
-    Uses one [n]-component snapshot object ([n] registers). *)
+    Uses one [n]-component snapshot object ([n] registers).
 
-type t
+    This is the exclusive-selection core of the long-lived service layer
+    ({!Exsel_service.Core} holds one instance per shard and layers
+    generation counters on top — DESIGN.md §14); the simulator
+    instantiation below doubles as the service's reference oracle in the
+    cross-validation tests. *)
 
-val create : Exsel_sim.Memory.t -> name:string -> n:int -> t
+(** The algorithm over any {!Exsel_backend.Intf.S} substrate. *)
+module type S = sig
+  type memory
+  type t
 
-val n : t -> int
+  val create : memory -> name:string -> n:int -> t
 
-val acquire : t -> me:int -> int
-(** Acquire a name exclusively.  [me] is the caller's slot in [0 .. n−1];
-    the caller must not already hold a name.  Must run inside a runtime
-    process. *)
+  val n : t -> int
 
-val release : t -> me:int -> unit
-(** Release the held name (one snapshot update: O(n) reads + 1 write).
-    Call only while holding. *)
+  val acquire : t -> me:int -> int
+  (** Acquire a name exclusively.  [me] is the caller's slot in [0 .. n−1];
+      the caller must not already hold a name.  Must run inside a backend
+      process. *)
 
-val holder_view : t -> int option array
-(** Currently published names per slot (test inspection, non-atomic). *)
+  val release : t -> me:int -> unit
+  (** Release the held name (one snapshot update: O(n) reads + 1 write).
+      Call only while holding. *)
+
+  val holder_view : t -> int option array
+  (** Currently published names per slot (test inspection, non-atomic). *)
+end
+
+module Make (B : Exsel_backend.Intf.S) : S with type memory = B.memory
+
+include S with type memory = Exsel_sim.Memory.t
+(** The simulator instantiation. *)

@@ -1,0 +1,89 @@
+(** Per-shard core of the long-lived renaming service (DESIGN.md §14).
+
+    One core = one incarnation of a shard: a one-shot {e entry renamer}
+    (Efficient- or Adaptive-Rename, functorized over the backend) that
+    maps arriving client identifiers onto dense component slots, a
+    functorized {!Exsel_renaming.Long_lived} snapshot object through
+    which a joined session repeatedly acquires and releases local names,
+    and one generation register per local name.
+
+    Layering:
+    - [join] runs the one-shot entry renamer once per session — entry
+      slots are consumed, never recycled, so a core admits at most [cap]
+      sessions over its lifetime (the router recycles a worn-out core
+      once it is quiescent, carrying {!generations} into the fresh
+      incarnation's [gen0]);
+    - [acquire]/[release] go through the long-lived core: a name may be
+      recycled arbitrarily many times within an incarnation, and every
+      release increments the name's generation {e before} clearing the
+      hold, so a lease [(name, generation)] is issued at most once, ever
+      — the recycled name is distinguishable from its previous life;
+    - a crash while holding pins the name (and its generation) forever,
+      which is exactly why a shard with crashed sessions is never
+      recycled (router invariant, {!Router.needs_recycle}).
+
+    All three operations must run inside backend processes. *)
+
+type entry_algo = Efficient | Adaptive
+
+val entry_algo_to_string : entry_algo -> string
+val entry_algo_of_string : string -> entry_algo option
+
+val slots_for : entry_algo -> cap:int -> int
+(** Component slots backing a core admitting [cap] sessions: [2·cap − 1]
+    for Efficient entry (Theorem 2's bound), the paper's
+    [8·cap − lg cap − 1] for Adaptive entry. *)
+
+val width_for : entry_algo -> cap:int -> int
+(** Local name-space width ([2·slots − 1], the worst-case long-lived
+    name bound) — the per-shard stride of the global namespace. *)
+
+module type S = sig
+  type memory
+  type t
+
+  val create :
+    ?algo:entry_algo ->
+    ?gen0:int array ->
+    rng:Exsel_sim.Rng.t ->
+    memory ->
+    name:string ->
+    cap:int ->
+    t
+  (** [gen0] (length {!width}) seeds the generation registers — pass the
+      retiring incarnation's {!generations} when recycling a shard. *)
+
+  val cap : t -> int
+  val slots : t -> int
+  val width : t -> int
+  val algo : t -> entry_algo
+
+  val join : t -> client:int -> int option
+  (** One-shot entry: the session's dense component slot, or [None] on
+      entry overflow (more than [cap] admissions — the router's
+      admission accounting makes this unreachable; kept defensive). *)
+
+  val acquire : t -> slot:int -> int * int
+  (** [(name, generation)]: an exclusively held local name below
+      [2·k̂ − 1] for point contention [k̂], with the generation read
+      under the hold. *)
+
+  val release : t -> slot:int -> name:int -> unit
+  (** Increment the name's generation, then clear the hold (in that
+      order — a crash between the two pins the name, never reissues a
+      generation). *)
+
+  val holder_view : t -> int option array
+  (** Published local name per slot (harness inspection, non-atomic). *)
+
+  val generations : t -> int array
+  (** Current generation per local name (harness inspection). *)
+end
+
+module Make (B : Exsel_backend.Intf.S) : S with type memory = B.memory
+
+include S with type memory = Exsel_sim.Memory.t
+(** The simulator instantiation. *)
+
+module Native : S with type memory = Exsel_native.Backend.memory
+(** The native (Atomic.t) instantiation. *)

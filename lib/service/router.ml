@@ -1,0 +1,120 @@
+(* Pure shard-router bookkeeping: no shared memory, no processes.  The
+   router decides *where* an arriving session goes before any backend
+   process runs, so its decisions are deterministic given the admission
+   history — which is what makes the campaign reports byte-identical
+   across [-j N] (every cell owns a private router). *)
+
+type shard = {
+  mutable live : int;  (* admitted, not departed/crashed *)
+  mutable pinned : int;  (* crashed sessions (components possibly pinned) *)
+  mutable admitted : int;  (* admissions in the current incarnation *)
+  mutable epoch : int;
+}
+
+type t = {
+  cap : int;
+  shards : shard array;
+  mutable spills : int;
+  mutable rejects : int;
+  mutable recycles : int;
+}
+
+let create ~shards ~cap =
+  if shards <= 0 then invalid_arg "Router.create: shards must be positive";
+  if cap <= 0 then invalid_arg "Router.create: cap must be positive";
+  {
+    cap;
+    shards =
+      Array.init shards (fun _ ->
+          { live = 0; pinned = 0; admitted = 0; epoch = 0 });
+    spills = 0;
+    rejects = 0;
+    recycles = 0;
+  }
+
+let shards t = Array.length t.shards
+let cap t = t.cap
+let live t i = t.shards.(i).live
+let pinned t i = t.shards.(i).pinned
+let admitted t i = t.shards.(i).admitted
+let epoch t i = t.shards.(i).epoch
+let occupancy t i = t.shards.(i).live + t.shards.(i).pinned
+let spills t = t.spills
+let rejects t = t.rejects
+let recycles t = t.recycles
+
+(* A shard can admit while it has both a free session seat (occupancy
+   below cap keeps the adaptive point-contention bound at 2·cap − 1) and
+   a free entry slot in the current incarnation. *)
+let admissible t i =
+  occupancy t i < t.cap && t.shards.(i).admitted < t.cap
+
+(* Worn out (entry slots exhausted) but quiescent: no live session, no
+   pinned one.  The pinned condition is a soundness invariant, not an
+   optimisation — a crashed holder never releases, so its name's
+   generation is never incremented, and rebuilding the core would let a
+   fresh session re-acquire the pinned (name, generation) pair. *)
+let needs_recycle t i =
+  let s = t.shards.(i) in
+  s.live = 0 && s.pinned = 0 && s.admitted >= t.cap
+
+let recycled t i =
+  let s = t.shards.(i) in
+  if not (needs_recycle t i) then invalid_arg "Router.recycled: not recyclable";
+  s.admitted <- 0;
+  s.epoch <- s.epoch + 1;
+  t.recycles <- t.recycles + 1
+
+(* Pick-cheapest balancing: least occupancy, then least-worn incarnation,
+   then lowest index — a total order, so routing is deterministic.  A
+   preferred shard is honored while admissible; otherwise the arrival
+   spills ring-wise to the nearest admissible neighbour. *)
+let cheapest t =
+  let best = ref None in
+  Array.iteri
+    (fun i s ->
+      if admissible t i then
+        let key = (s.live + s.pinned, s.admitted, i) in
+        match !best with
+        | Some (bkey, _) when compare bkey key <= 0 -> ()
+        | _ -> best := Some (key, i))
+    t.shards;
+  Option.map snd !best
+
+let route ?prefer t =
+  match prefer with
+  | Some p when p >= 0 && p < Array.length t.shards && admissible t p ->
+      Some p
+  | Some p when p >= 0 && p < Array.length t.shards ->
+      let n = Array.length t.shards in
+      let rec probe d =
+        if d >= n then None
+        else
+          let i = (p + d) mod n in
+          if admissible t i then Some i else probe (d + 1)
+      in
+      (match probe 1 with
+      | Some i ->
+          t.spills <- t.spills + 1;
+          Some i
+      | None ->
+          t.rejects <- t.rejects + 1;
+          None)
+  | Some p -> invalid_arg (Printf.sprintf "Router.route: bad shard %d" p)
+  | None -> (
+      match cheapest t with
+      | Some i -> Some i
+      | None ->
+          t.rejects <- t.rejects + 1;
+          None)
+
+let admit t i =
+  if not (admissible t i) then invalid_arg "Router.admit: shard not admissible";
+  t.shards.(i).live <- t.shards.(i).live + 1;
+  t.shards.(i).admitted <- t.shards.(i).admitted + 1
+
+let depart t i = t.shards.(i).live <- t.shards.(i).live - 1
+
+let crash t i =
+  t.shards.(i).live <- t.shards.(i).live - 1;
+  t.shards.(i).pinned <- t.shards.(i).pinned + 1

@@ -1,0 +1,66 @@
+(** Shard router: deterministic placement of arriving sessions.
+
+    Pure bookkeeping — no registers, no processes — so every routing
+    decision is a function of the admission history alone (DESIGN.md §14
+    lists the invariants).  The namespace is partitioned statically:
+    shard [i] owns global names [[i·stride, (i+1)·stride)] where
+    [stride = Core.width], so cross-shard exclusivity is structural and
+    only within-shard exclusivity needs the algorithmic argument.
+
+    Invariants:
+    - {e occupancy bound}: [live + pinned <= cap] per shard — admission
+      control is what turns the long-lived core's adaptive bound into a
+      per-shard name interval of width [2·cap − 1];
+    - {e wear bound}: at most [cap] admissions per incarnation (the
+      entry renamer is one-shot);
+    - {e recycle safety}: a shard is recycled only when worn out {e and}
+      quiescent ([live = pinned = 0]) — a pinned (crashed) holder never
+      increments its name's generation, so rebuilding under it could
+      reissue a (name, generation) lease. *)
+
+type t
+
+val create : shards:int -> cap:int -> t
+
+val shards : t -> int
+val cap : t -> int
+val live : t -> int -> int
+val pinned : t -> int -> int
+val admitted : t -> int -> int
+
+val epoch : t -> int -> int
+(** Incarnation counter of the shard's core (bumped by {!recycled}). *)
+
+val occupancy : t -> int -> int
+(** [live + pinned] — the quantity admission control bounds by [cap]. *)
+
+val spills : t -> int
+(** Arrivals whose preferred shard was full and that were rerouted. *)
+
+val rejects : t -> int
+(** Arrivals no shard could admit. *)
+
+val recycles : t -> int
+
+val admissible : t -> int -> bool
+
+val needs_recycle : t -> int -> bool
+(** Worn out (no entry slots left) and quiescent (no live or pinned
+    session) — the caller should rebuild the shard's core (carrying
+    {!Core.generations} forward) and call {!recycled}. *)
+
+val recycled : t -> int -> unit
+(** @raise Invalid_argument if {!needs_recycle} does not hold. *)
+
+val route : ?prefer:int -> t -> int option
+(** The shard an arrival should join: the preferred shard while
+    admissible, else the nearest admissible ring-wise neighbour (counted
+    as a spill); with no preference, the admissible shard with least
+    [(occupancy, admitted, index)].  [None] (a reject) when no shard can
+    admit.  Routing only — the caller still calls {!admit}. *)
+
+val admit : t -> int -> unit
+(** @raise Invalid_argument if the shard is not {!admissible}. *)
+
+val depart : t -> int -> unit
+val crash : t -> int -> unit

@@ -569,3 +569,182 @@ let bench_p7 j =
           "bench-p7: metrics lack an exsel_rename_latency_ns histogram \
            labelled backend=\"native\""
   | _ -> Error "bench-p7: metrics lack a histograms array"
+
+(* ------------------------------------------------------------------ *)
+(* exsel-service/1 (churn campaign report)                             *)
+(* ------------------------------------------------------------------ *)
+
+let service j =
+  let int_field what obj k =
+    match Json.member k obj with
+    | Some (Json.Int i) -> Ok i
+    | _ -> errf "service: %s lacks int %S" what k
+  in
+  let* () =
+    match Json.member "schema" j with
+    | Some (Json.String "exsel-service/1") -> Ok ()
+    | _ -> Error "service: missing schema \"exsel-service/1\""
+  in
+  let* backend =
+    match Json.member "backend" j with
+    | Some (Json.String ("sim" | "native" as b)) -> Ok b
+    | _ -> Error "service: backend must be \"sim\" or \"native\""
+  in
+  let* shards = int_field "document" j "shards" in
+  let* cap = int_field "document" j "cap" in
+  let* () =
+    if shards < 1 || cap < 1 then
+      Error "service: shards and cap must be positive"
+    else Ok ()
+  in
+  let* cells =
+    match Json.member "cells" j with
+    | Some (Json.List cs) when cs <> [] -> Ok cs
+    | Some (Json.List []) -> Error "service: no cells"
+    | _ -> Error "service: missing cells array"
+  in
+  let* total_violations =
+    List.fold_left
+      (fun acc cell ->
+        let* total = acc in
+        let* regime =
+          match Json.member "regime" cell with
+          | Some (Json.String r) when r <> "" -> Ok r
+          | _ -> Error "service: cell lacks a regime"
+        in
+        let* violations =
+          match Json.member "violations" cell with
+          | Some (Json.List vs) -> Ok (List.length vs)
+          | _ -> errf "service: %s cell lacks a violations array" regime
+        in
+        let* ok =
+          match Json.member "ok" cell with
+          | Some (Json.Bool b) -> Ok b
+          | _ -> errf "service: %s cell lacks bool \"ok\"" regime
+        in
+        let* () =
+          if ok <> (violations = 0) then
+            errf "service: %s cell ok=%b with %d violations" regime ok
+              violations
+          else Ok ()
+        in
+        let* acquires = int_field "cell" cell "acquires" in
+        let* releases = int_field "cell" cell "releases" in
+        let* () =
+          if releases > acquires then
+            errf "service: %s cell released %d of %d acquires" regime releases
+              acquires
+          else Ok ()
+        in
+        let* rows =
+          match Json.member "shards" cell with
+          | Some (Json.List rows) -> Ok rows
+          | _ -> errf "service: %s cell lacks a shards array" regime
+        in
+        let* () =
+          if List.length rows <> shards then
+            errf "service: %s cell has %d shard rows for %d shards" regime
+              (List.length rows) shards
+          else Ok ()
+        in
+        let* () =
+          List.fold_left
+            (fun acc row ->
+              let* () = acc in
+              let* occ = int_field "shard row" row "occupancy_max" in
+              let* held = int_field "shard row" row "held_max" in
+              let* admitted = int_field "shard row" row "admitted" in
+              let* epochs = int_field "shard row" row "epochs" in
+              if occ > cap then
+                errf "service: %s shard occupancy_max %d exceeds cap %d" regime
+                  occ cap
+              else if held > occ then
+                errf "service: %s shard held_max %d exceeds occupancy_max %d"
+                  regime held occ
+              else if admitted > cap then
+                errf "service: %s shard admitted %d exceeds cap %d" regime
+                  admitted cap
+              else if epochs < 1 then
+                errf "service: %s shard has %d epochs" regime epochs
+              else Ok ())
+            (Ok ()) rows
+        in
+        Ok (total + violations))
+      (Ok 0) cells
+  in
+  let* () =
+    let* top = int_field "document" j "violations" in
+    if top <> total_violations then
+      errf "service: top-level violations %d, cells carry %d" top
+        total_violations
+    else Ok ()
+  in
+  let* metrics =
+    match Json.member "metrics" j with
+    | Some m -> Ok m
+    | None -> Error "service: document embeds no metrics"
+  in
+  let* () = metrics_doc metrics in
+  let has kind name =
+    match Json.member kind metrics with
+    | Some (Json.List entries) ->
+        List.exists
+          (fun e -> Json.member "name" e = Some (Json.String name))
+          entries
+    | _ -> false
+  in
+  let latency = "exsel_acquire_latency_" ^
+    (match backend with "native" -> "ns" | _ -> "commits")
+  in
+  if not (has "histograms" latency) then
+    errf "service: metrics lack an %s histogram" latency
+  else if not (has "gauges" "exsel_shard_occupancy") then
+    Error "service: metrics lack exsel_shard_occupancy gauges"
+  else Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Service documentation cross-references                              *)
+(* ------------------------------------------------------------------ *)
+
+let service_docs ~design ~experiments ~algorithms ~readme =
+  let require what contents anchors =
+    List.fold_left
+      (fun acc anchor ->
+        let* () = acc in
+        if contains_sub contents anchor then Ok ()
+        else errf "docs: %s lacks %S" what anchor)
+      (Ok ()) anchors
+  in
+  let* () =
+    require "DESIGN.md" design
+      [
+        "## 14.";
+        "generation counter";
+        "shard router";
+        "lib/service";
+        "Router.needs_recycle";
+      ]
+  in
+  let* () =
+    require "EXPERIMENTS.md" experiments
+      [
+        "A service under churn";
+        "exsel_cli service";
+        "--churn";
+        "--shards";
+        "hot-shard";
+        "Perfetto";
+      ]
+  in
+  let* () =
+    require "doc/ALGORITHMS.md" algorithms
+      [
+        "exclusive-holds";
+        "adaptive-bound";
+        "crash-pin";
+        "generation-reuse";
+        "lib/service/core.ml";
+        "test/test_service.ml";
+      ]
+  in
+  require "README.md" readme [ "exsel_service"; "exsel_cli service" ]

@@ -49,3 +49,27 @@ val bench_p7 : Exsel_obs.Json.t -> (unit, string) result
     embedded [exsel-metrics/1] registry (checked with {!metrics_doc})
     carrying an [exsel_rename_latency_ns] histogram labelled
     [backend="native"]. *)
+
+val service : Exsel_obs.Json.t -> (unit, string) result
+(** Validate an [exsel-service/1] churn-campaign report: schema and
+    backend tags; non-empty [cells] whose [ok] flag agrees with the
+    per-cell violation list, with [releases <= acquires] and one shard
+    row per shard obeying the router invariants
+    ([held_max <= occupancy_max <= cap], [admitted <= cap],
+    [epochs >= 1]); a top-level violation count matching the cells; and
+    an embedded [exsel-metrics/1] registry (checked with {!metrics_doc})
+    carrying acquire-latency histograms in the backend's unit and
+    [exsel_shard_occupancy] gauges. *)
+
+val service_docs :
+  design:string ->
+  experiments:string ->
+  algorithms:string ->
+  readme:string ->
+  (unit, string) result
+(** Check the service layer's documentation cross-references: DESIGN.md
+    §14 with its generation-counter and shard-router anchors,
+    EXPERIMENTS.md's "A service under churn" walkthrough, the long-lived
+    claim rows in doc/ALGORITHMS.md, and the README's [exsel_service] /
+    [exsel_cli service] mentions.  Each argument is the file's whole
+    contents. *)

@@ -10,8 +10,8 @@ module V = Exsel_testkit.Validate
 let usage () =
   prerr_endline
     "usage: validate_docs \
-     {events|openmetrics|json SCHEMA|metrics-in-report|native-trace|bench-p7} \
-     FILE\n\
+     {events|openmetrics|json SCHEMA|metrics-in-report|native-trace|bench-p7|service|docs} \
+     FILE|DIR\n\
     \  events             FILE is an exsel-events/1 NDJSON stream\n\
     \  openmetrics        FILE is an OpenMetrics text exposition\n\
     \  json SCHEMA        FILE is a JSON document with the given schema tag\n\
@@ -20,7 +20,12 @@ let usage () =
     \  native-trace       FILE is an exsel-native-trace/1 flight record\n\
     \  bench-p7           FILE is an exsel-bench/1 document whose P7 native\n\
     \                     section has a full domain sweep, fully decided rows\n\
-    \                     and backend=\"native\" latency metrics";
+    \                     and backend=\"native\" latency metrics\n\
+    \  service            FILE is an exsel-service/1 churn-campaign report\n\
+    \  docs               DIR is the repo root; check the service layer's\n\
+    \                     documentation cross-references (DESIGN.md \xc2\xa714,\n\
+    \                     EXPERIMENTS.md churn walkthrough, doc/ALGORITHMS.md\n\
+    \                     claim rows, README)";
   exit 2
 
 let read_file path =
@@ -66,4 +71,13 @@ let () =
   | [ _; "bench-p7"; path ] ->
       let j = parse_json path (read_file path) in
       finish "bench-p7" path (V.bench_p7 j)
+  | [ _; "service"; path ] ->
+      let j = parse_json path (read_file path) in
+      finish "service" path (V.service j)
+  | [ _; "docs"; dir ] ->
+      let read name = read_file (Filename.concat dir name) in
+      finish "docs" dir
+        (V.service_docs ~design:(read "DESIGN.md")
+           ~experiments:(read "EXPERIMENTS.md")
+           ~algorithms:(read "doc/ALGORITHMS.md") ~readme:(read "README.md"))
   | _ -> usage ()
