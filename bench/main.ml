@@ -107,7 +107,7 @@ let run_conformance ~json =
 let usage_text () =
   Printf.sprintf
     "usage: %s [--bechamel | --perf | --conformance] [--json <file>]\n\
-    \       %*s [--baseline <file>] [--only <T1..T9|F1|F2|A1..A3|X1..X3|P1..P8>]\n\
+    \       %*s [--baseline <file>] [--only <T1..T9|F1|F2|A1..A3|X1..X3|P1..P9>]\n\
     \       %*s [--p7-max-n <n>] [--warmup <k>]\n\n\
      modes (mutually exclusive):\n\
     \  (default)          print the experiment tables\n\
@@ -122,7 +122,7 @@ let usage_text () =
     \  --baseline <file>  with --perf: fail (exit 1) if any metric drops\n\
     \                     below half its reference value in <file>\n\
     \  --only <ID>        restrict to one experiment (or, with --perf, one\n\
-    \                     perf suite P1..P8).  IDs are case-insensitive:\n\
+    \                     perf suite P1..P9).  IDs are case-insensitive:\n\
     \                     they are normalized to upper case before\n\
     \                     matching, so `--only t3` selects T3\n\
     \  --p7-max-n <n>     with --perf: cap the native-suite sweep at n\n\

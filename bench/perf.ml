@@ -630,9 +630,112 @@ let p8_service_churn () =
     List.rev !metrics,
     merged )
 
+(* --- P9: open-loop workload latency tails ------------------------------- *)
+
+(* One open-loop workload cell per (backend, arrival pattern) on a fixed
+   small service (2 shards, cap 3, 8 rounds, rate 3, hold 2, seed 1),
+   claim-checked by the campaign itself.  The baseline-gated metrics are
+   the offered/served counts: arrivals are drawn from the seeded
+   integer-only arrival process and acquires from the seeded session
+   plans — never from slots, names or timing — so both are
+   machine-independent on both backends (a drop means the arrival
+   process or the open-loop wiring changed).  Acquire latency quantiles
+   (commit clock on sim, wall ns on native) show the tail cost of
+   clumped arrivals and are reported but not gated. *)
+let p9_open_loop () =
+  let module Churn = Exsel_service.Churn in
+  let module Workload = Exsel_service.Workload in
+  let module M = Exsel_obs.Metrics in
+  let merged = M.create () in
+  let metrics = ref [] in
+  let base =
+    {
+      Workload.default with
+      Workload.shards = 2;
+      cap = 3;
+      rounds = 8;
+      rate = 3;
+      hold = 2;
+      seeds = [ 1 ];
+    }
+  in
+  let rows =
+    List.concat_map
+      (fun backend ->
+        let bname = Churn.backend_name backend in
+        List.map
+          (fun pattern ->
+            let pid = Workload.pattern_id pattern in
+            let cfg =
+              { base with Workload.backend; patterns = [ pattern ] }
+            in
+            let report = Workload.run cfg in
+            let c =
+              match report.Workload.wr_cells with
+              | [ c ] -> c
+              | _ -> assert false
+            in
+            (match c.Workload.w_violations with
+            | [] -> ()
+            | v :: _ ->
+                Printf.eprintf "P9: %s %s violates a service claim: %s\n"
+                  bname pid v;
+                exit 1);
+            M.merge ~into:merged report.Workload.wr_metrics;
+            metrics :=
+              (Printf.sprintf "p9_%s_acquires_%s" bname pid,
+                float_of_int c.Workload.w_acquires)
+              :: (Printf.sprintf "p9_%s_arrivals_%s" bname pid,
+                   float_of_int c.Workload.w_arrivals)
+              :: !metrics;
+            let unit =
+              match backend with Churn.Sim -> "commits" | _ -> "ns"
+            in
+            let h =
+              M.histogram c.Workload.w_metrics
+                ("exsel_workload_acquire_latency_" ^ unit)
+                ~labels:[ ("pattern", pid); ("backend", bname) ]
+            in
+            [
+              bname;
+              pid;
+              Table.cell_int c.Workload.w_arrivals;
+              Table.cell_int c.Workload.w_admitted;
+              Table.cell_int c.Workload.w_rejected;
+              Table.cell_int c.Workload.w_acquires;
+              Table.cell_int c.Workload.w_releases;
+              Table.cell_int (M.hquantile h 0.50);
+              Table.cell_int (M.hquantile h 0.99);
+              Table.cell_int (M.hquantile h 0.999);
+            ])
+          Workload.all_patterns)
+      [ Churn.Sim; Churn.Native { domains = 2 } ]
+  in
+  ( Table.make ~id:"P9"
+      ~title:"perf: open-loop workload latency tails (sim + native)"
+      ~header:
+        [
+          "backend"; "pattern"; "arrivals"; "admitted"; "rejected"; "acquires";
+          "releases"; "acq p50"; "acq p99"; "acq p999";
+        ]
+      ~notes:
+        [
+          "One exsel_service open-loop workload cell per (backend,";
+          "pattern): 2 shards, cap 3, 8 rounds, rate 3, hold 2, seed 1,";
+          "claim-checked in-run.  Arrivals are drawn from the seeded";
+          "integer-only arrival process and acquires from the seeded";
+          "session plans, never from slots/names/timing, so both counts";
+          "are machine-independent on both backends and baseline-gated.";
+          "Acquire latency quantiles are in the backend's unit (commits";
+          "on sim, wall ns on native) and tracked but not gated.";
+        ]
+      rows,
+    List.rev !metrics,
+    merged )
+
 (* --- driver ------------------------------------------------------------ *)
 
-let suite_ids = [ "P1"; "P2"; "P3"; "P4"; "P5"; "P6"; "P7"; "P8" ]
+let suite_ids = [ "P1"; "P2"; "P3"; "P4"; "P5"; "P6"; "P7"; "P8"; "P9" ]
 
 let run ~json ~baseline ~only ~p7_max_n ~warmup =
   let registry = Exsel_obs.Metrics.create () in
@@ -652,6 +755,7 @@ let run ~json ~baseline ~only ~p7_max_n ~warmup =
       ( "P7",
         with_registry (fun () -> p7_native_rename ?max_n:p7_max_n ?warmup ()) );
       ("P8", with_registry p8_service_churn);
+      ("P9", with_registry p9_open_loop);
     ]
   in
   let selected =

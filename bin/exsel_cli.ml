@@ -910,8 +910,9 @@ module Conf_adapter = Exsel_conformance.Adapter
 module Conf_regime = Exsel_conformance.Regime
 module Campaign = Exsel_conformance.Campaign
 
-let run_conformance algos regimes seeds_spec k steps_multiple max_commits
-    no_shrink jobs json chrome metrics_out events_file progress us_per_commit =
+let run_conformance algos regimes adversary seeds_spec k steps_multiple
+    max_commits no_shrink jobs json chrome metrics_out events_file progress
+    us_per_commit =
   let algos =
     match algos with
     | [] -> Conf_adapter.honest
@@ -926,19 +927,31 @@ let run_conformance algos regimes seeds_spec k steps_multiple max_commits
                 exit 2)
           ids
   in
+  let named_regimes =
+    List.map
+      (fun id ->
+        match Conf_regime.find id with
+        | Some r -> r
+        | None ->
+            Printf.eprintf "unknown regime %S; valid ids: %s\n" id
+              (String.concat " " (Conf_regime.ids ()));
+            exit 2)
+      regimes
+  in
+  let dsl_regimes =
+    List.map
+      (fun expr ->
+        match Conf_regime.of_string expr with
+        | Ok r -> r
+        | Error msg ->
+            Printf.eprintf "--adversary %S: %s\n" expr msg;
+            exit 2)
+      adversary
+  in
   let regimes =
-    match regimes with
+    match named_regimes @ dsl_regimes with
     | [] -> Conf_regime.all
-    | ids ->
-        List.map
-          (fun id ->
-            match Conf_regime.find id with
-            | Some r -> r
-            | None ->
-                Printf.eprintf "unknown regime %S; valid ids: %s\n" id
-                  (String.concat " " (Conf_regime.ids ()));
-                exit 2)
-          ids
+    | rs -> rs
   in
   let seeds =
     match Campaign.seeds_of_string seeds_spec with
@@ -1008,9 +1021,18 @@ let run_conformance algos regimes seeds_spec k steps_multiple max_commits
 module Service_core = Exsel_service.Core
 module Churn = Exsel_service.Churn
 
+let parse_adversary_opt = function
+  | None -> None
+  | Some expr -> (
+      match Exsel_adversary.Dsl.parse expr with
+      | Ok e -> Some e
+      | Error msg ->
+          Printf.eprintf "--adversary %S: %s\n" expr msg;
+          exit 2)
+
 let run_service backend domains shards cap sessions rounds entry churn
-    seeds_spec max_commits jobs json chrome metrics_out events_file progress
-    us_per_commit =
+    seeds_spec max_commits adversary jobs json chrome metrics_out events_file
+    progress us_per_commit =
   let backend =
     match backend with
     | "sim" ->
@@ -1060,6 +1082,7 @@ let run_service backend domains shards cap sessions rounds entry churn
         Printf.eprintf "--seeds %s: %s\n" seeds_spec msg;
         exit 2
   in
+  let adversary = parse_adversary_opt adversary in
   let cfg =
     {
       Churn.shards;
@@ -1071,6 +1094,7 @@ let run_service backend domains shards cap sessions rounds entry churn
       seeds;
       backend;
       max_commits;
+      adversary;
     }
   in
   (match Churn.validate cfg with
@@ -1119,6 +1143,128 @@ let run_service backend domains shards cap sessions rounds entry churn
         (Churn.regime_id regime)
   | None -> ());
   if report.Churn.r_violations > 0 then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* workload subcommand                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Workload = Exsel_service.Workload
+
+let run_workload backend domains shards cap entry rounds rate burst_every hold
+    patterns seeds_spec max_commits adversary jobs json chrome metrics_out
+    events_file progress us_per_commit =
+  let backend =
+    match backend with
+    | "sim" ->
+        (match domains with
+        | Some _ ->
+            Printf.eprintf "--domains only applies to --backend native\n";
+            exit 2
+        | None -> ());
+        Churn.Sim
+    | "native" -> Churn.Native { domains = Option.value domains ~default:4 }
+    | other ->
+        Printf.eprintf "unknown backend %S; valid: sim, native\n" other;
+        exit 2
+  in
+  (match (backend, chrome) with
+  | Churn.Native _, Some _ ->
+      Printf.eprintf
+        "--chrome only applies to --backend sim (traces are commit-clock)\n";
+      exit 2
+  | _ -> ());
+  let entry =
+    match Service_core.entry_algo_of_string entry with
+    | Some e -> e
+    | None ->
+        Printf.eprintf "unknown entry renamer %S; valid: efficient, adaptive\n"
+          entry;
+        exit 2
+  in
+  let patterns =
+    match patterns with
+    | [] -> Workload.all_patterns
+    | ids ->
+        List.map
+          (fun id ->
+            match Workload.pattern_of_string id with
+            | Some p -> p
+            | None ->
+                Printf.eprintf "unknown arrival pattern %S; valid ids: %s\n" id
+                  (String.concat " " (Workload.pattern_ids ()));
+                exit 2)
+          ids
+  in
+  let seeds =
+    match Campaign.seeds_of_string seeds_spec with
+    | Ok seeds -> seeds
+    | Error msg ->
+        Printf.eprintf "--seeds %s: %s\n" seeds_spec msg;
+        exit 2
+  in
+  let adversary = parse_adversary_opt adversary in
+  let cfg =
+    {
+      Workload.shards;
+      cap;
+      entry;
+      rounds;
+      rate;
+      burst_every;
+      hold;
+      patterns;
+      seeds;
+      backend;
+      max_commits;
+      adversary;
+    }
+  in
+  (match Workload.validate cfg with
+  | Ok () -> ()
+  | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2);
+  let jobs = resolve_jobs jobs in
+  check_us_per_commit us_per_commit;
+  let metrics_oc = Option.map open_out_or_exit2 metrics_out in
+  let events_oc = Option.map open_out_or_exit2 events_file in
+  let em = make_emitter ~events_oc ~progress in
+  emit em (Workload.start_event cfg);
+  let report =
+    Workload.run ~jobs ~on_event:(fun ev -> emit em (Workload.event_json ev)) cfg
+  in
+  emit em (Workload.done_event report);
+  Option.iter close_out events_oc;
+  Format.printf "%a" Workload.pp_summary report;
+  (match (metrics_oc, metrics_out) with
+  | Some oc, Some path -> write_openmetrics oc path report.Workload.wr_metrics
+  | _ -> ());
+  (match json with
+  | Some path ->
+      Trace_export.write_file path (Workload.to_json report);
+      Printf.printf "wrote %s\n" path
+  | None -> ());
+  (match chrome with
+  | Some path ->
+      (* re-run one cell with traces attached — prefer the bursty
+         pattern (the clumped arrivals are what the Perfetto view is
+         for) — and export the busiest shard's commit-clock track *)
+      let pattern =
+        if List.mem Workload.Bursty patterns then Workload.Bursty
+        else List.hd patterns
+      in
+      let traces = Workload.shard_traces cfg pattern ~seed:(List.hd seeds) in
+      let shard, _, events =
+        List.fold_left
+          (fun ((_, best, _) as acc) ((_, commits, _) as cand) ->
+            if commits > best then cand else acc)
+          (List.hd traces) (List.tl traces)
+      in
+      Trace_export.write_file path (Trace_export.chrome ~us_per_commit events);
+      Printf.printf "wrote %s (shard %d, %s pattern)\n" path shard
+        (Workload.pattern_id pattern)
+  | None -> ());
+  if report.Workload.wr_violations > 0 then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* cmdliner wiring                                                     *)
@@ -1371,6 +1517,19 @@ let conformance_cmd =
       & info [ "max-commits" ] ~docv:"C"
           ~doc:"Per-run liveness budget (exhausting it is a violation).")
   in
+  let adversary =
+    Arg.(
+      value & opt_all string []
+      & info [ "adversary" ] ~docv:"EXPR"
+          ~doc:
+            "Campaign under an adversary DSL term (repeatable), e.g. \
+             $(b,crash(half, budget(1, uniform))) or $(b,phase(40, lockstep) \
+             >> freeze([0,1], 10..60, uniform)).  Terms: uniform, lockstep, \
+             first, halt, crash(V, E), crashw(V, E), freeze(V, E), freeze(V, \
+             LO..HI, E), cap(N, E), budget(B, E), phase(N, E) >> E'.  \
+             Victims V: half, or an explicit pid list [0,2,5].  Without \
+             --regime, only the given terms run.")
+  in
   let no_shrink =
     Arg.(
       value & flag
@@ -1405,9 +1564,9 @@ let conformance_cmd =
   in
   Cmd.v (Cmd.info "conformance" ~doc)
     Term.(
-      const run_conformance $ algos $ regimes $ seeds $ k $ steps_multiple
-      $ max_commits $ no_shrink $ jobs $ json $ chrome $ metrics_out_t
-      $ events_t $ progress_t $ us_per_commit_t)
+      const run_conformance $ algos $ regimes $ adversary $ seeds $ k
+      $ steps_multiple $ max_commits $ no_shrink $ jobs $ json $ chrome
+      $ metrics_out_t $ events_t $ progress_t $ us_per_commit_t)
 
 let service_cmd =
   let doc =
@@ -1490,11 +1649,127 @@ let service_cmd =
           ~doc:"Write the full report as one exsel-service/1 document to \
                 $(docv).")
   in
+  let adversary =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "adversary" ] ~docv:"EXPR"
+          ~doc:
+            "Replace the uniform within-shard simulator scheduler with a \
+             crash-free adversary DSL term, e.g. $(b,cap(2, lockstep)) or \
+             $(b,budget(1, uniform)) (sim backend only; crash decisions are \
+             rejected — the churn regime owns the session ledger).")
+  in
   Cmd.v (Cmd.info "service" ~doc)
     Term.(
       const run_service $ backend_t $ domains_t $ shards $ cap $ sessions
-      $ rounds $ entry $ churn $ seeds $ max_commits $ jobs $ json $ chrome_t
-      $ metrics_out_t $ events_t $ progress_t $ us_per_commit_t)
+      $ rounds $ entry $ churn $ seeds $ max_commits $ adversary $ jobs $ json
+      $ chrome_t $ metrics_out_t $ events_t $ progress_t $ us_per_commit_t)
+
+let workload_cmd =
+  let doc =
+    "drive open-loop seeded traffic at the service and measure latency tails"
+  in
+  let shards =
+    Arg.(
+      value & opt int 2
+      & info [ "shards" ] ~docv:"S" ~doc:"Independent service shards.")
+  in
+  let cap =
+    Arg.(
+      value & opt int 4
+      & info [ "cap" ] ~docv:"K"
+          ~doc:
+            "Per-shard session capacity; arrivals beyond the service's total \
+             room are rejected open-loop (they never retry).")
+  in
+  let entry =
+    Arg.(
+      value & opt string "efficient"
+      & info [ "entry" ] ~docv:"ALGO"
+          ~doc:"One-shot entry renamer: $(b,efficient) or $(b,adaptive).")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 8
+      & info [ "rounds" ] ~docv:"R" ~doc:"Arrival rounds per campaign cell.")
+  in
+  let rate =
+    Arg.(
+      value & opt int 3
+      & info [ "rate" ] ~docv:"L"
+          ~doc:"Mean arrivals per round (every pattern has this long-run mean).")
+  in
+  let burst_every =
+    Arg.(
+      value & opt int 4
+      & info [ "burst-every" ] ~docv:"B"
+          ~doc:
+            "Bursty pattern: a burst of rate\xc2\xb7$(docv) arrivals every \
+             $(docv) rounds, nothing in between.")
+  in
+  let hold =
+    Arg.(
+      value & opt int 2
+      & info [ "hold" ] ~docv:"H"
+          ~doc:"Mean rounds a session holds its name before releasing.")
+  in
+  let patterns =
+    Arg.(
+      value & opt_all string []
+      & info [ "pattern" ] ~docv:"ID"
+          ~doc:
+            "Arrival pattern to campaign under (repeatable; default: all).  \
+             Ids: poisson, bursty, steady.")
+  in
+  let seeds =
+    Arg.(
+      value & opt string "3"
+      & info [ "seeds" ] ~docv:"N|LIST"
+          ~doc:
+            "Seeds per pattern: a count (campaigns run seeds 1..N) or an \
+             explicit comma-separated list (e.g. 3,7,11).")
+  in
+  let max_commits =
+    Arg.(
+      value & opt int 200_000
+      & info [ "max-commits" ] ~docv:"C"
+          ~doc:
+            "Per-round liveness budget on the simulator (exhausting it is a \
+             violation).")
+  in
+  let adversary =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "adversary" ] ~docv:"EXPR"
+          ~doc:
+            "Replace the uniform within-shard simulator scheduler with a \
+             crash-free adversary DSL term, e.g. $(b,cap(2, lockstep)) or \
+             $(b,budget(1, uniform)) (sim backend only).")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Shard the pattern\xc3\x97seed matrix across $(docv) domains (0 = \
+             one per core).  The report is byte-identical to -j 1.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the full report as one exsel-workload/1 document to \
+                $(docv).")
+  in
+  Cmd.v (Cmd.info "workload" ~doc)
+    Term.(
+      const run_workload $ backend_t $ domains_t $ shards $ cap $ entry
+      $ rounds $ rate $ burst_every $ hold $ patterns $ seeds $ max_commits
+      $ adversary $ jobs $ json $ chrome_t $ metrics_out_t $ events_t
+      $ progress_t $ us_per_commit_t)
 
 let experiments_cmd =
   let doc = "regenerate the paper-reproduction tables and figures" in
@@ -1528,5 +1803,6 @@ let () =
             explore_cmd;
             conformance_cmd;
             service_cmd;
+            workload_cmd;
             experiments_cmd;
           ]))

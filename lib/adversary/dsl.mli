@@ -1,0 +1,146 @@
+(** A small composable adversary language for scheduling experiments.
+
+    The paper's lower-bound constructions are adversary arguments:
+    schedulers that freeze victims at chosen instants, crash them at
+    chosen commit points, or starve them behind contention.  The five
+    conformance regimes of {!Exsel_conformance.Regime} started life as
+    hard-coded closures of exactly that shape; this module generalizes
+    them into an expression language so campaigns (and the CLI, via
+    [--adversary EXPR]) can compose new adversaries without new code.
+
+    {2 Grammar}
+
+    {v
+    expr    := term | phase(N, expr) | phase(N, expr) >> expr
+    term    := uniform | lockstep | first | halt
+             | cap(N, expr)               interleaving cap
+             | budget(N, expr)            write-contention budget
+             | crash(victims, expr)       seeded commit-point crash plan
+             | crashw(victims, expr)      crash on first pending write
+             | freeze(victims, expr)      legacy window: 4+k/2 .. +32k
+             | freeze(victims, A..B, expr)
+             | ( expr )
+    victims := half | half+N | [p0,p1,...]
+    v}
+
+    {2 Semantics}
+
+    A term denotes a {!driver}: one scheduling decision per call, over
+    the processes a surrounding combinator has not excluded.
+
+    - [uniform] — one seeded draw, uniform over the eligible runnable
+      processes (the historical "random" regime).
+    - [lockstep] — uniform over the {e least-stepped} eligible runnable
+      processes: maximal contention.
+    - [first] — deterministically the lowest-pid eligible process.
+    - [halt] — relinquish immediately (the runner's completion phase
+      finishes the execution in pid order).
+    - [crash(v, e)] — victims crash at seeded commit points (the i-th
+      victim's point is drawn from a [4·k·(i+1)]-wide window); between
+      crashes, [e] schedules.  Victims already decided or crashed are
+      skipped, never issued a crash.
+    - [crashw(v, e)] — victims crash at their first pending write.
+    - [freeze(v, A..B, e)] — victims are ineligible while the commit
+      clock is in [A, B); if at some decision {e every} runnable process
+      is frozen, the window thaws permanently (liveness stays
+      checkable).
+    - [cap(c, e)] — interleaving cap: a process that [e] has committed
+      [c] times in a row becomes ineligible until another process
+      commits.  If that leaves nothing eligible the cap relaxes rather
+      than stall.
+    - [budget(b, e)] — write-contention budget, after Alistarh,
+      Gelashvili & Nadiradze: the adversary may not let more than [b]
+      writes stay concurrently pending on any one register.  Whenever
+      some register has more than [b] runnable pending writers, the
+      adversary is forced to drain one (the lowest-pid writer to the
+      most-contended register) before [e] regains control.
+    - [phase(n, e1) >> e2] — [e1] makes the first [n] decisions (or
+      relinquishes early), then [e2] takes over for good.
+
+    Victim sets: [half] is the seeded ⌈k/2⌉-subset of [\[0, k)] the
+    legacy regimes used; [half+N] salts the selection seed by [+N];
+    [[p0,p1,...]] names pids explicitly (out-of-range pids are ignored).
+
+    {2 Legacy equivalence}
+
+    Each of the five conformance regimes is one closed term, and the
+    compiled driver makes {e draw-for-draw identical} RNG requests, so
+    seeded schedules — and whole campaign reports — are byte-identical
+    to the historical closures:
+
+    {v
+    random          uniform
+    crash-half      crash(half, uniform)
+    crash-on-write  crashw(half, uniform)
+    freeze          freeze(half+2, uniform)
+    lockstep        lockstep
+    v}
+
+    Compiled terms draw from {!Exsel_sim.Rng.create} (V1) streams at the
+    legacy seeds; only combinators with no legacy counterpart introduce
+    new streams. *)
+
+module Runtime := Exsel_sim.Runtime
+
+(** {2 Abstract syntax} *)
+
+type victims =
+  | Half of int  (** seeded ⌈k/2⌉ subset of [\[0, k)]; the int salts the seed *)
+  | Pids of int list  (** explicit pids; out-of-range entries are ignored *)
+
+type window = Legacy | Window of int * int  (** freeze window [\[A, B)] *)
+
+type expr =
+  | Uniform
+  | Lockstep
+  | First
+  | Halt
+  | Crash_points of victims * expr
+  | Crash_on_write of victims * expr
+  | Freeze of victims * window * expr
+  | Cap of int * expr
+  | Budget of int * expr
+  | Seq of int * expr * expr  (** [phase(n, e1) >> e2] *)
+
+(** {2 The five legacy regimes as terms} *)
+
+val legacy_random : expr
+val legacy_crash_half : expr
+val legacy_crash_on_write : expr
+val legacy_freeze : expr
+val legacy_lockstep : expr
+
+(** {2 Text form} *)
+
+val to_string : expr -> string
+(** Canonical rendering in the concrete grammar;
+    [parse (to_string e) = Ok e]. *)
+
+val parse : string -> (expr, string) result
+(** Parse the concrete grammar (whitespace-insensitive).  Rejects
+    non-positive [cap]/[budget]/[phase] arguments, inverted freeze
+    windows and negative pids with a positioned message. *)
+
+val crash_free : expr -> bool
+(** No [crash]/[crashw] combinator anywhere in the term — required of
+    adversaries used for service/workload scheduling, where a crash
+    decision would bypass the session ledger. *)
+
+(** {2 Compilation} *)
+
+type decision = Commit of Runtime.proc | Crash of Runtime.proc
+
+type driver = Runtime.t -> decision option
+(** One decision per call; [None] relinquishes to the caller's
+    completion phase.  Mirrors {!Exsel_conformance.Runner.driver}. *)
+
+val compile : expr -> seed:int -> k:int -> driver
+(** [compile e ~seed ~k] instantiates fresh per-execution state
+    (crash plans, freeze windows, cap counters) and returns the driver.
+    [k] scales victim selection, crash-point windows and the legacy
+    freeze window exactly as the historical regimes did.
+    @raise Invalid_argument on an inverted explicit freeze window. *)
+
+val pick_victims : seed:int -> k:int -> int list
+(** The seeded ⌈k/2⌉ victim subset of [\[0, k)] shared by every
+    crash/freeze regime since PR 4 (exposed for tests). *)

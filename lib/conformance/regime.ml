@@ -1,5 +1,11 @@
-module Runtime = Exsel_sim.Runtime
-module Rng = Exsel_sim.Rng
+(* The five fault regimes, each one a closed term of the adversary DSL
+   (lib/adversary).  Until PR 10 these were hard-coded closures; the DSL
+   terms compile to drivers making draw-for-draw identical RNG requests,
+   so seeded schedules — and whole campaign reports — are byte-identical
+   to the historical implementations (DESIGN.md §15 carries the
+   equivalence table, test/test_adversary.ml pins it). *)
+
+module Dsl = Exsel_adversary.Dsl
 
 type t = {
   id : string;
@@ -7,128 +13,55 @@ type t = {
   make : seed:int -> k:int -> Runner.driver;
 }
 
-let random_commit rng rt =
-  let n = Runtime.num_runnable rt in
-  if n = 0 then None
-  else Some (Runner.Commit (Runtime.nth_runnable rt (Rng.int rng n)))
+let lift_decision = function
+  | Dsl.Commit p -> Runner.Commit p
+  | Dsl.Crash p -> Runner.Crash p
 
-(* ⌈k/2⌉ distinct victim pids, uniform over [0, k). *)
-let pick_victims ~seed ~k =
-  let a = Array.init k Fun.id in
-  Rng.shuffle (Rng.create ~seed:(seed lxor 0x9e3779b9)) a;
-  Array.to_list (Array.sub a 0 ((k + 1) / 2))
+let of_expr ~id ~describe expr =
+  {
+    id;
+    describe;
+    make =
+      (fun ~seed ~k ->
+        let driver = Dsl.compile expr ~seed ~k in
+        fun rt -> Option.map lift_decision (driver rt));
+  }
+
+let of_string s =
+  match Dsl.parse s with
+  | Error _ as e -> e
+  | Ok expr ->
+      let canonical = Dsl.to_string expr in
+      Ok
+        (of_expr
+           ~id:("dsl:" ^ canonical)
+           ~describe:("adversary DSL term " ^ canonical)
+           expr)
 
 let random =
-  {
-    id = "random";
-    describe = "seeded uniformly-random scheduling, no crashes";
-    make =
-      (fun ~seed ~k:_ ->
-        let rng = Rng.create ~seed in
-        fun rt -> random_commit rng rt);
-  }
+  of_expr ~id:"random"
+    ~describe:"seeded uniformly-random scheduling, no crashes"
+    Dsl.legacy_random
 
 let crash_half =
-  {
-    id = "crash-half";
-    describe = "ceil(k/2) seeded victims crash at seeded commit points";
-    make =
-      (fun ~seed ~k ->
-        let rng = Rng.create ~seed in
-        let plan_rng = Rng.create ~seed:(seed + 1) in
-        let remaining =
-          (* the i-th victim's crash point is drawn from a 4k-wide window
-             scaled by i+1, so short executions still see crashes while
-             long ones get mid-run points too *)
-          ref
-            (List.mapi
-               (fun i pid -> (pid, Rng.int plan_rng (4 * k * (i + 1))))
-               (pick_victims ~seed ~k))
-        in
-        fun rt ->
-          match
-            List.find_opt (fun (_, at) -> Runtime.commits rt >= at) !remaining
-          with
-          | Some ((pid, _) as entry) ->
-              remaining := List.filter (fun e -> e != entry) !remaining;
-              Some (Runner.Crash (Runtime.proc_by_pid rt pid))
-          | None -> random_commit rng rt);
-  }
+  of_expr ~id:"crash-half"
+    ~describe:"ceil(k/2) seeded victims crash at seeded commit points"
+    Dsl.legacy_crash_half
 
 let crash_on_write =
-  {
-    id = "crash-on-write";
-    describe = "ceil(k/2) seeded victims crash on their first pending write";
-    make =
-      (fun ~seed ~k ->
-        let rng = Rng.create ~seed in
-        let remaining = ref (pick_victims ~seed ~k) in
-        let write_pending p =
-          Runtime.status p = Runtime.Runnable
-          && match Runtime.pending p with
-             | Some (Runtime.Write _) -> true
-             | Some (Runtime.Read _) | None -> false
-        in
-        fun rt ->
-          match
-            List.find_opt
-              (fun pid -> write_pending (Runtime.proc_by_pid rt pid))
-              !remaining
-          with
-          | Some pid ->
-              remaining := List.filter (fun x -> x <> pid) !remaining;
-              Some (Runner.Crash (Runtime.proc_by_pid rt pid))
-          | None -> random_commit rng rt);
-  }
+  of_expr ~id:"crash-on-write"
+    ~describe:"ceil(k/2) seeded victims crash on their first pending write"
+    Dsl.legacy_crash_on_write
 
 let freeze =
-  {
-    id = "freeze";
-    describe = "ceil(k/2) victims frozen for a commit window, then thawed";
-    make =
-      (fun ~seed ~k ->
-        let rng = Rng.create ~seed in
-        let victims = pick_victims ~seed:(seed + 2) ~k in
-        let freeze_at = 4 + (k / 2) in
-        let policy =
-          Exsel_lowerbound.Freeze.freeze_window ~rng ~victims ~freeze_at
-            ~thaw_at:(freeze_at + (32 * k))
-        in
-        fun rt ->
-          match policy rt with
-          | Some p -> Some (Runner.Commit p)
-          | None -> None);
-  }
+  of_expr ~id:"freeze"
+    ~describe:"ceil(k/2) victims frozen for a commit window, then thawed"
+    Dsl.legacy_freeze
 
 let lockstep =
-  {
-    id = "lockstep";
-    describe = "uniform among least-stepped runnable processes (max contention)";
-    make =
-      (fun ~seed ~k:_ ->
-        let rng = Rng.create ~seed in
-        fun rt ->
-          if Runtime.num_runnable rt = 0 then None
-          else begin
-            let min_steps = ref max_int in
-            Runtime.iter_runnable rt (fun p ->
-                if Runtime.steps p < !min_steps then min_steps := Runtime.steps p);
-            let count = ref 0 in
-            Runtime.iter_runnable rt (fun p ->
-                if Runtime.steps p = !min_steps then incr count);
-            let j = Rng.int rng !count in
-            let chosen = ref None in
-            let i = ref 0 in
-            Runtime.iter_runnable rt (fun p ->
-                if Runtime.steps p = !min_steps then begin
-                  if !i = j then chosen := Some p;
-                  incr i
-                end);
-            match !chosen with
-            | Some p -> Some (Runner.Commit p)
-            | None -> None
-          end);
-  }
+  of_expr ~id:"lockstep"
+    ~describe:"uniform among least-stepped runnable processes (max contention)"
+    Dsl.legacy_lockstep
 
 let all = [ random; crash_half; crash_on_write; freeze; lockstep ]
 

@@ -1,24 +1,29 @@
 (** Fault regimes: seeded adversarial environments for campaign cells.
 
     A regime turns a seed and the contention [k] into a {!Runner.driver}.
-    Five regimes ship, covering the fault classes the paper's claims are
-    stated against:
+    Since PR 10 every regime is a closed term of the adversary DSL
+    ({!Exsel_adversary.Dsl}), compiled on demand; the five stock terms
+    cover the fault classes the paper's claims are stated against:
 
-    - ["random"] — seeded uniformly-random scheduling, no crashes (the
-      baseline asynchronous adversary);
-    - ["crash-half"] — ⌈k/2⌉ seeded victims crash at seeded global commit
-      points, random scheduling otherwise;
-    - ["crash-on-write"] — ⌈k/2⌉ seeded victims crash the first time
-      their pending operation is a write, so half-performed announcements
-      (a posted door value, a partial snapshot update) are left behind;
-    - ["freeze"] — an adversarial freeze/wake window built on
-      {!Exsel_lowerbound.Freeze.freeze_window}: ⌈k/2⌉ victims are frozen
+    - ["random"] = [uniform] — seeded uniformly-random scheduling, no
+      crashes (the baseline asynchronous adversary);
+    - ["crash-half"] = [crash(half, uniform)] — ⌈k/2⌉ seeded victims
+      crash at seeded global commit points, random scheduling otherwise;
+    - ["crash-on-write"] = [crashw(half, uniform)] — ⌈k/2⌉ seeded
+      victims crash the first time their pending operation is a write,
+      so half-performed announcements (a posted door value, a partial
+      snapshot update) are left behind;
+    - ["freeze"] = [freeze(half+2, uniform)] — ⌈k/2⌉ victims are frozen
       mid-protocol for a window of commits while the rest run, then
       thawed (no crashes — tests claims under maximal staleness);
-    - ["lockstep"] — uniform choice among the runnable processes with the
-      {e fewest} local steps, keeping all [k] contenders inside the same
-      protocol stage — the highest-contention schedule a uniform
-      adversary produces.
+    - ["lockstep"] = [lockstep] — uniform choice among the runnable
+      processes with the {e fewest} local steps, keeping all [k]
+      contenders inside the same protocol stage — the highest-contention
+      schedule a uniform adversary produces.
+
+    The DSL terms compile to drivers making draw-for-draw identical RNG
+    requests to the pre-DSL closures, so seeded schedules and campaign
+    reports are byte-identical across the rewrite.
 
     Every driver is deterministic in [(seed, k)]; replaying a recorded
     schedule with {!Exsel_sim.Explore.replay} reproduces the execution
@@ -38,3 +43,11 @@ val find : string -> t option
 
 val ids : unit -> string list
 (** All regime ids, in {!all} order. *)
+
+val of_expr : id:string -> describe:string -> Exsel_adversary.Dsl.expr -> t
+(** Wrap a DSL term as a regime: [make] compiles the term with fresh
+    per-execution state for every [(seed, k)]. *)
+
+val of_string : string -> (t, string) result
+(** Parse a concrete-grammar adversary expression (CLI [--adversary])
+    into a regime whose id is ["dsl:" ^ canonical-form]. *)

@@ -33,6 +33,7 @@ module Trace = Exsel_sim.Trace
 module Json = Exsel_obs.Json
 module Metrics = Exsel_obs.Metrics
 module Engine = Exsel_native.Engine
+module Dsl = Exsel_adversary.Dsl
 module NCore = Core.Native
 
 (* ------------------------------------------------------------------ *)
@@ -90,6 +91,9 @@ type config = {
   seeds : int list;
   backend : backend;
   max_commits : int;  (** per-round liveness budget (sim) *)
+  adversary : Dsl.expr option;
+      (** sim-only within-shard commit scheduler (crash-free DSL term);
+          [None] keeps the historical uniform interleave bit-for-bit *)
 }
 
 let default =
@@ -103,6 +107,7 @@ let default =
     seeds = [ 1; 2; 3 ];
     backend = Sim;
     max_commits = 200_000;
+    adversary = None;
   }
 
 let validate cfg =
@@ -114,8 +119,14 @@ let validate cfg =
   else if cfg.seeds = [] then Error "at least one seed required"
   else if cfg.max_commits <= 0 then Error "max-commits must be positive"
   else
-    match cfg.backend with
-    | Native { domains } when domains <= 0 -> Error "domains must be positive"
+    match (cfg.backend, cfg.adversary) with
+    | Native { domains }, _ when domains <= 0 -> Error "domains must be positive"
+    | Native _, Some _ ->
+        Error "--adversary schedules simulator commits (sim backend only)"
+    | _, Some expr when not (Dsl.crash_free expr) ->
+        Error
+          "adversary term must be crash-free for service scheduling (crash \
+           decisions would bypass the session ledger)"
     | _ -> Ok ()
 
 (* ------------------------------------------------------------------ *)
@@ -518,7 +529,7 @@ type crash_plan = {
   mutable cp_fired : bool;
 }
 
-let exec_sim ctx shards clock ~round ops =
+let exec_sim ctx shards clock ~round ~drivers ops =
   let crashes = ref [] in
   List.iter
     (fun op ->
@@ -603,7 +614,19 @@ let exec_sim ctx shards clock ~round ops =
         incr si
       done;
       let rt = shards.(!si).sim_rt in
-      Runtime.commit rt (Runtime.nth_runnable rt !pick);
+      let p =
+        match drivers with
+        | None -> Runtime.nth_runnable rt !pick
+        | Some ds -> (
+            (* the uniform draw still picks the shard; the compiled
+               adversary chooses within it (crash terms are rejected by
+               validate, and a relinquishing term falls back to the
+               draw's own offset) *)
+            match ds.(!si) rt with
+            | Some (Dsl.Commit p) -> p
+            | Some (Dsl.Crash _) | None -> Runtime.nth_runnable rt !pick)
+      in
+      Runtime.commit rt p;
       incr clock;
       incr commits_round;
       loop ()
@@ -786,12 +809,22 @@ let run_cell_sim cfg regime ~seed ~capture_traces =
         ~name:(Printf.sprintf "shard%d.e%d" i epoch)
         ~cap:cfg.cap
   in
+  let drivers =
+    Option.map
+      (fun expr ->
+        Array.init cfg.shards (fun shard ->
+            Dsl.compile expr
+              ~seed:
+                (((seed * 1_000_003) lxor regime_salt regime) + (7919 * shard))
+              ~k:cfg.cap))
+      cfg.adversary
+  in
   let clock = ref 0 in
   let rounds_done = ref 0 in
   (try
      for round = 1 to cfg.rounds do
        let ops = plan ctx ~round ~midop_ok:true ~recycle in
-       exec_sim ctx shards clock ~round ops;
+       exec_sim ctx shards clock ~round ~drivers ops;
        harvest ctx ~round
          ~holder_view:(fun i -> Core.holder_view shards.(i).sim_core)
          ops;
@@ -958,6 +991,11 @@ let to_json r =
         ("entry", Json.String (Core.entry_algo_to_string cfg.entry));
         ("stride", Json.Int (Core.width_for cfg.entry ~cap:cfg.cap));
         ("seeds", Json.List (List.map (fun s -> Json.Int s) cfg.seeds));
+      ]
+    @ (match cfg.adversary with
+      | Some expr -> [ ("adversary", Json.String (Dsl.to_string expr)) ]
+      | None -> [])
+    @ [
         ("cells", Json.List (List.map cell_json r.r_cells));
         ("violations", Json.Int r.r_violations);
         ("metrics", Metrics.to_json r.r_metrics);
@@ -969,7 +1007,7 @@ let to_json r =
 
 let start_event cfg =
   Json.Obj
-    [
+    ([
       ("schema", Json.String "exsel-events/1");
       ("event", Json.String "start");
       ("kind", Json.String "service");
@@ -981,8 +1019,11 @@ let start_event cfg =
       ("cap", Json.Int cfg.cap);
       ("sessions", Json.Int cfg.sessions);
       ("rounds", Json.Int cfg.rounds);
-      ("cells", Json.Int (List.length cfg.regimes * List.length cfg.seeds));
     ]
+    @ (match cfg.adversary with
+      | Some expr -> [ ("adversary", Json.String (Dsl.to_string expr)) ]
+      | None -> [])
+    @ [ ("cells", Json.Int (List.length cfg.regimes * List.length cfg.seeds)) ])
 
 let event_json = function
   | Cell_started { index; regime; seed } ->
@@ -1021,9 +1062,12 @@ let done_event r =
 let pp_summary ppf r =
   let cfg = r.r_config in
   Format.fprintf ppf
-    "service: backend=%s shards=%d cap=%d sessions=%d rounds=%d entry=%s@."
+    "service: backend=%s shards=%d cap=%d sessions=%d rounds=%d entry=%s%s@."
     (backend_name cfg.backend) cfg.shards cfg.cap cfg.sessions cfg.rounds
-    (Core.entry_algo_to_string cfg.entry);
+    (Core.entry_algo_to_string cfg.entry)
+    (match cfg.adversary with
+    | Some e -> " adversary=" ^ Dsl.to_string e
+    | None -> "");
   List.iter
     (fun c ->
       if c.c_violations = [] then

@@ -50,13 +50,21 @@ type config = {
   seeds : int list;
   backend : backend;
   max_commits : int;  (** per-round liveness budget (sim) *)
+  adversary : Exsel_adversary.Dsl.expr option;
+      (** sim-only within-shard commit scheduler: each commit still picks
+          a shard by the historical uniform runnable-weighted draw, then
+          the compiled DSL term chooses the process inside it.  Must be
+          {!Exsel_adversary.Dsl.crash_free}.  [None] (the default) keeps
+          the uniform interleave bit-for-bit. *)
 }
 
 val default : config
 
 val validate : config -> (unit, string) result
 (** Shape check for CLI-supplied configurations (positive sizes,
-    non-empty regime/seed lists, positive [domains] for native). *)
+    non-empty regime/seed lists, positive [domains] for native, and —
+    when an adversary term is named — a sim backend and a crash-free
+    term). *)
 
 (** {2 Results} *)
 

@@ -1,4 +1,6 @@
-type t = { mutable state : int64 }
+type version = V1 | V2
+
+type t = { mutable state : int64; version : version }
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
@@ -7,7 +9,11 @@ let mix64 z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-let create ~seed = { state = mix64 (Int64.of_int seed) }
+let create ~seed = { state = mix64 (Int64.of_int seed); version = V1 }
+
+let create_v2 ~seed = { state = mix64 (Int64.of_int seed); version = V2 }
+
+let version t = t.version
 
 let next t =
   t.state <- Int64.add t.state golden_gamma;
@@ -15,12 +21,33 @@ let next t =
 
 let bits64 t = next t
 
-let split t = { state = next t }
+let split t = { state = next t; version = t.version }
 
+(* V1 maps a 63-bit draw straight through [Int64.rem], which over-weights
+   the low residues of any bound that does not divide 2^63 (by at most
+   2^-50 for the small bounds the simulator uses — invisible in practice,
+   but a bias all the same).  V2 rejects draws from the short final cycle
+   so every residue class receives exactly the same number of 63-bit
+   words.  V1 is frozen forever: seeded schedules, campaign tables and
+   checked-in baselines depend on its exact stream. *)
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  let mask = Int64.shift_right_logical (next t) 1 in
-  Int64.to_int (Int64.rem mask (Int64.of_int bound))
+  match t.version with
+  | V1 ->
+      let mask = Int64.shift_right_logical (next t) 1 in
+      Int64.to_int (Int64.rem mask (Int64.of_int bound))
+  | V2 ->
+      let b = Int64.of_int bound in
+      let rec draw () =
+        let bits = Int64.shift_right_logical (next t) 1 in
+        let r = Int64.rem bits b in
+        (* accept unless [bits] fell in the incomplete trailing cycle:
+           [bits - r + (b - 1)] overflows 63 bits exactly then (the Java
+           [Random.nextInt] rejection test, lifted to 63-bit words) *)
+        if Int64.add (Int64.sub bits r) (Int64.sub b 1L) < 0L then draw ()
+        else Int64.to_int r
+      in
+      draw ()
 
 let bool t = Int64.logand (next t) 1L = 1L
 
@@ -59,7 +86,10 @@ let pick_weighted t xs =
         if w < 0 then invalid_arg "Rng.pick_weighted: negative weight" else acc + w)
       0 xs
   in
-  if total <= 0 then invalid_arg "Rng.pick_weighted: total weight must be positive";
+  if total = 0 then
+    invalid_arg
+      (if xs = [] then "Rng.pick_weighted: empty list"
+       else "Rng.pick_weighted: all weights are zero");
   let rec go k = function
     | (x, w) :: rest -> if k < w then (x, k) else go (k - w) rest
     | [] -> assert false

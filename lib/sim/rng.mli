@@ -8,15 +8,40 @@
 type t
 (** Mutable generator state. *)
 
+type version = V1 | V2
+(** Bounded-draw semantics, frozen per version so checked-in seeded
+    artefacts never shift:
+
+    - [V1] — the historical stream: [int] maps a 63-bit word through
+      [Int64.rem], which carries a (tiny) modulo bias toward low
+      residues.  Every seeded table, campaign schedule and perf baseline
+      in the repository was produced by this stream, so it is preserved
+      bit-for-bit forever.
+    - [V2] — [int] is exactly uniform: draws from the incomplete
+      trailing cycle of 2^63 mod bound are rejected and redrawn.  New
+      subsystems (the adversary DSL, the open-loop workload generator)
+      use V2. *)
+
 val create : seed:int -> t
-(** [create ~seed] returns a fresh generator determined by [seed]. *)
+(** [create ~seed] returns a fresh {!V1} generator determined by [seed]
+    — the historical constructor, bit-identical to every release. *)
+
+val create_v2 : seed:int -> t
+(** [create_v2 ~seed] returns a fresh {!V2} (rejection-sampled,
+    bias-free) generator determined by [seed].  Same state transition
+    function as V1; only bounded draws differ. *)
+
+val version : t -> version
 
 val split : t -> t
 (** [split t] derives an independent generator from [t], advancing [t].
-    Streams produced by the two generators are statistically independent. *)
+    Streams produced by the two generators are statistically independent.
+    The child inherits the parent's {!version}. *)
 
 val int : t -> int -> int
-(** [int t bound] draws a uniform integer in [\[0, bound)].
+(** [int t bound] draws a uniform integer in [\[0, bound)] — exactly
+    uniform under {!V2}, modulo-biased by at most [bound / 2^63] under
+    {!V1}.
     @raise Invalid_argument if [bound <= 0]. *)
 
 val bits64 : t -> int64
@@ -46,4 +71,6 @@ val pick_weighted : t -> ('a * int) list -> 'a * int
     [w / total] and returns [(x, j)] with [j] uniform in [\[0, w)] — the
     offset lets a caller treat [x] as a bucket of [w] equally likely
     choices without materialising them.  Single pass, single draw.
-    @raise Invalid_argument on a negative weight or non-positive total. *)
+    @raise Invalid_argument on a negative weight, an empty list, or an
+    all-zero weight list (each with a distinct message naming the
+    failure). *)

@@ -748,3 +748,152 @@ let service_docs ~design ~experiments ~algorithms ~readme =
       ]
   in
   require "README.md" readme [ "exsel_service"; "exsel_cli service" ]
+
+(* ------------------------------------------------------------------ *)
+(* exsel-workload/1 (open-loop traffic reports)                        *)
+(* ------------------------------------------------------------------ *)
+
+let workload j =
+  let int_field what obj k =
+    match Json.member k obj with
+    | Some (Json.Int i) -> Ok i
+    | _ -> errf "workload: %s lacks int %S" what k
+  in
+  let* () =
+    match Json.member "schema" j with
+    | Some (Json.String "exsel-workload/1") -> Ok ()
+    | _ -> Error "workload: missing schema \"exsel-workload/1\""
+  in
+  let* backend =
+    match Json.member "backend" j with
+    | Some (Json.String ("sim" | "native" as b)) -> Ok b
+    | _ -> Error "workload: backend must be \"sim\" or \"native\""
+  in
+  let* shards = int_field "document" j "shards" in
+  let* cap = int_field "document" j "cap" in
+  let* rate = int_field "document" j "rate" in
+  let* () =
+    if shards < 1 || cap < 1 || rate < 1 then
+      Error "workload: shards, cap and rate must be positive"
+    else Ok ()
+  in
+  let* cells =
+    match Json.member "cells" j with
+    | Some (Json.List cs) when cs <> [] -> Ok cs
+    | Some (Json.List []) -> Error "workload: no cells"
+    | _ -> Error "workload: missing cells array"
+  in
+  let* total_violations =
+    List.fold_left
+      (fun acc cell ->
+        let* total = acc in
+        let* pattern =
+          match Json.member "pattern" cell with
+          | Some (Json.String p) when p <> "" -> Ok p
+          | _ -> Error "workload: cell lacks a pattern"
+        in
+        let* violations =
+          match Json.member "violations" cell with
+          | Some (Json.List vs) -> Ok (List.length vs)
+          | _ -> errf "workload: %s cell lacks a violations array" pattern
+        in
+        let* ok =
+          match Json.member "ok" cell with
+          | Some (Json.Bool b) -> Ok b
+          | _ -> errf "workload: %s cell lacks bool \"ok\"" pattern
+        in
+        let* () =
+          if ok <> (violations = 0) then
+            errf "workload: %s cell ok=%b with %d violations" pattern ok
+              violations
+          else Ok ()
+        in
+        let* arrivals = int_field "cell" cell "arrivals" in
+        let* admitted = int_field "cell" cell "admitted" in
+        let* rejected = int_field "cell" cell "rejected" in
+        let* () =
+          if admitted + rejected <> arrivals then
+            errf
+              "workload: %s cell splits %d arrivals into %d admitted + %d \
+               rejected"
+              pattern arrivals admitted rejected
+          else Ok ()
+        in
+        let* joins = int_field "cell" cell "joins" in
+        let* acquires = int_field "cell" cell "acquires" in
+        let* releases = int_field "cell" cell "releases" in
+        if joins > admitted then
+          errf "workload: %s cell joined %d of %d admitted" pattern joins
+            admitted
+        else if acquires > joins then
+          errf "workload: %s cell acquired %d with %d joins" pattern acquires
+            joins
+        else if releases > acquires then
+          errf "workload: %s cell released %d of %d acquires" pattern releases
+            acquires
+        else Ok (total + violations))
+      (Ok 0) cells
+  in
+  let* () =
+    let* top = int_field "document" j "violations" in
+    if top <> total_violations then
+      errf "workload: top-level violations %d, cells carry %d" top
+        total_violations
+    else Ok ()
+  in
+  let* metrics =
+    match Json.member "metrics" j with
+    | Some m -> Ok m
+    | None -> Error "workload: document embeds no metrics"
+  in
+  let* () = metrics_doc metrics in
+  let has kind name =
+    match Json.member kind metrics with
+    | Some (Json.List entries) ->
+        List.exists
+          (fun e -> Json.member "name" e = Some (Json.String name))
+          entries
+    | _ -> false
+  in
+  let unit = match backend with "native" -> "ns" | _ -> "commits" in
+  let latency = "exsel_workload_acquire_latency_" ^ unit in
+  if not (has "histograms" latency) then
+    errf "workload: metrics lack an %s histogram" latency
+  else if not (has "counters" "exsel_workload_arrivals") then
+    Error "workload: metrics lack the exsel_workload_arrivals counter"
+  else Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Adversary DSL + open-loop documentation cross-references            *)
+(* ------------------------------------------------------------------ *)
+
+let adversary_docs ~design ~experiments ~readme =
+  let require what contents anchors =
+    List.fold_left
+      (fun acc anchor ->
+        let* () = acc in
+        if contains_sub contents anchor then Ok ()
+        else errf "docs: %s lacks %S" what anchor)
+      (Ok ()) anchors
+  in
+  let* () =
+    require "DESIGN.md" design
+      [
+        "## 15.";
+        "lib/adversary";
+        "write-contention budget";
+        "crash(half, uniform)";
+        "draw-for-draw";
+      ]
+  in
+  let* () =
+    require "EXPERIMENTS.md" experiments
+      [
+        "Open-loop traffic";
+        "exsel_cli workload";
+        "--adversary";
+        "--pattern";
+        "p999";
+      ]
+  in
+  require "README.md" readme [ "exsel_cli workload"; "adversary DSL" ]

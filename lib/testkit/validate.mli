@@ -73,3 +73,23 @@ val service_docs :
     claim rows in doc/ALGORITHMS.md, and the README's [exsel_service] /
     [exsel_cli service] mentions.  Each argument is the file's whole
     contents. *)
+
+val workload : Exsel_obs.Json.t -> (unit, string) result
+(** Validate an [exsel-workload/1] open-loop traffic report: schema and
+    backend tags; non-empty [cells] whose [ok] flag agrees with the
+    per-cell violation list and whose session funnel is conserved
+    ([admitted + rejected = arrivals],
+    [releases <= acquires <= joins <= admitted]); a top-level violation
+    count matching the cells; and an embedded [exsel-metrics/1] registry
+    (checked with {!metrics_doc}) carrying
+    [exsel_workload_acquire_latency_*] histograms in the backend's unit
+    and the [exsel_workload_arrivals] counter. *)
+
+val adversary_docs :
+  design:string -> experiments:string -> readme:string ->
+  (unit, string) result
+(** Check the adversary-DSL and open-loop documentation
+    cross-references: DESIGN.md §15 with its grammar,
+    write-contention-budget and legacy-equivalence anchors,
+    EXPERIMENTS.md's "Open-loop traffic" walkthrough, and the README's
+    [exsel_cli workload] / adversary DSL mentions. *)

@@ -10,7 +10,7 @@ module V = Exsel_testkit.Validate
 let usage () =
   prerr_endline
     "usage: validate_docs \
-     {events|openmetrics|json SCHEMA|metrics-in-report|native-trace|bench-p7|service|docs} \
+     {events|openmetrics|json SCHEMA|metrics-in-report|native-trace|bench-p7|service|workload|docs} \
      FILE|DIR\n\
     \  events             FILE is an exsel-events/1 NDJSON stream\n\
     \  openmetrics        FILE is an OpenMetrics text exposition\n\
@@ -22,10 +22,12 @@ let usage () =
     \                     section has a full domain sweep, fully decided rows\n\
     \                     and backend=\"native\" latency metrics\n\
     \  service            FILE is an exsel-service/1 churn-campaign report\n\
-    \  docs               DIR is the repo root; check the service layer's\n\
-    \                     documentation cross-references (DESIGN.md \xc2\xa714,\n\
-    \                     EXPERIMENTS.md churn walkthrough, doc/ALGORITHMS.md\n\
-    \                     claim rows, README)";
+    \  workload           FILE is an exsel-workload/1 open-loop traffic report\n\
+    \  docs               DIR is the repo root; check the service and\n\
+    \                     adversary layers' documentation cross-references\n\
+    \                     (DESIGN.md \xc2\xa714/\xc2\xa715, EXPERIMENTS.md churn and\n\
+    \                     open-loop walkthroughs, doc/ALGORITHMS.md claim\n\
+    \                     rows, README)";
   exit 2
 
 let read_file path =
@@ -74,10 +76,19 @@ let () =
   | [ _; "service"; path ] ->
       let j = parse_json path (read_file path) in
       finish "service" path (V.service j)
+  | [ _; "workload"; path ] ->
+      let j = parse_json path (read_file path) in
+      finish "workload" path (V.workload j)
   | [ _; "docs"; dir ] ->
       let read name = read_file (Filename.concat dir name) in
+      let design = read "DESIGN.md" in
+      let experiments = read "EXPERIMENTS.md" in
+      let readme = read "README.md" in
       finish "docs" dir
-        (V.service_docs ~design:(read "DESIGN.md")
-           ~experiments:(read "EXPERIMENTS.md")
-           ~algorithms:(read "doc/ALGORITHMS.md") ~readme:(read "README.md"))
+        (match
+           V.service_docs ~design ~experiments
+             ~algorithms:(read "doc/ALGORITHMS.md") ~readme
+         with
+        | Ok () -> V.adversary_docs ~design ~experiments ~readme
+        | Error _ as e -> e)
   | _ -> usage ()
